@@ -1,0 +1,115 @@
+// Command experiments regenerates every table and figure-series of the
+// King–Saia reproduction (experiments E1-E17, indexed in DESIGN.md).
+//
+// Usage:
+//
+//	experiments [-run E1,E2|all] [-seed N] [-quick] [-csv DIR] [-list]
+//
+// Output is a paper-style aligned table per experiment on stdout; with
+// -csv the raw data also lands in DIR/<id>.csv for plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/dht-sampling/randompeer/internal/exp"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		runIDs = fs.String("run", "all", "comma-separated experiment ids (e.g. E1,E8) or 'all'")
+		seed   = fs.Uint64("seed", 1, "root seed; equal seeds reproduce equal tables")
+		quick  = fs.Bool("quick", false, "reduced sweeps (smoke run)")
+		csvDir = fs.String("csv", "", "also write <id>.csv files into this directory")
+		list   = fs.Bool("list", false, "list experiments and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-4s %s\n     claim: %s\n", e.ID, e.Title, e.Claim)
+		}
+		return 0
+	}
+	selected, err := selectExperiments(*runIDs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return 2
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return 1
+		}
+	}
+	cfg := exp.RunConfig{Seed: *seed, Quick: *quick}
+	mode := "full"
+	if *quick {
+		mode = "quick"
+	}
+	fmt.Printf("running %d experiments (%s mode, seed %d)\n\n", len(selected), mode, *seed)
+	failures := 0
+	for _, e := range selected {
+		start := time.Now()
+		table, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", e.ID, err)
+			failures++
+			continue
+		}
+		if err := table.Render(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return 1
+		}
+		fmt.Printf("  (%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, table); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				failures++
+			}
+		}
+	}
+	if failures > 0 {
+		return 1
+	}
+	return 0
+}
+
+func selectExperiments(spec string) ([]exp.Experiment, error) {
+	if spec == "all" || spec == "" {
+		return exp.All(), nil
+	}
+	var out []exp.Experiment
+	for _, id := range strings.Split(spec, ",") {
+		e, err := exp.ByID(strings.TrimSpace(id))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+func writeCSV(dir string, table *exp.Table) error {
+	path := filepath.Join(dir, table.ID+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("creating %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := table.WriteCSV(f); err != nil {
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	return f.Close()
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if got := run([]string{"-list"}); got != 0 {
+		t.Errorf("run(-list) = %d", got)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if got := run([]string{"-run", "E99"}); got != 2 {
+		t.Errorf("run(E99) = %d, want 2", got)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if got := run([]string{"-bogus"}); got != 2 {
+		t.Errorf("run(-bogus) = %d, want 2", got)
+	}
+}
+
+func TestRunQuickSubsetWithCSV(t *testing.T) {
+	dir := t.TempDir()
+	if got := run([]string{"-run", "E4,E8", "-quick", "-csv", dir}); got != 0 {
+		t.Fatalf("run = %d, want 0", got)
+	}
+	for _, id := range []string{"E4", "E8"} {
+		path := filepath.Join(dir, id+".csv")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("reading %s: %v", path, err)
+		}
+		if len(data) == 0 {
+			t.Errorf("%s is empty", path)
+		}
+	}
+}
+
+func TestSelectExperiments(t *testing.T) {
+	all, err := selectExperiments("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 23 {
+		t.Errorf("all = %d experiments, want 23", len(all))
+	}
+	two, err := selectExperiments("E1, E2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(two) != 2 {
+		t.Errorf("subset = %d experiments", len(two))
+	}
+	if _, err := selectExperiments("nope"); err == nil {
+		t.Error("unknown id should fail")
+	}
+}

@@ -1,0 +1,240 @@
+// Command randpeer is an interactive driver for the King–Saia random
+// peer selection algorithm on a simulated DHT.
+//
+// Usage:
+//
+//	randpeer sample   [-n N] [-seed S] [-k K] [-sampler king-saia|naive] [-backend oracle|chord]
+//	randpeer estimate [-n N] [-seed S] [-c1 C] [-callers K]
+//	randpeer verify   [-n N] [-seed S]
+//	randpeer arcs     [-n N] [-seed S]
+//
+// sample draws K peers and prints the tally summary; estimate runs the
+// paper's size estimator from K callers; verify computes the exact
+// Theorem 6 measure partition; arcs prints the structural statistics
+// (Lemmas 1 and 4, Theorem 8).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+
+	"github.com/dht-sampling/randompeer"
+	"github.com/dht-sampling/randompeer/internal/arcs"
+	"github.com/dht-sampling/randompeer/internal/ring"
+	"github.com/dht-sampling/randompeer/internal/stats"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	if len(args) < 1 {
+		usage()
+		return 2
+	}
+	var err error
+	switch args[0] {
+	case "sample":
+		err = cmdSample(args[1:])
+	case "estimate":
+		err = cmdEstimate(args[1:])
+	case "verify":
+		err = cmdVerify(args[1:])
+	case "arcs":
+		err = cmdArcs(args[1:])
+	case "help", "-h", "--help":
+		usage()
+		return 0
+	default:
+		fmt.Fprintf(os.Stderr, "randpeer: unknown command %q\n", args[0])
+		usage()
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "randpeer:", err)
+		return 1
+	}
+	return 0
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: randpeer <command> [flags]
+
+commands:
+  sample    draw K random peers and summarize the tally
+  estimate  run the Estimate n algorithm from K callers
+  verify    compute the exact Theorem 6 measure partition
+  arcs      print structural ring statistics (Lemmas 1, 4; Theorem 8)`)
+}
+
+func newTestbed(n int, seed uint64, backend string) (*randompeer.Testbed, error) {
+	b := randompeer.OracleBackend
+	switch backend {
+	case "", "oracle":
+	case "chord":
+		b = randompeer.ChordBackend
+	default:
+		return nil, fmt.Errorf("unknown backend %q (want oracle or chord)", backend)
+	}
+	return randompeer.New(
+		randompeer.WithPeers(n),
+		randompeer.WithSeed(seed),
+		randompeer.WithBackend(b),
+	)
+}
+
+func cmdSample(args []string) error {
+	fs := flag.NewFlagSet("sample", flag.ContinueOnError)
+	var (
+		n       = fs.Int("n", 1024, "network size")
+		seed    = fs.Uint64("seed", 1, "placement seed")
+		k       = fs.Int("k", 10000, "samples to draw")
+		sampler = fs.String("sampler", "king-saia", "king-saia or naive")
+		backend = fs.String("backend", "oracle", "oracle or chord")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tb, err := newTestbed(*n, *seed, *backend)
+	if err != nil {
+		return err
+	}
+	var s randompeer.Sampler
+	switch *sampler {
+	case "king-saia":
+		s, err = tb.UniformSampler(*seed + 1)
+		if err != nil {
+			return err
+		}
+	case "naive":
+		s = tb.NaiveSampler(*seed + 1)
+	default:
+		return fmt.Errorf("unknown sampler %q", *sampler)
+	}
+	counts := make([]int64, tb.Size())
+	before := tb.DHT().Meter().Snapshot()
+	for i := 0; i < *k; i++ {
+		p, err := s.Sample()
+		if err != nil {
+			return fmt.Errorf("sample %d: %w", i, err)
+		}
+		counts[p.Owner]++
+	}
+	cost := tb.DHT().Meter().Snapshot().Sub(before)
+	stat, pvalue, err := stats.ChiSquareUniform(counts)
+	if err != nil {
+		return err
+	}
+	tvd, err := stats.TotalVariationUniform(counts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sampler:   %s over %d peers (%s backend)\n", s.Name(), tb.Size(), *backend)
+	fmt.Printf("samples:   %d\n", *k)
+	fmt.Printf("chi2:      %.2f (p = %.4f)  [p >= 0.05 is consistent with uniform]\n", stat, pvalue)
+	fmt.Printf("tvd:       %.4f\n", tvd)
+	fmt.Printf("cost:      %.1f RPCs and %.1f messages per sample\n",
+		float64(cost.Calls)/float64(*k), float64(cost.Messages)/float64(*k))
+	return nil
+}
+
+func cmdEstimate(args []string) error {
+	fs := flag.NewFlagSet("estimate", flag.ContinueOnError)
+	var (
+		n       = fs.Int("n", 4096, "network size")
+		seed    = fs.Uint64("seed", 1, "placement seed")
+		c1      = fs.Float64("c1", 2, "walk-length constant")
+		callers = fs.Int("callers", 16, "number of peers that estimate")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tb, err := newTestbed(*n, *seed, "oracle")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("true n = %d, c1 = %v\n", *n, *c1)
+	ratios := make([]float64, 0, *callers)
+	for i := 0; i < *callers; i++ {
+		caller := i * tb.Size() / *callers
+		res, err := tb.EstimateSize(caller, *c1)
+		if err != nil {
+			return err
+		}
+		ratio := res.NHat / float64(*n)
+		ratios = append(ratios, ratio)
+		fmt.Printf("  caller %5d: nhat1 = %10.1f  s = %3d  nhat = %10.1f  ratio = %.3f\n",
+			caller, res.NHat1, res.S, res.NHat, ratio)
+	}
+	s := stats.Summarize(ratios)
+	fmt.Printf("ratio nhat/n: min %.3f  mean %.3f  max %.3f  (Lemma 3 band: 0.286 .. 6)\n",
+		s.Min, s.Mean, s.Max)
+	return nil
+}
+
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
+	var (
+		n    = fs.Int("n", 4096, "network size")
+		seed = fs.Uint64("seed", 1, "placement seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tb, err := newTestbed(*n, *seed, "oracle")
+	if err != nil {
+		return err
+	}
+	a, err := tb.VerifyUniformity(0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("exact Theorem 6 verification over %d peers:\n", tb.Size())
+	fmt.Printf("  lambda:              %d units (1/(7n) of the circle)\n", a.Lambda)
+	fmt.Printf("  walk bound:          %d steps (6 ln n')\n", a.MaxSteps)
+	fmt.Printf("  max |measure-lambda|: %d units (relative %.3e)\n",
+		a.MaxDeviation, float64(a.MaxDeviation)/float64(a.Lambda))
+	fmt.Printf("  trial success prob:  %.4f (= n*lambda = n/(7*nhat))\n", a.SuccessProbability)
+	fmt.Println("  verdict: every peer owns measure exactly lambda up to integer rounding")
+	return nil
+}
+
+func cmdArcs(args []string) error {
+	fs := flag.NewFlagSet("arcs", flag.ContinueOnError)
+	var (
+		n    = fs.Int("n", 4096, "network size")
+		seed = fs.Uint64("seed", 1, "placement seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewPCG(*seed, *seed^0xdeadbeef))
+	r, err := ring.Generate(rng, *n)
+	if err != nil {
+		return err
+	}
+	l1, err := arcs.CheckLemma1(r)
+	if err != nil {
+		return err
+	}
+	l4, err := arcs.CheckLemma4(r)
+	if err != nil {
+		return err
+	}
+	ext, err := arcs.Extremes(r)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ring of %d uniformly placed peers (seed %d)\n", *n, *seed)
+	fmt.Printf("Lemma 1:   ln(1/arc) in [%.2f, %.2f], bounds [%.2f, %.2f], violations %d\n",
+		l1.MinLogInv, l1.MaxLogInv, l1.LowerBound, l1.UpperBound, l1.Violations)
+	fmt.Printf("Lemma 4:   min %d-window sum %.3e vs threshold %.3e, violations %d\n",
+		l4.Window, l4.MinSumFrac, l4.Threshold, l4.Violations)
+	fmt.Printf("Theorem 8: min arc %.3e (n^2-scaled %.2f), max arc %.3e ((n/ln n)-scaled %.2f)\n",
+		ext.MinArcFrac, ext.MinScaled, ext.MaxArcFrac, ext.MaxScaled)
+	fmt.Printf("naive bias ratio max/min = %.0f (= %.2f of n ln n)\n", ext.BiasRatio, ext.BiasVsNLogN)
+	return nil
+}

@@ -1,0 +1,63 @@
+// Biased sampling: the paper's third open problem, solved by rejection
+// over the uniform sampler. Choose peers with probability inversely
+// proportional to their clockwise distance from the caller — useful for
+// building latency-aware random links — while keeping the exactness
+// guarantee of the underlying uniform primitive.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/dht-sampling/randompeer"
+)
+
+func main() {
+	const n = 2048
+	tb, err := randompeer.New(randompeer.WithPeers(n), randompeer.WithSeed(17))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Weight peers by inverse clockwise distance from peer 0, saturating
+	// below 2% of the circle.
+	w, maxW, err := tb.InverseDistanceWeight(0, 0.02)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := tb.BiasedSampler(5, w, maxW)
+	if err != nil {
+		log.Fatal(err)
+	}
+	caller, err := tb.Peer(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Bucket samples by clockwise distance from the caller.
+	const buckets = 10
+	counts := make([]int, buckets)
+	const samples = 20000
+	for i := 0; i < samples; i++ {
+		p, err := s.Sample()
+		if err != nil {
+			log.Fatal(err)
+		}
+		d := float64(p.Point-caller.Point) / (1 << 63) / 2 // distance as circle fraction
+		b := int(d * buckets)
+		if b >= buckets {
+			b = buckets - 1
+		}
+		counts[b]++
+	}
+	fmt.Printf("%d samples biased by inverse distance from peer 0:\n\n", samples)
+	fmt.Println("distance   share  (uniform would be 10% per bucket)")
+	for b := 0; b < buckets; b++ {
+		share := float64(counts[b]) / samples
+		bar := ""
+		for i := 0; i < int(share*100); i++ {
+			bar += "#"
+		}
+		fmt.Printf("%3d-%3d%%  %5.1f%%  %s\n", b*10, (b+1)*10, share*100, bar)
+	}
+	fmt.Println("\nnearby peers dominate, yet every peer remains reachable with its")
+	fmt.Println("prescribed probability — the distribution is exact, not heuristic.")
+}

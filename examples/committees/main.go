@@ -1,0 +1,60 @@
+// Committee election: the paper's Byzantine-agreement motivation
+// (Lewis & Saia). An adversary controls 20% of the peers — specifically
+// the ones owning the longest arcs, which maximizes its selection mass
+// under the biased heuristic. Committees drawn with the uniform sampler
+// track the true 20%; committees drawn naively hand the adversary
+// routine majorities.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"github.com/dht-sampling/randompeer"
+	"github.com/dht-sampling/randompeer/internal/agreement"
+	"github.com/dht-sampling/randompeer/internal/ring"
+)
+
+func main() {
+	const (
+		n          = 1024
+		byzFrac    = 0.20
+		size       = 64
+		committees = 300
+	)
+	tb, err := randompeer.New(randompeer.WithPeers(n), randompeer.WithSeed(61))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Rebuild the placement to derive the adversary's optimal positions.
+	rng := rand.New(rand.NewPCG(61, 61^0x517cc1b727220a95))
+	r, err := ring.Generate(rng, n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bad, mass, err := agreement.LongestArcAttack(r, byzFrac)
+	if err != nil {
+		log.Fatal(err)
+	}
+	isBad := func(owner int) bool { return bad[owner] }
+	fmt.Printf("%d peers, %.0f%% Byzantine (on the longest arcs)\n", n, byzFrac*100)
+	fmt.Printf("adversary's selection mass under naive sampling: %.1f%%\n\n", mass*100)
+
+	uniform, err := tb.UniformSampler(7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range []randompeer.Sampler{uniform, tb.NaiveSampler(9)} {
+		res, err := agreement.ElectCommittees(s, isBad, size, committees, 0.5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s  %d-seat committees: %3d/%d captured (majority bad), mean Byzantine share %.1f%%\n",
+			s.Name(), size, res.Bad, res.Committees, res.MeanByzFrac*100)
+	}
+	fmt.Println("\nChernoff bounds protect the uniform committees: capture probability")
+	fmt.Println("is exponentially small in the committee size while the Byzantine")
+	fmt.Println("fraction stays below the threshold. The naive sampler hands the")
+	fmt.Println("adversary an inflated share and loses outright.")
+}

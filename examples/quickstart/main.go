@@ -1,0 +1,53 @@
+// Quickstart: build a simulated DHT, estimate its size from one peer,
+// and draw uniform random peers — the complete King–Saia pipeline in a
+// few lines of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/dht-sampling/randompeer"
+)
+
+func main() {
+	// A 10,000-peer DHT with peers placed uniformly on the identifier
+	// circle, as the random-oracle hash assumption prescribes.
+	tb, err := randompeer.New(randompeer.WithPeers(10000), randompeer.WithSeed(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 1 (Section 2 of the paper): peer 0 estimates the network
+	// size using only local arc lengths and O(log n) successor hops.
+	est, err := tb.EstimateSize(0, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("true n = %d, estimated nhat = %.0f (ratio %.2f)\n",
+		tb.Size(), est.NHat, est.NHat/float64(tb.Size()))
+
+	// Step 2 (Section 3): choose peers uniformly at random. Theorem 6:
+	// every peer has probability exactly 1/n.
+	s, err := tb.UniformSampler(7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("ten uniform random peers:")
+	for i := 0; i < 10; i++ {
+		p, err := s.Sample()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  peer #%d at circle position %v\n", p.Owner, p.Point)
+	}
+
+	// Step 3: verify Theorem 6 exactly — the measure of starting points
+	// assigned to every peer equals lambda to within integer rounding.
+	a, err := tb.VerifyUniformity(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exactness check: max deviation %d units out of lambda = %d (relative %.1e)\n",
+		a.MaxDeviation, a.Lambda, float64(a.MaxDeviation)/float64(a.Lambda))
+}

@@ -1,0 +1,112 @@
+// Package agreement implements the paper's second motivating
+// application (Lewis & Saia's scalable Byzantine agreement): electing
+// committees by repeatedly choosing random peers. A committee is good
+// when fewer than a threshold fraction of its members are Byzantine.
+// Under uniform sampling, Chernoff bounds make bad committees
+// exponentially rare as long as the Byzantine population fraction is
+// below the threshold; under the naive heuristic an adversary that
+// occupies the peers owning the longest arcs inflates its selection
+// probability far beyond its population fraction and routinely captures
+// committees.
+package agreement
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/dht-sampling/randompeer/internal/dht"
+	"github.com/dht-sampling/randompeer/internal/ring"
+)
+
+// LongestArcAttack returns the Byzantine set an adversary controlling a
+// frac fraction of peers would pick to maximize naive-sampler selection
+// mass: the peers owning the longest arcs. The returned set is keyed by
+// owner index; the second result is the total naive selection
+// probability the set captures.
+func LongestArcAttack(r *ring.Ring, frac float64) (map[int]bool, float64, error) {
+	n := r.Len()
+	if n < 2 {
+		return nil, 0, fmt.Errorf("agreement: need >= 2 peers, got %d", n)
+	}
+	if frac < 0 || frac > 1 {
+		return nil, 0, fmt.Errorf("agreement: byzantine fraction %v outside [0, 1]", frac)
+	}
+	type peerArc struct {
+		owner int
+		arc   uint64
+	}
+	peers := make([]peerArc, n)
+	for i := 0; i < n; i++ {
+		// The arc governing peer i's naive selection probability is the
+		// one ending at its point.
+		peers[i] = peerArc{owner: i, arc: r.Arc(r.PrevIndex(i))}
+	}
+	sort.Slice(peers, func(a, b int) bool {
+		if peers[a].arc != peers[b].arc {
+			return peers[a].arc > peers[b].arc
+		}
+		return peers[a].owner < peers[b].owner
+	})
+	take := int(frac * float64(n))
+	bad := make(map[int]bool, take)
+	var mass float64
+	for i := 0; i < take; i++ {
+		bad[peers[i].owner] = true
+		mass += ring.UnitsToFrac(peers[i].arc)
+	}
+	return bad, mass, nil
+}
+
+// Result reports a committee-election experiment.
+type Result struct {
+	// Committees is the number of committees elected.
+	Committees int
+	// Bad is the number of committees whose Byzantine fraction reached
+	// the threshold.
+	Bad int
+	// BadRate is Bad/Committees.
+	BadRate float64
+	// MeanByzFrac is the mean Byzantine fraction across committees.
+	MeanByzFrac float64
+}
+
+// ElectCommittees repeatedly elects committees of the given size (with
+// replacement, one sampler call per seat) and reports how often the
+// Byzantine members reach the threshold fraction (for example 1/2 for
+// majority capture, 1/3 for BFT failure).
+func ElectCommittees(s dht.Sampler, isBad func(owner int) bool, size, committees int, threshold float64) (Result, error) {
+	if size < 1 {
+		return Result{}, fmt.Errorf("agreement: committee size must be >= 1, got %d", size)
+	}
+	if committees < 1 {
+		return Result{}, fmt.Errorf("agreement: need >= 1 committee, got %d", committees)
+	}
+	if threshold <= 0 || threshold > 1 {
+		return Result{}, fmt.Errorf("agreement: threshold %v outside (0, 1]", threshold)
+	}
+	if isBad == nil {
+		return Result{}, fmt.Errorf("agreement: nil adversary predicate")
+	}
+	res := Result{Committees: committees}
+	var fracSum float64
+	for c := 0; c < committees; c++ {
+		badSeats := 0
+		for seat := 0; seat < size; seat++ {
+			peer, err := s.Sample()
+			if err != nil {
+				return Result{}, fmt.Errorf("agreement: electing seat %d of committee %d: %w", seat, c, err)
+			}
+			if isBad(peer.Owner) {
+				badSeats++
+			}
+		}
+		frac := float64(badSeats) / float64(size)
+		fracSum += frac
+		if frac >= threshold {
+			res.Bad++
+		}
+	}
+	res.BadRate = float64(res.Bad) / float64(committees)
+	res.MeanByzFrac = fracSum / float64(committees)
+	return res, nil
+}

@@ -1,0 +1,142 @@
+package agreement
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"github.com/dht-sampling/randompeer/internal/baseline"
+	"github.com/dht-sampling/randompeer/internal/core"
+	"github.com/dht-sampling/randompeer/internal/dht"
+	"github.com/dht-sampling/randompeer/internal/ring"
+)
+
+func setup(t *testing.T, seed uint64, n int) (*dht.Oracle, *ring.Ring) {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, seed*9+1))
+	r, err := ring.Generate(rng, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dht.NewOracle(r), r
+}
+
+func TestLongestArcAttackMass(t *testing.T) {
+	t.Parallel()
+	_, r := setup(t, 3, 512)
+	bad, mass, err := LongestArcAttack(r, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 102 {
+		t.Errorf("attack set size = %d, want 102", len(bad))
+	}
+	// For exponential spacings the top 20% of arcs hold roughly half the
+	// circle — far more than the adversary's population share.
+	if mass < 0.35 {
+		t.Errorf("captured naive mass = %v, expected >= 0.35", mass)
+	}
+	if mass >= 1 {
+		t.Errorf("mass = %v out of range", mass)
+	}
+}
+
+func TestLongestArcAttackValidation(t *testing.T) {
+	t.Parallel()
+	_, r := setup(t, 5, 64)
+	if _, _, err := LongestArcAttack(r, -0.1); err == nil {
+		t.Error("negative fraction should fail")
+	}
+	if _, _, err := LongestArcAttack(r, 1.5); err == nil {
+		t.Error("fraction > 1 should fail")
+	}
+	single, err := ring.New([]ring.Point{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LongestArcAttack(single, 0.2); err == nil {
+		t.Error("single peer should fail")
+	}
+}
+
+func TestUniformCommitteesResistAttack(t *testing.T) {
+	t.Parallel()
+	const n = 512
+	o, r := setup(t, 7, n)
+	bad, _, err := LongestArcAttack(r, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.New(o, o.PeerByIndex(0), rand.New(rand.NewPCG(6, 6)), core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ElectCommittees(s, func(owner int) bool { return bad[owner] }, 64, 200, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 20% Byzantine, majority threshold: Chernoff makes capture of a
+	// 64-seat committee astronomically unlikely under uniform sampling.
+	if res.Bad != 0 {
+		t.Errorf("uniform sampling lost %d/%d committees to a 20%% adversary", res.Bad, res.Committees)
+	}
+	if res.MeanByzFrac < 0.1 || res.MeanByzFrac > 0.3 {
+		t.Errorf("mean byzantine fraction = %v, want ~0.2", res.MeanByzFrac)
+	}
+}
+
+func TestNaiveCommitteesFallToAttack(t *testing.T) {
+	t.Parallel()
+	const n = 512
+	o, r := setup(t, 7, n)
+	bad, mass, err := LongestArcAttack(r, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := baseline.NewNaive(o, rand.New(rand.NewPCG(8, 8)))
+	res, err := ElectCommittees(s, func(owner int) bool { return bad[owner] }, 64, 200, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The adversary's selection mass under naive sampling is ~0.5, so
+	// roughly half of each committee is Byzantine and many committees
+	// cross the majority threshold.
+	if mass > 0.45 && res.BadRate < 0.1 {
+		t.Errorf("naive sampling bad-committee rate = %v with adversary mass %v; expected frequent capture",
+			res.BadRate, mass)
+	}
+	if res.MeanByzFrac < 0.3 {
+		t.Errorf("naive mean byzantine fraction = %v, expected inflation well above 0.2", res.MeanByzFrac)
+	}
+}
+
+func TestElectCommitteesValidation(t *testing.T) {
+	t.Parallel()
+	o, _ := setup(t, 9, 32)
+	s := baseline.NewNaive(o, rand.New(rand.NewPCG(9, 9)))
+	pred := func(int) bool { return false }
+	if _, err := ElectCommittees(s, pred, 0, 10, 0.5); err == nil {
+		t.Error("zero size should fail")
+	}
+	if _, err := ElectCommittees(s, pred, 8, 0, 0.5); err == nil {
+		t.Error("zero committees should fail")
+	}
+	if _, err := ElectCommittees(s, pred, 8, 10, 0); err == nil {
+		t.Error("zero threshold should fail")
+	}
+	if _, err := ElectCommittees(s, nil, 8, 10, 0.5); err == nil {
+		t.Error("nil predicate should fail")
+	}
+}
+
+func TestElectCommitteesNoAdversary(t *testing.T) {
+	t.Parallel()
+	o, _ := setup(t, 11, 64)
+	s := baseline.NewNaive(o, rand.New(rand.NewPCG(10, 10)))
+	res, err := ElectCommittees(s, func(int) bool { return false }, 16, 50, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bad != 0 || res.MeanByzFrac != 0 {
+		t.Errorf("no adversary but Bad=%d MeanByzFrac=%v", res.Bad, res.MeanByzFrac)
+	}
+}

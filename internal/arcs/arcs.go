@@ -1,0 +1,237 @@
+// Package arcs measures the structural properties of random peer rings
+// that King & Saia's analysis rests on: successor-arc length bounds
+// (Lemma 1), anchored-interval length concentration (Lemma 2), window
+// sums of consecutive maximally peerless intervals (Lemma 4), and the
+// extremes of the arc-length distribution (Theorem 8 and the Theta(log
+// n / n) longest arc used to bound the naive heuristic's bias).
+//
+// Logarithm conventions follow the paper: Lemmas 1 and 4 are stated with
+// natural logarithms; Lemma 2's proof tracks log2 (its union bound
+// carries a 1/ln 2 factor), so its checker takes log2.
+package arcs
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/dht-sampling/randompeer/internal/ring"
+)
+
+// Lemma1Result reports the check of Lemma 1: for every peer p,
+//
+//	ln n - ln ln n - 2  <=  ln(1 / d(l(p), l(next(p))))  <=  3 ln n.
+type Lemma1Result struct {
+	N          int
+	LowerBound float64 // ln n - ln ln n - 2
+	UpperBound float64 // 3 ln n
+	MinLogInv  float64 // smallest observed ln(1/arc)
+	MaxLogInv  float64 // largest observed ln(1/arc)
+	Violations int     // peers outside [LowerBound, UpperBound]
+}
+
+// CheckLemma1 evaluates Lemma 1 on a ring of at least two peers.
+func CheckLemma1(r *ring.Ring) (Lemma1Result, error) {
+	n := r.Len()
+	if n < 2 {
+		return Lemma1Result{}, fmt.Errorf("arcs: lemma 1 needs >= 2 peers, got %d", n)
+	}
+	res := Lemma1Result{
+		N:          n,
+		LowerBound: math.Log(float64(n)) - math.Log(math.Log(float64(n))) - 2,
+		UpperBound: 3 * math.Log(float64(n)),
+		MinLogInv:  math.Inf(1),
+		MaxLogInv:  math.Inf(-1),
+	}
+	for i := 0; i < n; i++ {
+		frac := ring.UnitsToFrac(r.Arc(i))
+		logInv := -math.Log(frac)
+		res.MinLogInv = math.Min(res.MinLogInv, logInv)
+		res.MaxLogInv = math.Max(res.MaxLogInv, logInv)
+		if logInv < res.LowerBound || logInv > res.UpperBound {
+			res.Violations++
+		}
+	}
+	return res, nil
+}
+
+// Lemma2Params parameterize the anchored-interval concentration check.
+type Lemma2Params struct {
+	C      float64 // the constant C (paper requires C > 144/(alpha1*eps^2))
+	Alpha1 float64
+	Alpha2 float64
+	Eps    float64
+}
+
+// Lemma2Result reports the check of Lemma 2: every anchored interval
+// whose peer count (excluding the anchor) lies strictly between
+// C*alpha1*log n and C*alpha2*log n has length between
+// C(1-eps)*alpha1*(log n / n) and C(1+eps)*alpha2*(log n / n).
+type Lemma2Result struct {
+	N          int
+	KLow       int     // smallest peer count subject to the lemma
+	KHigh      int     // largest peer count subject to the lemma
+	MinLenFrac float64 // shortest observed qualifying interval (fraction)
+	MaxLenFrac float64 // longest observed qualifying interval (fraction)
+	LowerFrac  float64 // C(1-eps)*alpha1*log n / n
+	UpperFrac  float64 // C(1+eps)*alpha2*log n / n
+	Violations int     // anchors with a qualifying interval out of bounds
+	Checked    int     // anchors with any qualifying interval
+}
+
+// CheckLemma2 evaluates Lemma 2 exhaustively: for every anchor p and
+// every subject peer count k, the infimum of lengths of anchored
+// intervals containing exactly k peers is d(p, next^k(p)) and the
+// supremum is d(p, next^(k+1)(p)); both must respect the bounds.
+func CheckLemma2(r *ring.Ring, params Lemma2Params) (Lemma2Result, error) {
+	n := r.Len()
+	if n < 2 {
+		return Lemma2Result{}, fmt.Errorf("arcs: lemma 2 needs >= 2 peers, got %d", n)
+	}
+	if params.C <= 0 || params.Alpha1 <= 0 || params.Alpha2 <= params.Alpha1 || params.Eps <= 0 {
+		return Lemma2Result{}, fmt.Errorf("arcs: invalid lemma 2 params %+v", params)
+	}
+	logN := math.Log2(float64(n))
+	kLow := int(math.Floor(params.C*params.Alpha1*logN)) + 1
+	kHigh := int(math.Ceil(params.C*params.Alpha2*logN)) - 1
+	res := Lemma2Result{
+		N:          n,
+		KLow:       kLow,
+		KHigh:      kHigh,
+		MinLenFrac: math.Inf(1),
+		MaxLenFrac: math.Inf(-1),
+		LowerFrac:  params.C * (1 - params.Eps) * params.Alpha1 * logN / float64(n),
+		UpperFrac:  params.C * (1 + params.Eps) * params.Alpha2 * logN / float64(n),
+	}
+	if kLow > kHigh || kHigh >= n {
+		// No interval is subject to the lemma at this n; vacuously true.
+		return res, nil
+	}
+	for i := 0; i < n; i++ {
+		// Cumulative distance from anchor i to its k-th successor.
+		var dist uint64
+		idx := i
+		violated := false
+		for k := 1; k <= kHigh+1 && k < n; k++ {
+			dist += r.Arc(idx)
+			idx = r.NextIndex(idx)
+			frac := ring.UnitsToFrac(dist)
+			if k >= kLow && k <= kHigh {
+				// Shortest interval with k peers: just reaching next^k.
+				res.MinLenFrac = math.Min(res.MinLenFrac, frac)
+				if frac < res.LowerFrac {
+					violated = true
+				}
+			}
+			if k-1 >= kLow && k-1 <= kHigh {
+				// Longest interval with k-1 peers: just short of next^k.
+				res.MaxLenFrac = math.Max(res.MaxLenFrac, frac)
+				if frac > res.UpperFrac {
+					violated = true
+				}
+			}
+		}
+		res.Checked++
+		if violated {
+			res.Violations++
+		}
+	}
+	return res, nil
+}
+
+// Lemma4Result reports the check of Lemma 4: the lengths of any
+// ceil(6 ln n) consecutive maximally peerless intervals (consecutive
+// arcs) sum to at least (ln n)/n.
+type Lemma4Result struct {
+	N          int
+	Window     int     // ceil(6 ln n)
+	MinSumFrac float64 // smallest window sum (fraction of circle)
+	Threshold  float64 // (ln n)/n
+	Violations int     // windows below the threshold
+}
+
+// CheckLemma4 slides a window of ceil(6 ln n) consecutive arcs around
+// the ring and reports the minimum sum against the (ln n)/n bound.
+func CheckLemma4(r *ring.Ring) (Lemma4Result, error) {
+	n := r.Len()
+	if n < 2 {
+		return Lemma4Result{}, fmt.Errorf("arcs: lemma 4 needs >= 2 peers, got %d", n)
+	}
+	w := int(math.Ceil(6 * math.Log(float64(n))))
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	res := Lemma4Result{
+		N:          n,
+		Window:     w,
+		MinSumFrac: math.Inf(1),
+		Threshold:  math.Log(float64(n)) / float64(n),
+	}
+	// Sliding window over the circular sequence of arcs. Window sums are
+	// strictly less than the full circle (w <= n and arcs tile 2^64), so
+	// uint64 wrap only occurs for w == n, where the sum is exactly the
+	// circle and the lemma is trivially satisfied; treat that as 1.0.
+	var sum uint64
+	for i := 0; i < w; i++ {
+		sum += r.Arc(i)
+	}
+	for i := 0; i < n; i++ {
+		frac := ring.UnitsToFrac(sum)
+		if w == n {
+			frac = 1
+		}
+		if frac < res.MinSumFrac {
+			res.MinSumFrac = frac
+		}
+		if frac < res.Threshold {
+			res.Violations++
+		}
+		sum -= r.Arc(i)
+		sum += r.Arc((i + w) % n)
+	}
+	return res, nil
+}
+
+// ExtremesResult reports the arc-length extremes: Theorem 8 says the
+// minimum arc is Theta(1/n^2); the cited Chord analysis says the maximum
+// arc is Theta(log n / n). The naive heuristic's bias ratio between the
+// most and least likely peer is MaxArc/MinArc = Theta(n log n).
+type ExtremesResult struct {
+	N            int
+	MinArcFrac   float64
+	MaxArcFrac   float64
+	MinScaled    float64 // MinArcFrac * n^2 (Theta(1) under Theorem 8)
+	MaxScaled    float64 // MaxArcFrac * n / ln n (Theta(1))
+	BiasRatio    float64 // MaxArcFrac / MinArcFrac
+	BiasVsNLogN  float64 // BiasRatio / (n ln n) (Theta(1))
+	MeanArcFrac  float64
+	ArcFractions []float64 // all arcs, for distribution plots
+}
+
+// Extremes computes the arc-length extreme statistics.
+func Extremes(r *ring.Ring) (ExtremesResult, error) {
+	n := r.Len()
+	if n < 2 {
+		return ExtremesResult{}, fmt.Errorf("arcs: extremes need >= 2 peers, got %d", n)
+	}
+	res := ExtremesResult{N: n, ArcFractions: make([]float64, 0, n)}
+	minArc, _ := r.MinArc()
+	maxArc, _ := r.MaxArc()
+	res.MinArcFrac = ring.UnitsToFrac(minArc)
+	res.MaxArcFrac = ring.UnitsToFrac(maxArc)
+	nf := float64(n)
+	res.MinScaled = res.MinArcFrac * nf * nf
+	res.MaxScaled = res.MaxArcFrac * nf / math.Log(nf)
+	res.BiasRatio = res.MaxArcFrac / res.MinArcFrac
+	res.BiasVsNLogN = res.BiasRatio / (nf * math.Log(nf))
+	var total float64
+	for i := 0; i < n; i++ {
+		frac := ring.UnitsToFrac(r.Arc(i))
+		res.ArcFractions = append(res.ArcFractions, frac)
+		total += frac
+	}
+	res.MeanArcFrac = total / nf
+	return res, nil
+}

@@ -1,0 +1,241 @@
+package arcs
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"github.com/dht-sampling/randompeer/internal/ring"
+)
+
+func genRing(t *testing.T, seed uint64, n int) *ring.Ring {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, seed*2+1))
+	r, err := ring.Generate(rng, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestCheckLemma1HoldsOnRandomRings(t *testing.T) {
+	t.Parallel()
+	// Lemma 1 holds w.h.p. (probability >= 1 - 1/n); across a handful of
+	// seeds at moderate n we expect zero violations.
+	for _, n := range []int{256, 1024, 4096} {
+		for seed := uint64(0); seed < 5; seed++ {
+			res, err := CheckLemma1(genRing(t, seed+uint64(n), n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Violations != 0 {
+				t.Errorf("n=%d seed=%d: %d violations (min=%.3f max=%.3f bounds=[%.3f, %.3f])",
+					n, seed, res.Violations, res.MinLogInv, res.MaxLogInv, res.LowerBound, res.UpperBound)
+			}
+			if res.MinLogInv < res.LowerBound {
+				t.Errorf("n=%d: MinLogInv below bound", n)
+			}
+		}
+	}
+}
+
+func TestCheckLemma1DetectsPathologicalRing(t *testing.T) {
+	t.Parallel()
+	// An adversarial ring with two peers separated by one unit has an
+	// arc of length ~1 unit: ln(1/arc) = 64 ln 2 >> 3 ln n for small n.
+	points := []ring.Point{0, 1, 1 << 32, 1 << 62, 1 << 63}
+	r, err := ring.New(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CheckLemma1(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violations == 0 {
+		t.Error("pathological ring should violate Lemma 1")
+	}
+}
+
+func TestCheckLemma1Errors(t *testing.T) {
+	t.Parallel()
+	r, err := ring.New([]ring.Point{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CheckLemma1(r); err == nil {
+		t.Error("single peer should fail")
+	}
+}
+
+func TestCheckLemma2HoldsOnRandomRings(t *testing.T) {
+	t.Parallel()
+	params := Lemma2Params{C: 8, Alpha1: 1, Alpha2: 3, Eps: 0.5}
+	for _, n := range []int{512, 2048} {
+		res, err := CheckLemma2(genRing(t, uint64(n)*7, n), params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Violations != 0 {
+			t.Errorf("n=%d: %d/%d anchors violated (len range [%.2e, %.2e] bounds [%.2e, %.2e])",
+				n, res.Violations, res.Checked, res.MinLenFrac, res.MaxLenFrac, res.LowerFrac, res.UpperFrac)
+		}
+		if res.Checked != n {
+			t.Errorf("n=%d: checked %d anchors, want %d", n, res.Checked, n)
+		}
+		if res.KLow > res.KHigh {
+			t.Errorf("n=%d: empty k range [%d, %d]", n, res.KLow, res.KHigh)
+		}
+	}
+}
+
+func TestCheckLemma2Validation(t *testing.T) {
+	t.Parallel()
+	r := genRing(t, 99, 64)
+	bad := []Lemma2Params{
+		{C: 0, Alpha1: 1, Alpha2: 2, Eps: 0.5},
+		{C: 1, Alpha1: 0, Alpha2: 2, Eps: 0.5},
+		{C: 1, Alpha1: 2, Alpha2: 1, Eps: 0.5},
+		{C: 1, Alpha1: 1, Alpha2: 2, Eps: 0},
+	}
+	for _, params := range bad {
+		if _, err := CheckLemma2(r, params); err == nil {
+			t.Errorf("params %+v should fail", params)
+		}
+	}
+	single, err := ring.New([]ring.Point{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CheckLemma2(single, Lemma2Params{C: 1, Alpha1: 1, Alpha2: 2, Eps: 0.5}); err == nil {
+		t.Error("single peer should fail")
+	}
+}
+
+func TestCheckLemma2VacuousWhenRangeEmpty(t *testing.T) {
+	t.Parallel()
+	// With a huge C the subject counts exceed n: vacuously satisfied.
+	r := genRing(t, 5, 32)
+	res, err := CheckLemma2(r, Lemma2Params{C: 1e6, Alpha1: 1, Alpha2: 2, Eps: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violations != 0 || res.Checked != 0 {
+		t.Errorf("vacuous case: %+v", res)
+	}
+}
+
+func TestCheckLemma4HoldsOnRandomRings(t *testing.T) {
+	t.Parallel()
+	for _, n := range []int{256, 1024, 4096} {
+		for seed := uint64(0); seed < 5; seed++ {
+			res, err := CheckLemma4(genRing(t, seed*31+uint64(n), n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Violations != 0 {
+				t.Errorf("n=%d seed=%d: %d window violations (min=%.3e threshold=%.3e)",
+					n, seed, res.Violations, res.MinSumFrac, res.Threshold)
+			}
+			if res.Window != int(math.Ceil(6*math.Log(float64(n)))) {
+				t.Errorf("n=%d: window = %d", n, res.Window)
+			}
+		}
+	}
+}
+
+func TestCheckLemma4SmallRingWindowClamped(t *testing.T) {
+	t.Parallel()
+	r := genRing(t, 3, 4) // 6 ln 4 > 4, so window clamps to n
+	res, err := CheckLemma4(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Window != 4 {
+		t.Errorf("window = %d, want clamped 4", res.Window)
+	}
+	// Window == n means every window sums to the full circle.
+	if res.MinSumFrac != 1 {
+		t.Errorf("MinSumFrac = %v, want 1", res.MinSumFrac)
+	}
+	if res.Violations != 0 {
+		t.Errorf("violations = %d", res.Violations)
+	}
+}
+
+func TestCheckLemma4Errors(t *testing.T) {
+	t.Parallel()
+	r, err := ring.New([]ring.Point{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CheckLemma4(r); err == nil {
+		t.Error("single peer should fail")
+	}
+}
+
+func TestExtremes(t *testing.T) {
+	t.Parallel()
+	r, err := ring.New([]ring.Point{0, 100, 1 << 63})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Extremes(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MinArcFrac != ring.UnitsToFrac(100) {
+		t.Errorf("MinArcFrac = %v", res.MinArcFrac)
+	}
+	if len(res.ArcFractions) != 3 {
+		t.Errorf("ArcFractions len = %d", len(res.ArcFractions))
+	}
+	// Arcs tile the circle: fractions sum to 1.
+	var sum float64
+	for _, f := range res.ArcFractions {
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("arc fractions sum to %v, want 1", sum)
+	}
+	if res.BiasRatio < 1 {
+		t.Errorf("BiasRatio = %v, must be >= 1", res.BiasRatio)
+	}
+}
+
+func TestExtremesScalingOnRandomRings(t *testing.T) {
+	t.Parallel()
+	// Theorem 8: min arc * n^2 should be Theta(1) — concretely, within a
+	// wide constant band across n. Max arc * n / ln n similarly.
+	for _, n := range []int{1024, 8192} {
+		const seeds = 10
+		var minScaled, maxScaled float64
+		for seed := uint64(0); seed < seeds; seed++ {
+			res, err := Extremes(genRing(t, seed*17+uint64(n), n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			minScaled += res.MinScaled
+			maxScaled += res.MaxScaled
+		}
+		minScaled /= seeds
+		maxScaled /= seeds
+		if minScaled < 0.01 || minScaled > 100 {
+			t.Errorf("n=%d: mean n^2*minArc = %v, outside Theta(1) band", n, minScaled)
+		}
+		if maxScaled < 0.3 || maxScaled > 10 {
+			t.Errorf("n=%d: mean (n/ln n)*maxArc = %v, outside Theta(1) band", n, maxScaled)
+		}
+	}
+}
+
+func TestExtremesErrors(t *testing.T) {
+	t.Parallel()
+	r, err := ring.New([]ring.Point{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Extremes(r); err == nil {
+		t.Error("single peer should fail")
+	}
+}

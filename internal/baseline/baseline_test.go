@@ -1,0 +1,261 @@
+package baseline
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"github.com/dht-sampling/randompeer/internal/dht"
+	"github.com/dht-sampling/randompeer/internal/ring"
+	"github.com/dht-sampling/randompeer/internal/stats"
+)
+
+func newOracle(t *testing.T, seed uint64, n int) *dht.Oracle {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, seed*3+1))
+	o, err := dht.GenerateOracle(rng, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestNaiveMatchesArcDistribution(t *testing.T) {
+	t.Parallel()
+	// The naive sampler's selection probability for peer i is exactly
+	// the fraction of the circle in the arc ending at its point.
+	const n = 32
+	o := newOracle(t, 5, n)
+	s := NewNaive(o, rand.New(rand.NewPCG(1, 1)))
+	const samples = 50000
+	counts := make([]int64, n)
+	for i := 0; i < samples; i++ {
+		p, err := s.Sample()
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[p.Owner]++
+	}
+	r := o.Ring()
+	for i := 0; i < n; i++ {
+		want := ring.UnitsToFrac(r.Arc(r.PrevIndex(i)))
+		got := float64(counts[i]) / samples
+		sigma := math.Sqrt(want*(1-want)/samples) + 1e-9
+		if math.Abs(got-want) > 5*sigma {
+			t.Errorf("peer %d: empirical %.5f vs arc %.5f", i, got, want)
+		}
+	}
+}
+
+func TestNaiveIsBiased(t *testing.T) {
+	t.Parallel()
+	// With enough samples the naive sampler must fail a chi-square
+	// uniformity test on a random ring — that is the paper's motivation.
+	const n = 64
+	o := newOracle(t, 11, n)
+	s := NewNaive(o, rand.New(rand.NewPCG(2, 2)))
+	counts := make([]int64, n)
+	for i := 0; i < 100*n; i++ {
+		p, err := s.Sample()
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[p.Owner]++
+	}
+	_, pvalue, err := stats.ChiSquareUniform(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pvalue > 1e-4 {
+		t.Errorf("naive sampler passed uniformity (p = %v); bias should be detectable", pvalue)
+	}
+}
+
+func TestNaiveName(t *testing.T) {
+	t.Parallel()
+	o := newOracle(t, 1, 8)
+	rng := rand.New(rand.NewPCG(1, 2))
+	if got := NewNaive(o, rng).Name(); got != "naive" {
+		t.Errorf("Name = %q", got)
+	}
+	if got := NewVirtualNaive(o, rng).Name(); got != "virtual-naive" {
+		t.Errorf("virtual Name = %q", got)
+	}
+}
+
+func TestVirtualNaiveReducesBias(t *testing.T) {
+	t.Parallel()
+	// Virtual nodes (log n points per peer) shrink the spread of
+	// per-owner hash space, so the TVD from uniform must drop.
+	const owners = 64
+	rng := rand.New(rand.NewPCG(21, 22))
+	plain, err := dht.GenerateOracle(rng, owners)
+	if err != nil {
+		t.Fatal(err)
+	}
+	virt, err := dht.NewVirtualOracle(rng, owners, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tvd := func(d dht.DHT, seed uint64) float64 {
+		s := NewNaive(d, rand.New(rand.NewPCG(seed, seed)))
+		counts := make([]int64, owners)
+		for i := 0; i < 200*owners; i++ {
+			p, err := s.Sample()
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts[p.Owner]++
+		}
+		v, err := stats.TotalVariationUniform(counts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	plainTVD := tvd(plain, 7)
+	virtTVD := tvd(virt, 8)
+	if virtTVD >= plainTVD {
+		t.Errorf("virtual nodes did not reduce bias: plain TVD %.4f, virtual TVD %.4f", plainTVD, virtTVD)
+	}
+}
+
+func TestWalkVisitsAllPeers(t *testing.T) {
+	t.Parallel()
+	const n = 32
+	o := newOracle(t, 31, n)
+	g := NewOracleGraph(o)
+	start := o.PeerByIndex(0)
+	w, err := NewWalk(o, g, start, 3*int(math.Log2(n)), rand.New(rand.NewPCG(3, 3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool, n)
+	for i := 0; i < 200*n; i++ {
+		p, err := w.Sample()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Owner < 0 || p.Owner >= n {
+			t.Fatalf("owner %d out of range", p.Owner)
+		}
+		seen[p.Owner] = true
+	}
+	if len(seen) != n {
+		t.Errorf("walk reached %d/%d peers", len(seen), n)
+	}
+}
+
+func TestWalkLongerIsCloserToUniform(t *testing.T) {
+	t.Parallel()
+	// TVD from uniform should shrink as walks lengthen (mixing).
+	const n = 64
+	o := newOracle(t, 41, n)
+	g := NewOracleGraph(o)
+	start := o.PeerByIndex(0)
+	tvdFor := func(steps int, seed uint64) float64 {
+		w, err := NewWalk(o, g, start, steps, rand.New(rand.NewPCG(seed, seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make([]int64, n)
+		for i := 0; i < 100*n; i++ {
+			p, err := w.Sample()
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts[p.Owner]++
+		}
+		v, err := stats.TotalVariationUniform(counts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	short := tvdFor(1, 5)
+	long := tvdFor(20, 6)
+	if long >= short {
+		t.Errorf("longer walks did not mix better: 1 step TVD %.4f, 20 steps TVD %.4f", short, long)
+	}
+}
+
+func TestWalkCostCharged(t *testing.T) {
+	t.Parallel()
+	const n = 64
+	o := newOracle(t, 51, n)
+	g := NewOracleGraph(o)
+	w, err := NewWalk(o, g, o.PeerByIndex(0), 10, rand.New(rand.NewPCG(4, 4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := o.Meter().Snapshot()
+	if _, err := w.Sample(); err != nil {
+		t.Fatal(err)
+	}
+	cost := o.Meter().Snapshot().Sub(before)
+	if cost.Calls != 10 {
+		t.Errorf("walk of 10 steps charged %d calls, want 10", cost.Calls)
+	}
+}
+
+func TestWalkValidation(t *testing.T) {
+	t.Parallel()
+	o := newOracle(t, 61, 8)
+	g := NewOracleGraph(o)
+	if _, err := NewWalk(o, g, o.PeerByIndex(0), 0, rand.New(rand.NewPCG(5, 5))); err == nil {
+		t.Error("zero steps should fail")
+	}
+	if got := mustWalk(t, o, g).Name(); got != "walk-4" {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+func mustWalk(t *testing.T, o *dht.Oracle, g Graph) *Walk {
+	t.Helper()
+	w, err := NewWalk(o, g, o.PeerByIndex(0), 4, rand.New(rand.NewPCG(6, 6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestOracleGraphNeighbors(t *testing.T) {
+	t.Parallel()
+	const n = 128
+	o := newOracle(t, 71, n)
+	g := NewOracleGraph(o)
+	nbrs, err := g.Neighbors(o.PeerByIndex(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nbrs) < 5 {
+		t.Errorf("got %d neighbors, expected around log2(n)", len(nbrs))
+	}
+	seen := make(map[int]bool, len(nbrs))
+	for _, p := range nbrs {
+		if p.Owner == 0 {
+			t.Error("self in neighbor list")
+		}
+		if seen[p.Owner] {
+			t.Errorf("duplicate neighbor %d", p.Owner)
+		}
+		seen[p.Owner] = true
+	}
+	if _, err := g.Neighbors(dht.Peer{Point: 999}); err == nil {
+		t.Error("unknown peer should fail")
+	}
+}
+
+func TestNetworkGraph(t *testing.T) {
+	t.Parallel()
+	o := newOracle(t, 81, 16)
+	inner := NewOracleGraph(o)
+	g := NewNetworkGraph(inner.Neighbors)
+	nbrs, err := g.Neighbors(o.PeerByIndex(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nbrs) == 0 {
+		t.Error("no neighbors through adapter")
+	}
+}

@@ -1,0 +1,83 @@
+package baseline
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+
+	"github.com/dht-sampling/randompeer/internal/dht"
+)
+
+// MetropolisWalk addresses the paper's second open problem — random
+// peer selection in networks with less structure than a DHT — with the
+// classic degree-corrected random walk: from u, propose a uniform
+// neighbor v and move there with probability min(1, deg(u)/deg(v)),
+// otherwise stay. The walk's stationary distribution is exactly uniform
+// on any connected non-bipartite *undirected* graph, unlike the plain
+// walk whose stationary distribution is proportional to degree. The
+// supplied Graph must be symmetric (use NewUndirectedOracleGraph for the
+// Chord overlay); on a directed graph no such guarantee holds.
+//
+// Each step costs two RPCs (fetch the proposal's neighbor count, then
+// move), charged to the DHT's meter. The result is approximate —
+// accuracy depends on the mixing time — but it needs no ring structure
+// at all, only neighbor lists.
+type MetropolisWalk struct {
+	g     Graph
+	d     dht.DHT
+	start dht.Peer
+	steps int
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+var _ dht.Sampler = (*MetropolisWalk)(nil)
+
+// NewMetropolisWalk builds a Metropolis-Hastings walk sampler taking
+// the given number of steps per sample.
+func NewMetropolisWalk(d dht.DHT, g Graph, start dht.Peer, steps int, rng *rand.Rand) (*MetropolisWalk, error) {
+	if steps < 1 {
+		return nil, fmt.Errorf("baseline: metropolis walk length must be >= 1, got %d", steps)
+	}
+	return &MetropolisWalk{g: g, d: d, start: start, steps: steps, rng: rng}, nil
+}
+
+// Sample implements dht.Sampler.
+func (s *MetropolisWalk) Sample() (dht.Peer, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.start
+	curNbrs, err := s.g.Neighbors(cur)
+	if err != nil {
+		return dht.Peer{}, fmt.Errorf("baseline: metropolis start: %w", err)
+	}
+	for i := 0; i < s.steps; i++ {
+		if len(curNbrs) == 0 {
+			return dht.Peer{}, fmt.Errorf("baseline: metropolis walk stranded at %v", cur.Point)
+		}
+		proposal := curNbrs[s.rng.IntN(len(curNbrs))]
+		propNbrs, err := s.g.Neighbors(proposal)
+		if err != nil {
+			return dht.Peer{}, fmt.Errorf("baseline: metropolis step %d at %v: %w", i, proposal.Point, err)
+		}
+		// One RPC to learn the proposal's degree, one to move (or the
+		// equivalent single probe when the move is rejected).
+		s.d.Meter().Charge(2, 4)
+		if len(propNbrs) == 0 {
+			continue // never step into a dead end
+		}
+		accept := float64(len(curNbrs)) / float64(len(propNbrs))
+		if accept >= 1 || s.rng.Float64() < accept {
+			cur = proposal
+			curNbrs = propNbrs
+		}
+	}
+	return cur, nil
+}
+
+// Name implements dht.Sampler.
+func (s *MetropolisWalk) Name() string { return fmt.Sprintf("mh-walk-%d", s.steps) }
+
+// Steps returns the per-sample walk length.
+func (s *MetropolisWalk) Steps() int { return s.steps }

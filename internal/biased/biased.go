@@ -1,0 +1,151 @@
+// Package biased implements the third open problem of King & Saia's
+// paper: choosing a peer with a specifically biased probability (their
+// example: probability inversely proportional to clockwise distance
+// from the caller). The construction is rejection sampling on top of
+// the uniform sampler: draw a uniform peer p, accept it with
+// probability weight(p)/maxWeight, repeat otherwise.
+//
+// Correctness is immediate: conditioned on acceptance, p is chosen with
+// probability proportional to weight(p). The expected number of uniform
+// draws per biased sample is maxWeight divided by the mean weight, so
+// cost degrades gracefully with the dynamic range of the weights. This
+// keeps the paper's exactness guarantee — the only distributional
+// primitive is the provably uniform sampler.
+package biased
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sync"
+
+	"github.com/dht-sampling/randompeer/internal/dht"
+	"github.com/dht-sampling/randompeer/internal/ring"
+)
+
+// WeightFunc assigns a relative selection weight to a peer. Weights
+// must be in [0, maxWeight] and finite; a zero weight excludes the peer.
+type WeightFunc func(p dht.Peer) float64
+
+// Sampler chooses peers with probability proportional to a weight
+// function. It is safe for concurrent use if the underlying uniform
+// sampler is.
+type Sampler struct {
+	uniform   dht.Sampler
+	weight    WeightFunc
+	maxWeight float64
+	maxDraws  int
+	name      string
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	draws   int64
+	samples int64
+}
+
+var _ dht.Sampler = (*Sampler)(nil)
+
+// New builds a biased sampler over a uniform one. maxWeight must upper-
+// bound the weight function; maxDraws caps the rejection loop (default
+// 65536).
+func New(uniform dht.Sampler, weight WeightFunc, maxWeight float64, rng *rand.Rand) (*Sampler, error) {
+	if uniform == nil {
+		return nil, fmt.Errorf("biased: nil uniform sampler")
+	}
+	if weight == nil {
+		return nil, fmt.Errorf("biased: nil weight function")
+	}
+	if maxWeight <= 0 || math.IsInf(maxWeight, 0) || math.IsNaN(maxWeight) {
+		return nil, fmt.Errorf("biased: max weight must be positive and finite, got %v", maxWeight)
+	}
+	return &Sampler{
+		uniform:   uniform,
+		weight:    weight,
+		maxWeight: maxWeight,
+		maxDraws:  65536,
+		name:      "biased",
+		rng:       rng,
+	}, nil
+}
+
+// Name implements dht.Sampler.
+func (s *Sampler) Name() string { return s.name }
+
+// Sample implements dht.Sampler.
+func (s *Sampler) Sample() (dht.Peer, error) {
+	for draw := 1; draw <= s.maxDraws; draw++ {
+		p, err := s.uniform.Sample()
+		if err != nil {
+			return dht.Peer{}, fmt.Errorf("biased: uniform draw %d: %w", draw, err)
+		}
+		w := s.weight(p)
+		if w < 0 || w > s.maxWeight || math.IsNaN(w) {
+			return dht.Peer{}, fmt.Errorf("biased: weight %v for peer %d outside [0, %v]", w, p.Owner, s.maxWeight)
+		}
+		s.mu.Lock()
+		accept := s.rng.Float64()*s.maxWeight < w
+		if accept {
+			s.draws += int64(draw)
+			s.samples++
+		}
+		s.mu.Unlock()
+		if accept {
+			return p, nil
+		}
+	}
+	return dht.Peer{}, fmt.Errorf("biased: no acceptance in %d uniform draws (weights too sparse?)", s.maxDraws)
+}
+
+// MeanDraws reports the observed mean number of uniform draws per
+// accepted sample.
+func (s *Sampler) MeanDraws() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.samples == 0 {
+		return 0
+	}
+	return float64(s.draws) / float64(s.samples)
+}
+
+// InverseDistance returns the paper's example bias: weight inversely
+// proportional to the clockwise distance from the caller to the peer,
+// clamped so the nearest peers do not dominate unboundedly. floorFrac
+// is the distance (as a fraction of the circle) below which the weight
+// saturates; the corresponding max weight is 1/floorFrac.
+//
+// Use with New(uniform, w, maxW, rng) where w, maxW = InverseDistance(...).
+func InverseDistance(caller dht.Peer, floorFrac float64) (WeightFunc, float64, error) {
+	if floorFrac <= 0 || floorFrac >= 1 {
+		return nil, 0, fmt.Errorf("biased: floor fraction %v outside (0, 1)", floorFrac)
+	}
+	maxWeight := 1 / floorFrac
+	w := func(p dht.Peer) float64 {
+		d := ring.UnitsToFrac(ring.Distance(caller.Point, p.Point))
+		if d < floorFrac {
+			return maxWeight
+		}
+		return 1 / d
+	}
+	return w, maxWeight, nil
+}
+
+// Step returns a two-level weight function: weight high for peers whose
+// owner satisfies pred and low otherwise — the "sample mostly from a
+// subset, but keep everyone reachable" pattern used by stratified data
+// collection.
+func Step(pred func(owner int) bool, high, low float64) (WeightFunc, float64, error) {
+	if pred == nil {
+		return nil, 0, fmt.Errorf("biased: nil predicate")
+	}
+	if high <= 0 || low < 0 || low > high {
+		return nil, 0, fmt.Errorf("biased: need 0 <= low <= high and high > 0, got low=%v high=%v", low, high)
+	}
+	w := func(p dht.Peer) float64 {
+		if pred(p.Owner) {
+			return high
+		}
+		return low
+	}
+	return w, high, nil
+}

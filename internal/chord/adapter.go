@@ -1,0 +1,120 @@
+package chord
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/dht-sampling/randompeer/internal/dht"
+	"github.com/dht-sampling/randompeer/internal/ring"
+	"github.com/dht-sampling/randompeer/internal/simnet"
+)
+
+// DHT adapts a Chord network, viewed from one caller node, to the
+// paper's abstract DHT model: H is a routed Chord lookup (O(log n) RPCs
+// counted on the transport meter) and Next is one get-successor RPC.
+type DHT struct {
+	net    *Network
+	caller ring.Point
+
+	mu     sync.RWMutex
+	owners map[ring.Point]int // sorted-rank owner indices for tallying
+	size   int
+}
+
+var _ dht.DHT = (*DHT)(nil)
+
+// AsDHT returns the network viewed from the given caller node. The owner
+// index of each peer is its rank in the current sorted membership; call
+// RefreshOwners after churn to re-derive it.
+func (n *Network) AsDHT(caller ring.Point) (*DHT, error) {
+	if _, err := n.Node(caller); err != nil {
+		return nil, err
+	}
+	d := &DHT{net: n, caller: caller}
+	d.RefreshOwners()
+	return d, nil
+}
+
+// RefreshOwners re-derives the owner index mapping from the current
+// membership (global knowledge used only for experiment tallying, never
+// by the protocol or the samplers).
+func (d *DHT) RefreshOwners() {
+	members := d.net.Members()
+	owners := make(map[ring.Point]int, len(members))
+	for i, id := range members {
+		owners[id] = i
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.owners = owners
+	d.size = len(members)
+}
+
+// Self returns the caller as a peer.
+func (d *DHT) Self() dht.Peer { return d.peerOf(d.caller) }
+
+// H implements dht.DHT via an iterative Chord lookup.
+func (d *DHT) H(x ring.Point) (dht.Peer, error) {
+	succ, err := d.net.Lookup(d.caller, x)
+	if err != nil {
+		return dht.Peer{}, fmt.Errorf("chord dht: h(%v): %w", x, err)
+	}
+	return d.peerOf(succ), nil
+}
+
+// Next implements dht.DHT via one get-successor RPC to p.
+func (d *DHT) Next(p dht.Peer) (dht.Peer, error) {
+	succ, err := d.net.Successor(d.caller, p.Point)
+	if err != nil {
+		return dht.Peer{}, fmt.Errorf("chord dht: next(%v): %w", p.Point, err)
+	}
+	return d.peerOf(succ), nil
+}
+
+// Size implements dht.DHT.
+func (d *DHT) Size() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.size
+}
+
+// Owners implements dht.DHT. Chord has one point per peer.
+func (d *DHT) Owners() int { return d.Size() }
+
+// Meter implements dht.DHT.
+func (d *DHT) Meter() *simnet.Meter { return d.net.Meter() }
+
+func (d *DHT) peerOf(id ring.Point) dht.Peer {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	owner, ok := d.owners[id]
+	if !ok {
+		owner = -1
+	}
+	return dht.Peer{Point: id, Owner: owner}
+}
+
+// NeighborsOf returns the overlay neighbors (successor list plus set
+// fingers) of the node at p, as peers. Random-walk samplers traverse
+// these edges; the per-step RPC cost is charged by the walker.
+func (d *DHT) NeighborsOf(p dht.Peer) ([]dht.Peer, error) {
+	nd, err := d.net.Node(p.Point)
+	if err != nil {
+		return nil, fmt.Errorf("chord dht: neighbors of %v: %w", p.Point, err)
+	}
+	points := nd.Neighbors()
+	out := make([]dht.Peer, len(points))
+	for i, pt := range points {
+		out[i] = d.peerOf(pt)
+	}
+	return out, nil
+}
+
+// SortedPoints returns the current live membership in ring order, which
+// doubles as the owner-index order used by peerOf.
+func (d *DHT) SortedPoints() []ring.Point {
+	members := d.net.Members()
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	return members
+}

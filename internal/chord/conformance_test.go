@@ -1,0 +1,25 @@
+package chord_test
+
+import (
+	"testing"
+
+	"github.com/dht-sampling/randompeer/internal/chord"
+	"github.com/dht-sampling/randompeer/internal/dht"
+	"github.com/dht-sampling/randompeer/internal/dht/dhttest"
+	"github.com/dht-sampling/randompeer/internal/ring"
+	"github.com/dht-sampling/randompeer/internal/simnet"
+)
+
+// TestChordConformance runs the shared DHT conformance suite against
+// the real Chord network, proving the sampler-facing contract holds on
+// the full protocol, not only on the oracle.
+func TestChordConformance(t *testing.T) {
+	t.Parallel()
+	dhttest.Run(t, "chord", func(points []ring.Point) (dht.DHT, error) {
+		net, err := chord.BuildStatic(chord.Config{}, simnet.NewDirect(), points)
+		if err != nil {
+			return nil, err
+		}
+		return net.AsDHT(points[0])
+	})
+}

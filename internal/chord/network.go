@@ -1,0 +1,456 @@
+package chord
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/dht-sampling/randompeer/internal/ring"
+	"github.com/dht-sampling/randompeer/internal/simnet"
+)
+
+// Config parameterizes a Chord network.
+type Config struct {
+	// SuccListLen is the successor-list length r; Chord remains connected
+	// w.h.p. while fewer than r consecutive successors fail between
+	// stabilization rounds. Default 8.
+	SuccListLen int
+	// MaxLookupHops aborts lookups that fail to converge (possible only
+	// while the ring is badly damaged). Default 256.
+	MaxLookupHops int
+	// DisableFingers turns off finger tables: routing falls back to
+	// successor lists, making lookups Theta(n/SuccListLen) hops. This
+	// models a minimal ring-only DHT and demonstrates Theorem 7's t_h
+	// dependence — the sampler inherits whatever lookup cost the DHT
+	// has. Set MaxLookupHops accordingly.
+	DisableFingers bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.SuccListLen <= 0 {
+		c.SuccListLen = 8
+	}
+	if c.MaxLookupHops <= 0 {
+		c.MaxLookupHops = 256
+	}
+	return c
+}
+
+// Network is a collection of Chord nodes sharing one simulated transport.
+type Network struct {
+	cfg Config
+	tr  simnet.Transport
+
+	mu    sync.RWMutex
+	nodes map[ring.Point]*Node
+}
+
+// Chord error conditions.
+var (
+	ErrNodeExists    = errors.New("chord: node already exists")
+	ErrNodeNotFound  = errors.New("chord: node not found")
+	ErrLookupAborted = errors.New("chord: lookup aborted")
+	ErrEmptyNetwork  = errors.New("chord: network has no live nodes")
+)
+
+// NewNetwork creates an empty Chord network over the given transport.
+func NewNetwork(cfg Config, tr simnet.Transport) *Network {
+	return &Network{
+		cfg:   cfg.withDefaults(),
+		tr:    tr,
+		nodes: make(map[ring.Point]*Node),
+	}
+}
+
+// Transport returns the underlying transport (for meters and faults).
+func (n *Network) Transport() simnet.Transport { return n.tr }
+
+// Meter returns the transport's cost meter.
+func (n *Network) Meter() *simnet.Meter { return n.tr.Meter() }
+
+// Node returns the node with the given id.
+func (n *Network) Node(id ring.Point) (*Node, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	nd, ok := n.nodes[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrNodeNotFound, id)
+	}
+	return nd, nil
+}
+
+// Members returns the ids of all live nodes in sorted order.
+func (n *Network) Members() []ring.Point {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]ring.Point, 0, len(n.nodes))
+	for id, nd := range n.nodes {
+		if nd.Alive() {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NumAlive returns the number of live nodes.
+func (n *Network) NumAlive() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	count := 0
+	for _, nd := range n.nodes {
+		if nd.Alive() {
+			count++
+		}
+	}
+	return count
+}
+
+// Create starts the first node of a fresh ring.
+func (n *Network) Create(id ring.Point) (*Node, error) {
+	nd, err := n.addNode(id)
+	if err != nil {
+		return nil, err
+	}
+	return nd, nil
+}
+
+// Join adds a node to the ring through the existing node via, per the
+// Chord join protocol: resolve the new node's successor with a lookup,
+// adopt its successor list, and let stabilization integrate the rest.
+func (n *Network) Join(id, via ring.Point) (*Node, error) {
+	n.mu.RLock()
+	_, exists := n.nodes[id]
+	n.mu.RUnlock()
+	if exists {
+		return nil, fmt.Errorf("%w: %v", ErrNodeExists, id)
+	}
+	succ, err := n.Lookup(via, id)
+	if err != nil {
+		return nil, fmt.Errorf("chord: join of %v via %v: %w", id, via, err)
+	}
+	nd, err := n.addNode(id)
+	if err != nil {
+		return nil, err
+	}
+	var tail []ring.Point
+	if resp, err := n.call(id, succ, succListReq{}); err == nil {
+		tail = resp.(succListResp).List
+	}
+	nd.setSuccessors(succ, tail)
+	// Announce ourselves; the successor adopts us as predecessor if we
+	// are closer than its current one.
+	if _, err := n.call(id, succ, notifyReq{Candidate: id}); err != nil {
+		// The successor crashed between lookup and notify; stabilization
+		// will repair via the successor list.
+		nd.advanceSuccessor(succ)
+	}
+	return nd, nil
+}
+
+// Crash removes a node abruptly: its handler is deregistered and every
+// RPC to it fails until other nodes route around it via successor lists
+// and stabilization.
+func (n *Network) Crash(id ring.Point) error {
+	n.mu.Lock()
+	nd, ok := n.nodes[id]
+	if ok {
+		delete(n.nodes, id)
+	}
+	n.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrNodeNotFound, id)
+	}
+	nd.mu.Lock()
+	nd.alive = false
+	nd.mu.Unlock()
+	n.tr.Deregister(simnet.NodeID(id))
+	return nil
+}
+
+// addNode constructs, registers and records a node.
+func (n *Network) addNode(id ring.Point) (*Node, error) {
+	nd := &Node{id: id, net: n, succs: []ring.Point{id}, alive: true}
+	if err := n.tr.Register(simnet.NodeID(id), nd.handle); err != nil {
+		return nil, fmt.Errorf("chord: registering node %v: %w", id, err)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, exists := n.nodes[id]; exists {
+		n.tr.Deregister(simnet.NodeID(id))
+		return nil, fmt.Errorf("%w: %v", ErrNodeExists, id)
+	}
+	n.nodes[id] = nd
+	return nd, nil
+}
+
+// call performs one RPC through the transport.
+func (n *Network) call(from, to ring.Point, msg simnet.Message) (simnet.Message, error) {
+	return n.tr.Call(simnet.NodeID(from), simnet.NodeID(to), msg)
+}
+
+// Lookup resolves the successor of key, initiated at node from, using
+// iterative finger-table routing. The first routing step executes
+// locally at the initiator (no RPC), subsequent steps cost one RPC each;
+// with correct fingers the total is O(log n) RPCs.
+func (n *Network) Lookup(from, key ring.Point) (ring.Point, error) {
+	initiator, err := n.Node(from)
+	if err != nil {
+		return 0, err
+	}
+	var (
+		resp   nextHopResp
+		backup []ring.Point
+	)
+	resp = initiator.handleNextHop(nextHopReq{Key: key})
+	for hop := 0; hop < n.cfg.MaxLookupHops; hop++ {
+		if resp.Done {
+			return resp.Succ, nil
+		}
+		if len(resp.Candidates) == 0 {
+			return 0, fmt.Errorf("%w: no route toward %v", ErrLookupAborted, key)
+		}
+		backup = append(backup[:0], resp.Candidates[1:]...)
+		cur := resp.Candidates[0]
+		for {
+			raw, err := n.call(from, cur, nextHopReq{Key: key})
+			if err == nil {
+				resp = raw.(nextHopResp)
+				break
+			}
+			initiator.invalidateFingersTo(cur)
+			if len(backup) == 0 {
+				return 0, fmt.Errorf("%w: all routes toward %v failed: %v", ErrLookupAborted, key, err)
+			}
+			cur, backup = backup[0], backup[1:]
+		}
+	}
+	return 0, fmt.Errorf("%w: exceeded %d hops toward %v", ErrLookupAborted, n.cfg.MaxLookupHops, key)
+}
+
+// Successor returns the immediate successor of node id by asking it (one
+// RPC), which is the paper's next(p) primitive.
+func (n *Network) Successor(from, of ring.Point) (ring.Point, error) {
+	raw, err := n.call(from, of, getSuccessorReq{})
+	if err != nil {
+		return 0, fmt.Errorf("chord: successor of %v: %w", of, err)
+	}
+	return raw.(pointResp).P, nil
+}
+
+// StabilizeNode runs one stabilize + notify round for node id, repairing
+// its successor pointer and refreshing its successor list.
+func (n *Network) StabilizeNode(id ring.Point) error {
+	nd, err := n.Node(id)
+	if err != nil {
+		return err
+	}
+	succ := nd.Successor()
+	if succ == id {
+		// Lost all successors: try to rejoin through any other live node.
+		if other, ok := n.anyOtherNode(id); ok {
+			if target, err := n.Lookup(other, id); err == nil && target != id {
+				nd.setSuccessors(target, nil)
+				succ = target
+			}
+		}
+	}
+	raw, err := n.call(id, succ, getPredecessorReq{})
+	if err != nil {
+		nd.advanceSuccessor(succ)
+		nd.invalidateFingersTo(succ)
+		return nil // repaired; next round continues
+	}
+	if pr := raw.(pointResp); pr.Has && betweenExcl(id, succ, pr.P) {
+		// The successor knows a node between us: adopt it if reachable.
+		if _, err := n.call(id, pr.P, pingReq{}); err == nil {
+			succ = pr.P
+		}
+	}
+	var tail []ring.Point
+	if raw, err := n.call(id, succ, succListReq{}); err == nil {
+		tail = raw.(succListResp).List
+	} else {
+		nd.advanceSuccessor(succ)
+		return nil
+	}
+	nd.setSuccessors(succ, tail)
+	if _, err := n.call(id, succ, notifyReq{Candidate: id}); err != nil {
+		nd.advanceSuccessor(succ)
+	}
+	return nil
+}
+
+// FixFinger refreshes one finger of node id (cycling through indices).
+// It is a no-op on finger-disabled networks.
+func (n *Network) FixFinger(id ring.Point) error {
+	if n.cfg.DisableFingers {
+		return nil
+	}
+	nd, err := n.Node(id)
+	if err != nil {
+		return err
+	}
+	nd.mu.Lock()
+	k := nd.next
+	nd.next = (nd.next + 1) % idBits
+	nd.mu.Unlock()
+	target, err := n.Lookup(id, nd.fingerStart(k))
+	if err != nil {
+		return nil // ring damaged; retry on a later round
+	}
+	nd.setFinger(k, target)
+	return nil
+}
+
+// CheckPredecessor probes node id's predecessor and clears it if dead.
+func (n *Network) CheckPredecessor(id ring.Point) error {
+	nd, err := n.Node(id)
+	if err != nil {
+		return err
+	}
+	pred, has := nd.Predecessor()
+	if !has {
+		return nil
+	}
+	if _, err := n.call(id, pred, pingReq{}); err != nil {
+		nd.clearPredecessor()
+	}
+	return nil
+}
+
+// RunMaintenance executes the given number of synchronous maintenance
+// rounds. In each round every live node (in sorted order, for
+// determinism) stabilizes, checks its predecessor, and fixes
+// fingersPerRound fingers. Enough rounds after churn restore a perfect
+// ring; tests assert this invariant via VerifyRing.
+func (n *Network) RunMaintenance(rounds, fingersPerRound int) {
+	for r := 0; r < rounds; r++ {
+		for _, id := range n.Members() {
+			// Ignore per-node errors: nodes may crash mid-round; the
+			// surviving nodes keep repairing.
+			_ = n.StabilizeNode(id)
+			_ = n.CheckPredecessor(id)
+			for f := 0; f < fingersPerRound; f++ {
+				_ = n.FixFinger(id)
+			}
+		}
+	}
+}
+
+// anyOtherNode returns a live node other than id, if one exists.
+func (n *Network) anyOtherNode(id ring.Point) (ring.Point, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	for other, nd := range n.nodes {
+		if other != id && nd.Alive() {
+			return other, true
+		}
+	}
+	return 0, false
+}
+
+// BuildStatic constructs a fully stabilized ring over the given points in
+// one step: successors, predecessors, successor lists and all fingers are
+// computed directly. It is the starting state for experiments that study
+// the sampler rather than ring convergence.
+func BuildStatic(cfg Config, tr simnet.Transport, points []ring.Point) (*Network, error) {
+	r, err := ring.New(points)
+	if err != nil {
+		return nil, fmt.Errorf("chord: building static ring: %w", err)
+	}
+	n := NewNetwork(cfg, tr)
+	nodes := make([]*Node, r.Len())
+	for i := 0; i < r.Len(); i++ {
+		nd, err := n.addNode(r.At(i))
+		if err != nil {
+			return nil, err
+		}
+		nodes[i] = nd
+	}
+	for i, nd := range nodes {
+		tail := make([]ring.Point, 0, n.cfg.SuccListLen-1)
+		for k := 2; k <= n.cfg.SuccListLen && k < r.Len(); k++ {
+			tail = append(tail, r.At((i+k)%r.Len()))
+		}
+		nd.setSuccessors(r.At(r.NextIndex(i)), tail)
+		nd.mu.Lock()
+		nd.pred = r.At(r.PrevIndex(i))
+		nd.hasPred = r.Len() > 1
+		if !n.cfg.DisableFingers {
+			for k := 0; k < idBits; k++ {
+				nd.fingers[k] = r.At(r.Successor(nd.fingerStart(k)))
+				nd.fingOK[k] = true
+			}
+		}
+		nd.mu.Unlock()
+	}
+	return n, nil
+}
+
+// VerifyFingers checks every live node's set fingers against the
+// current membership: finger k must point at the live successor of
+// id + 2^k. Unset fingers are ignored (they only cost lookup hops, not
+// correctness). It returns nil when every set finger is correct, which
+// is the state RunMaintenance converges to once every node has cycled
+// through all 64 fingers.
+func (n *Network) VerifyFingers() error {
+	members := n.Members()
+	if len(members) == 0 {
+		return ErrEmptyNetwork
+	}
+	r, err := ring.New(members)
+	if err != nil {
+		return err
+	}
+	for _, id := range members {
+		nd, err := n.Node(id)
+		if err != nil {
+			return err
+		}
+		for k := 0; k < idBits; k++ {
+			finger, ok := nd.Finger(k)
+			if !ok {
+				continue
+			}
+			want := r.At(r.Successor(nd.fingerStart(k)))
+			if finger != want {
+				return fmt.Errorf("chord: node %v finger %d = %v, want %v", id, k, finger, want)
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyRing checks global ring consistency: following successor
+// pointers from the smallest live node must visit every live node
+// exactly once in sorted order, and each predecessor must match. It
+// returns nil when the ring is perfect.
+func (n *Network) VerifyRing() error {
+	members := n.Members()
+	if len(members) == 0 {
+		return ErrEmptyNetwork
+	}
+	for i, id := range members {
+		nd, err := n.Node(id)
+		if err != nil {
+			return err
+		}
+		wantSucc := members[(i+1)%len(members)]
+		if got := nd.Successor(); got != wantSucc {
+			return fmt.Errorf("chord: node %v successor = %v, want %v", id, got, wantSucc)
+		}
+		if len(members) > 1 {
+			wantPred := members[(i-1+len(members))%len(members)]
+			pred, has := nd.Predecessor()
+			if !has {
+				return fmt.Errorf("chord: node %v has no predecessor", id)
+			}
+			if pred != wantPred {
+				return fmt.Errorf("chord: node %v predecessor = %v, want %v", id, pred, wantPred)
+			}
+		}
+	}
+	return nil
+}

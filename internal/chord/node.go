@@ -1,0 +1,264 @@
+package chord
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/dht-sampling/randompeer/internal/ring"
+	"github.com/dht-sampling/randompeer/internal/simnet"
+)
+
+// idBits is the identifier width; the ring has 2^64 positions.
+const idBits = 64
+
+// Node is one Chord peer. All exported accessors and the RPC handler are
+// safe for concurrent use; the node's mutex is never held across an RPC.
+type Node struct {
+	id  ring.Point
+	net *Network
+
+	mu      sync.RWMutex
+	pred    ring.Point
+	hasPred bool
+	succs   []ring.Point // succs[0] is the immediate successor; never empty
+	fingers [idBits]ring.Point
+	fingOK  [idBits]bool
+	next    int // next finger index to fix
+	alive   bool
+	store   map[ring.Point][]byte // key/value items (primaries + replicas)
+}
+
+// ID returns the node's identifier (its peer point).
+func (nd *Node) ID() ring.Point { return nd.id }
+
+// Successor returns the node's immediate successor.
+func (nd *Node) Successor() ring.Point {
+	nd.mu.RLock()
+	defer nd.mu.RUnlock()
+	return nd.succs[0]
+}
+
+// Predecessor returns the node's predecessor, if known.
+func (nd *Node) Predecessor() (ring.Point, bool) {
+	nd.mu.RLock()
+	defer nd.mu.RUnlock()
+	return nd.pred, nd.hasPred
+}
+
+// SuccessorList returns a copy of the node's successor list.
+func (nd *Node) SuccessorList() []ring.Point {
+	nd.mu.RLock()
+	defer nd.mu.RUnlock()
+	out := make([]ring.Point, len(nd.succs))
+	copy(out, nd.succs)
+	return out
+}
+
+// Finger returns finger k (the node believed to succeed id + 2^k), if set.
+func (nd *Node) Finger(k int) (ring.Point, bool) {
+	nd.mu.RLock()
+	defer nd.mu.RUnlock()
+	if k < 0 || k >= idBits {
+		return 0, false
+	}
+	return nd.fingers[k], nd.fingOK[k]
+}
+
+// Alive reports whether the node is participating in the network.
+func (nd *Node) Alive() bool {
+	nd.mu.RLock()
+	defer nd.mu.RUnlock()
+	return nd.alive
+}
+
+// Neighbors returns the node's distinct outgoing overlay edges: its
+// successor list and set fingers. This is the graph random-walk samplers
+// traverse.
+func (nd *Node) Neighbors() []ring.Point {
+	nd.mu.RLock()
+	defer nd.mu.RUnlock()
+	seen := make(map[ring.Point]struct{}, len(nd.succs)+idBits)
+	out := make([]ring.Point, 0, len(nd.succs)+idBits)
+	add := func(p ring.Point) {
+		if p == nd.id {
+			return
+		}
+		if _, dup := seen[p]; dup {
+			return
+		}
+		seen[p] = struct{}{}
+		out = append(out, p)
+	}
+	for _, s := range nd.succs {
+		add(s)
+	}
+	for k := 0; k < idBits; k++ {
+		if nd.fingOK[k] {
+			add(nd.fingers[k])
+		}
+	}
+	return out
+}
+
+// handle dispatches one RPC. It is registered with the transport.
+func (nd *Node) handle(from simnet.NodeID, msg simnet.Message) (simnet.Message, error) {
+	switch m := msg.(type) {
+	case nextHopReq:
+		return nd.handleNextHop(m), nil
+	case getSuccessorReq:
+		return pointResp{P: nd.Successor(), Has: true}, nil
+	case getPredecessorReq:
+		p, has := nd.Predecessor()
+		return pointResp{P: p, Has: has}, nil
+	case succListReq:
+		return succListResp{List: nd.SuccessorList()}, nil
+	case notifyReq:
+		nd.handleNotify(m.Candidate)
+		return ackResp{}, nil
+	case pingReq:
+		return ackResp{}, nil
+	default:
+		if resp, ok := nd.handleStorage(msg); ok {
+			return resp, nil
+		}
+		return nil, fmt.Errorf("chord: node %v: unknown message %T from %d", nd.id, msg, from)
+	}
+}
+
+// handleNextHop implements one routing step: either Key belongs to this
+// node's successor, or the reply carries the closest preceding fingers
+// as candidates (best first) with the successor as the final fallback,
+// which guarantees progress whenever the ring pointers are correct.
+func (nd *Node) handleNextHop(m nextHopReq) nextHopResp {
+	nd.mu.RLock()
+	defer nd.mu.RUnlock()
+	succ := nd.succs[0]
+	if betweenIncl(nd.id, succ, m.Key) {
+		return nextHopResp{Done: true, Succ: succ}
+	}
+	const maxCandidates = 4
+	cands := make([]ring.Point, 0, maxCandidates)
+	seen := make(map[ring.Point]struct{}, maxCandidates)
+	add := func(p ring.Point) bool {
+		if p == nd.id {
+			return false
+		}
+		if !betweenExcl(nd.id, m.Key, p) {
+			return false
+		}
+		if _, dup := seen[p]; dup {
+			return false
+		}
+		seen[p] = struct{}{}
+		cands = append(cands, p)
+		return len(cands) >= maxCandidates
+	}
+	for k := idBits - 1; k >= 0; k-- {
+		if nd.fingOK[k] && add(nd.fingers[k]) {
+			break
+		}
+	}
+	// Successor-list entries are reliable short-range routes and the
+	// fallback that guarantees progress. Offer the farthest preceding
+	// entry first: greedy routing then advances up to SuccListLen peers
+	// per hop even with no usable fingers.
+	for i := len(nd.succs) - 1; i >= 0; i-- {
+		if len(cands) >= maxCandidates {
+			break
+		}
+		add(nd.succs[i])
+	}
+	if len(cands) == 0 {
+		cands = append(cands, succ)
+	}
+	return nextHopResp{Candidates: cands}
+}
+
+// handleNotify processes a predecessor candidate (Chord's notify).
+func (nd *Node) handleNotify(candidate ring.Point) {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	if candidate == nd.id {
+		return
+	}
+	if !nd.hasPred || betweenExcl(nd.pred, nd.id, candidate) {
+		nd.pred = candidate
+		nd.hasPred = true
+	}
+}
+
+// setSuccessors installs succ as the immediate successor followed by the
+// tail list (typically the successor's own list), truncated to the
+// configured length and cleaned of self-references beyond the head.
+func (nd *Node) setSuccessors(succ ring.Point, tail []ring.Point) {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	list := make([]ring.Point, 0, nd.net.cfg.SuccListLen)
+	list = append(list, succ)
+	for _, p := range tail {
+		if len(list) >= nd.net.cfg.SuccListLen {
+			break
+		}
+		if p == nd.id || p == succ {
+			continue
+		}
+		dup := false
+		for _, q := range list {
+			if q == p {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			list = append(list, p)
+		}
+	}
+	nd.succs = list
+}
+
+// advanceSuccessor drops a failed immediate successor, falling back to
+// the next live entry of the successor list, or to self if none remain
+// (the node then rebuilds via notify when others find it).
+func (nd *Node) advanceSuccessor(failed ring.Point) {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	if nd.succs[0] != failed {
+		return // already repaired by a concurrent stabilize
+	}
+	if len(nd.succs) > 1 {
+		nd.succs = nd.succs[1:]
+		return
+	}
+	nd.succs = []ring.Point{nd.id}
+}
+
+// clearPredecessor forgets a failed predecessor.
+func (nd *Node) clearPredecessor() {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	nd.hasPred = false
+}
+
+// setFinger installs finger k.
+func (nd *Node) setFinger(k int, p ring.Point) {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	nd.fingers[k] = p
+	nd.fingOK[k] = true
+}
+
+// invalidateFingersTo drops all fingers pointing at a failed node.
+func (nd *Node) invalidateFingersTo(failed ring.Point) {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	for k := 0; k < idBits; k++ {
+		if nd.fingOK[k] && nd.fingers[k] == failed {
+			nd.fingOK[k] = false
+		}
+	}
+}
+
+// fingerStart returns id + 2^k, the start of finger k's interval.
+func (nd *Node) fingerStart(k int) ring.Point {
+	return ring.Add(nd.id, uint64(1)<<uint(k))
+}

@@ -1,0 +1,83 @@
+// Package chord is a complete implementation of the Chord distributed
+// hash table (Stoica et al., SIGCOMM 2001) over the simulated network in
+// internal/simnet: 64-bit identifiers, finger tables, iterative
+// find-successor routing, successor lists, and the join / stabilize /
+// notify / fix-fingers / check-predecessor maintenance protocol.
+//
+// It is the "standard DHT" substrate assumed by King & Saia's paper: it
+// provides h (a routed lookup costing O(log n) sequential RPCs) and next
+// (one successor pointer chase) with real message counts, via the
+// dht.DHT adapter in this package.
+package chord
+
+import "github.com/dht-sampling/randompeer/internal/ring"
+
+// RPC request and response payloads. Handlers are strictly local: they
+// read or mutate the destination node's state and never issue nested
+// RPCs, which keeps every transport (including the goroutine-per-node
+// one) deadlock-free.
+
+// nextHopReq asks a node for the next step in resolving Key.
+type nextHopReq struct {
+	Key ring.Point
+}
+
+// nextHopResp either resolves the lookup (Done, with Succ holding the
+// node responsible for Key) or offers routing candidates, best first.
+type nextHopResp struct {
+	Done       bool
+	Succ       ring.Point
+	Candidates []ring.Point
+}
+
+// getSuccessorReq asks a node for its immediate successor.
+type getSuccessorReq struct{}
+
+// getPredecessorReq asks a node for its predecessor, if known.
+type getPredecessorReq struct{}
+
+// pointResp carries an optional node identifier.
+type pointResp struct {
+	P   ring.Point
+	Has bool
+}
+
+// succListReq asks a node for its successor list.
+type succListReq struct{}
+
+// succListResp carries a copy of the node's successor list.
+type succListResp struct {
+	List []ring.Point
+}
+
+// notifyReq tells a node that Candidate might be its predecessor.
+type notifyReq struct {
+	Candidate ring.Point
+}
+
+// pingReq checks liveness.
+type pingReq struct{}
+
+// ackResp acknowledges notify and ping.
+type ackResp struct{}
+
+// betweenIncl reports whether x lies in the clockwise interval (a, b].
+// When a == b the interval spans the full circle (the single-node case in
+// Chord's routing predicate), so every x qualifies.
+func betweenIncl(a, b, x ring.Point) bool {
+	if a == b {
+		return true
+	}
+	d := ring.Distance(a, x)
+	return d != 0 && d <= ring.Distance(a, b)
+}
+
+// betweenExcl reports whether x lies in the open clockwise interval
+// (a, b). When a == b the interval is the full circle minus the endpoint.
+func betweenExcl(a, b, x ring.Point) bool {
+	if a == b {
+		return x != a
+	}
+	d := ring.Distance(a, x)
+	return d != 0 && d < ring.Distance(a, b)
+}

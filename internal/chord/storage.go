@@ -1,0 +1,258 @@
+package chord
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/dht-sampling/randompeer/internal/ring"
+	"github.com/dht-sampling/randompeer/internal/simnet"
+)
+
+// Storage RPCs. As with all Chord handlers, these touch only the
+// destination node's state: replication and fallback are driven by the
+// initiator, so no handler ever issues a nested RPC.
+
+// putReq stores a key/value pair at the destination.
+type putReq struct {
+	Key   ring.Point
+	Value []byte
+}
+
+// getReq fetches a key from the destination.
+type getReq struct {
+	Key ring.Point
+}
+
+// getResp carries a fetched value.
+type getResp struct {
+	Value []byte
+	Found bool
+}
+
+// rangeReq asks the destination for all items with keys in the
+// clockwise interval (From, To] — the key transfer on node join.
+type rangeReq struct {
+	From ring.Point
+	To   ring.Point
+}
+
+// rangeResp carries transferred items.
+type rangeResp struct {
+	Items []Item
+}
+
+// Item is one stored key/value pair.
+type Item struct {
+	Key   ring.Point
+	Value []byte
+}
+
+// handleStorage dispatches the storage RPCs; it is called from handle.
+func (nd *Node) handleStorage(msg simnet.Message) (simnet.Message, bool) {
+	switch m := msg.(type) {
+	case putReq:
+		nd.mu.Lock()
+		if nd.store == nil {
+			nd.store = make(map[ring.Point][]byte)
+		}
+		val := make([]byte, len(m.Value))
+		copy(val, m.Value)
+		nd.store[m.Key] = val
+		nd.mu.Unlock()
+		return ackResp{}, true
+	case getReq:
+		nd.mu.RLock()
+		val, ok := nd.store[m.Key]
+		nd.mu.RUnlock()
+		if !ok {
+			return getResp{}, true
+		}
+		out := make([]byte, len(val))
+		copy(out, val)
+		return getResp{Value: out, Found: true}, true
+	case rangeReq:
+		iv := ring.NewInterval(m.From, m.To)
+		nd.mu.RLock()
+		var items []Item
+		for k, v := range nd.store {
+			if iv.Contains(k) {
+				val := make([]byte, len(v))
+				copy(val, v)
+				items = append(items, Item{Key: k, Value: val})
+			}
+		}
+		nd.mu.RUnlock()
+		return rangeResp{Items: items}, true
+	default:
+		return nil, false
+	}
+}
+
+// Put stores value under key: the initiator resolves the owner with a
+// lookup, writes to it, and replicates to replicas-1 of the owner's
+// successors (client-driven replication, so crash of up to replicas-1
+// consecutive nodes loses no data).
+func (n *Network) Put(from, key ring.Point, value []byte, replicas int) error {
+	if replicas < 1 {
+		return fmt.Errorf("chord: replicas must be >= 1, got %d", replicas)
+	}
+	owner, err := n.Lookup(from, key)
+	if err != nil {
+		return fmt.Errorf("chord: put %v: %w", key, err)
+	}
+	if _, err := n.call(from, owner, putReq{Key: key, Value: value}); err != nil {
+		return fmt.Errorf("chord: put %v at owner %v: %w", key, owner, err)
+	}
+	if replicas == 1 {
+		return nil
+	}
+	raw, err := n.call(from, owner, succListReq{})
+	if err != nil {
+		return fmt.Errorf("chord: put %v: fetching replica set: %w", key, err)
+	}
+	stored := 1
+	for _, succ := range raw.(succListResp).List {
+		if stored >= replicas {
+			break
+		}
+		if succ == owner {
+			continue
+		}
+		if _, err := n.call(from, succ, putReq{Key: key, Value: value}); err != nil {
+			continue // dead replica target; the rest still count
+		}
+		stored++
+	}
+	if stored < replicas {
+		return fmt.Errorf("chord: put %v: stored %d of %d replicas", key, stored, replicas)
+	}
+	return nil
+}
+
+// Get fetches the value under key. If the owner is unreachable or lost
+// the key (it may have just joined and not pulled its range yet), the
+// initiator falls back to the owner's successors, where replicas live.
+func (n *Network) Get(from, key ring.Point) ([]byte, error) {
+	owner, err := n.Lookup(from, key)
+	if err != nil {
+		return nil, fmt.Errorf("chord: get %v: %w", key, err)
+	}
+	candidates := []ring.Point{owner}
+	if raw, err := n.call(from, owner, succListReq{}); err == nil {
+		candidates = append(candidates, raw.(succListResp).List...)
+	} else if nd, err := n.Node(from); err == nil {
+		// Owner unreachable: consult our own successor list overlap.
+		candidates = append(candidates, nd.SuccessorList()...)
+	}
+	for _, c := range candidates {
+		raw, err := n.call(from, c, getReq{Key: key})
+		if err != nil {
+			continue
+		}
+		if resp := raw.(getResp); resp.Found {
+			return resp.Value, nil
+		}
+	}
+	return nil, fmt.Errorf("chord: get %v: %w", key, ErrKeyNotFound)
+}
+
+// ErrKeyNotFound is returned by Get when no reachable replica holds the
+// key.
+var ErrKeyNotFound = errors.New("chord: key not found")
+
+// PullKeys makes node id fetch the key range it now owns from its
+// successor — the data-transfer step of the Chord join protocol. It
+// returns the number of items transferred.
+func (n *Network) PullKeys(id ring.Point) (int, error) {
+	nd, err := n.Node(id)
+	if err != nil {
+		return 0, err
+	}
+	succ := nd.Successor()
+	if succ == id {
+		return 0, nil
+	}
+	pred, hasPred := nd.Predecessor()
+	if !hasPred {
+		pred = succ // without a predecessor, claim (succ, id]: our full range
+	}
+	raw, err := n.call(id, succ, rangeReq{From: pred, To: id})
+	if err != nil {
+		return 0, fmt.Errorf("chord: pulling keys for %v: %w", id, err)
+	}
+	items := raw.(rangeResp).Items
+	nd.mu.Lock()
+	if nd.store == nil {
+		nd.store = make(map[ring.Point][]byte, len(items))
+	}
+	for _, item := range items {
+		nd.store[item.Key] = item.Value
+	}
+	nd.mu.Unlock()
+	return len(items), nil
+}
+
+// StoredKeys returns the number of keys node id currently holds
+// (primaries plus replicas).
+func (n *Network) StoredKeys(id ring.Point) (int, error) {
+	nd, err := n.Node(id)
+	if err != nil {
+		return 0, err
+	}
+	nd.mu.RLock()
+	defer nd.mu.RUnlock()
+	return len(nd.store), nil
+}
+
+// Leave removes node id gracefully: it hands its stored items to its
+// successor, splices its predecessor and successor together, and only
+// then departs. Unlike Crash, successor pointers and stored data are
+// correct immediately, with no stabilization round. Finger tables of
+// other nodes still reference the departed node until fix-fingers
+// refreshes them, so sustained departures need maintenance running just
+// as in real Chord.
+func (n *Network) Leave(id ring.Point) error {
+	nd, err := n.Node(id)
+	if err != nil {
+		return err
+	}
+	succ := nd.Successor()
+	if succ != id {
+		// Hand over stored items (initiator-driven, one put per item; a
+		// production system would batch, which the simulator's cost
+		// model would count identically per item).
+		nd.mu.RLock()
+		items := make([]Item, 0, len(nd.store))
+		for k, v := range nd.store {
+			items = append(items, Item{Key: k, Value: v})
+		}
+		nd.mu.RUnlock()
+		for _, item := range items {
+			if _, err := n.call(id, succ, putReq{Key: item.Key, Value: item.Value}); err != nil {
+				return fmt.Errorf("chord: leave %v: handing key %v to %v: %w", id, item.Key, succ, err)
+			}
+		}
+		// Splice the ring: successor adopts our predecessor; predecessor
+		// adopts our successor. (Chord's notify would reject a candidate
+		// counterclockwise of the leaver, so the splice sets the pointers
+		// directly — the real protocol ships a dedicated leave message.)
+		if pred, has := nd.Predecessor(); has && pred != id {
+			if succNode, err := n.Node(succ); err == nil {
+				succNode.mu.Lock()
+				if !succNode.hasPred || succNode.pred == id {
+					succNode.pred = pred
+					succNode.hasPred = true
+				}
+				succNode.mu.Unlock()
+			}
+			if predNode, err := n.Node(pred); err == nil {
+				tail := []ring.Point(nil)
+				if raw, err := n.call(pred, succ, succListReq{}); err == nil {
+					tail = raw.(succListResp).List
+				}
+				predNode.setSuccessors(succ, tail)
+			}
+		}
+	}
+	return n.Crash(id) // departure itself: deregister and mark dead
+}

@@ -1,0 +1,124 @@
+// Package churn drives node arrival and departure against a live Chord
+// network with its maintenance protocol running, supporting the
+// experiments that measure sampling correctness while the DHT is being
+// repaired (the paper assumes a stable ring; churn quantifies the
+// degradation when that assumption is relaxed).
+package churn
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"github.com/dht-sampling/randompeer/internal/chord"
+	"github.com/dht-sampling/randompeer/internal/ring"
+)
+
+// Config parameterizes a churn schedule.
+type Config struct {
+	// Events is the number of churn events to execute.
+	Events int
+	// JoinFraction is the probability an event is a join; otherwise a
+	// uniformly chosen node crashes. Default 0.5.
+	JoinFraction float64
+	// RoundsPerEvent is the number of synchronous maintenance rounds run
+	// after each event (lower is harsher churn). Default 2.
+	RoundsPerEvent int
+	// FingersPerRound is the number of fingers each node fixes per
+	// maintenance round. Default 8.
+	FingersPerRound int
+	// MinSize floors the network size: crashes are converted to joins at
+	// the floor. Default 2.
+	MinSize int
+	// Protected nodes are never crashed (experiments keep their sampling
+	// caller alive).
+	Protected map[ring.Point]bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.JoinFraction <= 0 {
+		c.JoinFraction = 0.5
+	}
+	if c.RoundsPerEvent <= 0 {
+		c.RoundsPerEvent = 2
+	}
+	if c.FingersPerRound <= 0 {
+		c.FingersPerRound = 8
+	}
+	if c.MinSize < 2 {
+		c.MinSize = 2
+	}
+	return c
+}
+
+// Event describes one executed churn event.
+type Event struct {
+	Index int
+	Join  bool
+	Node  ring.Point
+}
+
+// Driver executes a churn schedule.
+type Driver struct {
+	net *chord.Network
+	rng *rand.Rand
+	cfg Config
+}
+
+// NewDriver builds a churn driver over a live network.
+func NewDriver(net *chord.Network, rng *rand.Rand, cfg Config) (*Driver, error) {
+	if net.NumAlive() == 0 {
+		return nil, chord.ErrEmptyNetwork
+	}
+	if cfg.Events < 0 {
+		return nil, fmt.Errorf("churn: events must be >= 0, got %d", cfg.Events)
+	}
+	return &Driver{net: net, rng: rng, cfg: cfg.withDefaults()}, nil
+}
+
+// Run executes the schedule. After each event (and its maintenance
+// rounds) the onEvent hook runs, if non-nil; a hook error aborts the
+// schedule.
+func (d *Driver) Run(onEvent func(ev Event) error) error {
+	for i := 0; i < d.cfg.Events; i++ {
+		ev, err := d.step(i)
+		if err != nil {
+			return fmt.Errorf("churn: event %d: %w", i, err)
+		}
+		d.net.RunMaintenance(d.cfg.RoundsPerEvent, d.cfg.FingersPerRound)
+		if onEvent != nil {
+			if err := onEvent(ev); err != nil {
+				return fmt.Errorf("churn: hook after event %d: %w", i, err)
+			}
+		}
+	}
+	return nil
+}
+
+// step executes one join or crash.
+func (d *Driver) step(index int) (Event, error) {
+	members := d.net.Members()
+	join := d.rng.Float64() < d.cfg.JoinFraction || len(members) <= d.cfg.MinSize
+	if join {
+		id := ring.Point(d.rng.Uint64())
+		via := members[d.rng.IntN(len(members))]
+		if _, err := d.net.Join(id, via); err != nil {
+			return Event{}, fmt.Errorf("join %v via %v: %w", id, via, err)
+		}
+		return Event{Index: index, Join: true, Node: id}, nil
+	}
+	// Crash a uniformly random unprotected member.
+	candidates := members[:0:0]
+	for _, m := range members {
+		if !d.cfg.Protected[m] {
+			candidates = append(candidates, m)
+		}
+	}
+	if len(candidates) == 0 {
+		return Event{Index: index, Join: true}, nil // nothing crashable; no-op
+	}
+	victim := candidates[d.rng.IntN(len(candidates))]
+	if err := d.net.Crash(victim); err != nil {
+		return Event{}, fmt.Errorf("crash %v: %w", victim, err)
+	}
+	return Event{Index: index, Join: false, Node: victim}, nil
+}

@@ -1,0 +1,152 @@
+package churn
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"github.com/dht-sampling/randompeer/internal/chord"
+	"github.com/dht-sampling/randompeer/internal/core"
+	"github.com/dht-sampling/randompeer/internal/ring"
+	"github.com/dht-sampling/randompeer/internal/simnet"
+)
+
+func newNet(t *testing.T, seed uint64, n int) (*chord.Network, *ring.Ring) {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, seed+77))
+	r, err := ring.Generate(rng, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := chord.BuildStatic(chord.Config{}, simnet.NewDirect(), r.Points())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, r
+}
+
+func TestChurnPreservesRingConsistency(t *testing.T) {
+	t.Parallel()
+	net, _ := newNet(t, 1, 64)
+	d, err := NewDriver(net, rand.New(rand.NewPCG(2, 2)), Config{
+		Events:         60,
+		RoundsPerEvent: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := 0
+	if err := d.Run(func(ev Event) error {
+		events++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if events != 60 {
+		t.Errorf("hook ran %d times, want 60", events)
+	}
+	// Extra settling rounds, then the ring must be perfect again.
+	net.RunMaintenance(10, 16)
+	if err := net.VerifyRing(); err != nil {
+		t.Fatalf("ring inconsistent after churn: %v", err)
+	}
+}
+
+func TestChurnRespectsMinSizeAndProtection(t *testing.T) {
+	t.Parallel()
+	net, r := newNet(t, 3, 8)
+	protected := map[ring.Point]bool{r.At(0): true}
+	d, err := NewDriver(net, rand.New(rand.NewPCG(4, 4)), Config{
+		Events:       100,
+		JoinFraction: 0.05, // heavy crash bias
+		MinSize:      4,
+		Protected:    protected,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Run(func(ev Event) error {
+		if !ev.Join && protected[ev.Node] {
+			t.Errorf("protected node %v crashed", ev.Node)
+		}
+		if got := net.NumAlive(); got < 4 {
+			t.Errorf("size %d fell below floor", got)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Node(r.At(0)); err != nil {
+		t.Error("protected node missing after churn")
+	}
+}
+
+func TestSamplingDuringChurn(t *testing.T) {
+	t.Parallel()
+	net, r := newNet(t, 5, 64)
+	caller := r.At(0)
+	d, err := NewDriver(net, rand.New(rand.NewPCG(6, 6)), Config{
+		Events:         30,
+		RoundsPerEvent: 4,
+		Protected:      map[ring.Point]bool{caller: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adht, err := net.AsDHT(caller)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srng := rand.New(rand.NewPCG(7, 7))
+	sampled := 0
+	if err := d.Run(func(ev Event) error {
+		s, err := core.New(adht, adht.Self(), srng, core.Config{})
+		if err != nil {
+			return nil // transient estimate failure under churn is acceptable
+		}
+		if _, err := s.Sample(); err == nil {
+			sampled++
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The vast majority of samples should succeed despite churn.
+	if sampled < 25 {
+		t.Errorf("only %d/30 samples succeeded during churn", sampled)
+	}
+}
+
+func TestNewDriverValidation(t *testing.T) {
+	t.Parallel()
+	net := chord.NewNetwork(chord.Config{}, simnet.NewDirect())
+	if _, err := NewDriver(net, rand.New(rand.NewPCG(1, 1)), Config{Events: 5}); err == nil {
+		t.Error("empty network should fail")
+	}
+	full, _ := newNet(t, 9, 4)
+	if _, err := NewDriver(full, rand.New(rand.NewPCG(1, 1)), Config{Events: -1}); err == nil {
+		t.Error("negative events should fail")
+	}
+}
+
+func TestChurnHookErrorAborts(t *testing.T) {
+	t.Parallel()
+	net, _ := newNet(t, 11, 16)
+	d, err := NewDriver(net, rand.New(rand.NewPCG(8, 8)), Config{Events: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	err = d.Run(func(Event) error {
+		calls++
+		if calls == 3 {
+			return chord.ErrEmptyNetwork // arbitrary sentinel
+		}
+		return nil
+	})
+	if err == nil {
+		t.Error("hook error should abort Run")
+	}
+	if calls != 3 {
+		t.Errorf("hook ran %d times, want 3", calls)
+	}
+}

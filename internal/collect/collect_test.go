@@ -1,0 +1,233 @@
+package collect
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"github.com/dht-sampling/randompeer/internal/baseline"
+	"github.com/dht-sampling/randompeer/internal/core"
+	"github.com/dht-sampling/randompeer/internal/dht"
+	"github.com/dht-sampling/randompeer/internal/ring"
+)
+
+func setup(t *testing.T, seed uint64, n int) (*dht.Oracle, *ring.Ring) {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, seed+100))
+	r, err := ring.Generate(rng, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dht.NewOracle(r), r
+}
+
+func uniformSampler(t *testing.T, o *dht.Oracle, seed uint64) dht.Sampler {
+	t.Helper()
+	s, err := core.New(o, o.PeerByIndex(0), rand.New(rand.NewPCG(seed, seed^7)), core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewPopulationValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := NewPopulation(nil); err == nil {
+		t.Error("empty population should fail")
+	}
+	p, err := NewPopulation([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 3 {
+		t.Errorf("Len = %d", p.Len())
+	}
+	if m := p.TrueMean(); math.Abs(m-2) > 1e-12 {
+		t.Errorf("TrueMean = %v", m)
+	}
+	if _, err := p.Value(5); err == nil {
+		t.Error("out-of-range value should fail")
+	}
+}
+
+func TestArcCorrelatedMeanIsOne(t *testing.T) {
+	t.Parallel()
+	_, r := setup(t, 3, 256)
+	pop, err := ArcCorrelated(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Arc fractions sum to 1, so scaled by n their mean is exactly 1.
+	if m := pop.TrueMean(); math.Abs(m-1) > 1e-9 {
+		t.Errorf("TrueMean = %v, want 1", m)
+	}
+	single, err := ring.New([]ring.Point{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ArcCorrelated(single); err == nil {
+		t.Error("single peer should fail")
+	}
+}
+
+func TestPollMeanUnbiasedWithUniformSampler(t *testing.T) {
+	t.Parallel()
+	o, r := setup(t, 7, 256)
+	pop, err := ArcCorrelated(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := uniformSampler(t, o, 11)
+	res, err := PollMean(s, pop, 3000, 1.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Estimate-1) > 0.2 {
+		t.Errorf("uniform poll estimate = %v, want ~1", res.Estimate)
+	}
+	if !(res.Lo < res.Estimate && res.Estimate < res.Hi) {
+		t.Errorf("CI ordering broken: %v %v %v", res.Lo, res.Estimate, res.Hi)
+	}
+}
+
+func TestPollMeanBiasedWithNaiveSampler(t *testing.T) {
+	t.Parallel()
+	o, r := setup(t, 7, 256)
+	pop, err := ArcCorrelated(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := baseline.NewNaive(o, rand.New(rand.NewPCG(13, 13)))
+	res, err := PollMean(s, pop, 3000, 1.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The naive estimator converges to n*sum(arc^2) ~ 2, double truth.
+	if res.Estimate < 1.5 {
+		t.Errorf("naive poll estimate = %v, expected substantial upward bias (> 1.5)", res.Estimate)
+	}
+	want, err := NaiveExpectedMean(r, pop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Estimate-want) > 0.35 {
+		t.Errorf("naive estimate %v far from exact expectation %v", res.Estimate, want)
+	}
+}
+
+func TestNaiveExpectedMeanExact(t *testing.T) {
+	t.Parallel()
+	_, r := setup(t, 19, 512)
+	pop, err := ArcCorrelated(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := NaiveExpectedMean(r, pop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact: n * sum over peers of arcFrac^2. For i.i.d. uniform peers
+	// the expectation is ~2 (exponential spacings second moment).
+	var want float64
+	for i := 0; i < r.Len(); i++ {
+		f := ring.UnitsToFrac(r.Arc(r.PrevIndex(i)))
+		want += float64(r.Len()) * f * f
+	}
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("NaiveExpectedMean = %v, want %v", got, want)
+	}
+	if got < 1.3 || got > 3 {
+		t.Errorf("expected naive bias around 2, got %v", got)
+	}
+	other, err := NewPopulation([]float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NaiveExpectedMean(r, other); err == nil {
+		t.Error("size mismatch should fail")
+	}
+}
+
+func TestPollProportion(t *testing.T) {
+	t.Parallel()
+	o, _ := setup(t, 23, 128)
+	s := uniformSampler(t, o, 29)
+	// Predicate true for owners < 32: quarter of the population.
+	res, err := PollProportion(s, func(owner int) bool { return owner < 32 }, 2000, 1.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Estimate-0.25) > 0.05 {
+		t.Errorf("proportion estimate = %v, want ~0.25", res.Estimate)
+	}
+	if !res.Covers(0.25) {
+		t.Errorf("CI [%v, %v] misses 0.25", res.Lo, res.Hi)
+	}
+}
+
+func TestPollValidation(t *testing.T) {
+	t.Parallel()
+	o, r := setup(t, 31, 16)
+	pop, err := ArcCorrelated(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := uniformSampler(t, o, 1)
+	if _, err := PollMean(s, pop, 1, 1.96); err == nil {
+		t.Error("k=1 should fail")
+	}
+	if _, err := PollProportion(s, nil, 10, 1.96); err == nil {
+		t.Error("nil predicate should fail")
+	}
+	if _, err := PollProportion(s, func(int) bool { return true }, 0, 1.96); err == nil {
+		t.Error("k=0 should fail")
+	}
+}
+
+func TestCoverageRateCalibrated(t *testing.T) {
+	t.Parallel()
+	o, r := setup(t, 37, 128)
+	pop, err := ArcCorrelated(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seed uint64 = 1000
+	mk := func() (dht.Sampler, error) {
+		seed++
+		return core.New(o, o.PeerByIndex(0), rand.New(rand.NewPCG(seed, seed)), core.Config{})
+	}
+	rate, err := CoverageRate(mk, pop, 60, 400, 1.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 95% interval under unbiased sampling: allow wide tolerance at 60
+	// polls (binomial noise), but far above the near-zero coverage that
+	// biased sampling yields.
+	if rate < 0.75 {
+		t.Errorf("coverage rate = %v, want >= 0.75 for calibrated CIs", rate)
+	}
+	if _, err := CoverageRate(mk, pop, 0, 10, 1.96); err == nil {
+		t.Error("zero polls should fail")
+	}
+}
+
+func TestCoverageCollapsesUnderNaive(t *testing.T) {
+	t.Parallel()
+	o, r := setup(t, 41, 256)
+	pop, err := ArcCorrelated(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seed uint64 = 2000
+	mk := func() (dht.Sampler, error) {
+		seed++
+		return baseline.NewNaive(o, rand.New(rand.NewPCG(seed, seed))), nil
+	}
+	rate, err := CoverageRate(mk, pop, 40, 1000, 1.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate > 0.2 {
+		t.Errorf("naive coverage rate = %v, expected collapse (< 0.2)", rate)
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+
+	"github.com/dht-sampling/randompeer/internal/dht"
+)
+
+// AutoSampler is the deployment wrapper around Sampler for long-lived
+// networks: the paper derives lambda from a one-shot size estimate, so
+// as peers join and leave the estimate staleness grows and with it the
+// sampling bias. AutoSampler re-runs Estimate n every RefreshEvery
+// samples, and immediately after any sampling error (the typical
+// symptom of a badly stale estimate or a repaired ring).
+//
+// It is safe for concurrent use.
+type AutoSampler struct {
+	d      dht.DHT
+	caller dht.Peer
+	cfg    Config
+	every  int64
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	inner     *Sampler
+	sinceLast int64
+	refreshes int64
+}
+
+var _ dht.Sampler = (*AutoSampler)(nil)
+
+// NewAuto builds an auto-refreshing sampler. refreshEvery is the number
+// of samples between re-estimates (default 1024 when <= 0).
+func NewAuto(d dht.DHT, caller dht.Peer, rng *rand.Rand, cfg Config, refreshEvery int64) (*AutoSampler, error) {
+	if refreshEvery <= 0 {
+		refreshEvery = 1024
+	}
+	a := &AutoSampler{d: d, caller: caller, cfg: cfg, every: refreshEvery, rng: rng}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if err := a.refreshLocked(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// refreshLocked re-estimates and rebuilds the inner sampler. The caller
+// must hold a.mu: successive inner samplers share a.rng, so every use
+// of it — including the rebuild itself — must be serialized by the one
+// mutex.
+func (a *AutoSampler) refreshLocked() error {
+	inner, err := New(a.d, a.caller, a.rng, a.cfg)
+	if err != nil {
+		return fmt.Errorf("core: auto refresh: %w", err)
+	}
+	a.inner = inner
+	a.sinceLast = 0
+	a.refreshes++
+	return nil
+}
+
+// Name implements dht.Sampler.
+func (a *AutoSampler) Name() string { return "king-saia-auto" }
+
+// Refreshes reports how many times the size estimate has been rebuilt
+// (including the initial one).
+func (a *AutoSampler) Refreshes() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.refreshes
+}
+
+// Params returns the current derived parameters.
+func (a *AutoSampler) Params() Params {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inner.Params()
+}
+
+// Sample implements dht.Sampler: it samples through the current inner
+// sampler, refreshing the estimate on schedule and retrying once
+// through a fresh estimate if sampling fails. Calls are serialized; the
+// underlying DHT operations dominate the cost, so the serialization is
+// not the bottleneck.
+func (a *AutoSampler) Sample() (dht.Peer, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.sinceLast >= a.every {
+		if err := a.refreshLocked(); err != nil {
+			return dht.Peer{}, err
+		}
+	}
+	p, err := a.inner.Sample()
+	if err != nil {
+		// Stale estimate or mid-repair ring: one fresh estimate, one
+		// retry, then give up to the caller.
+		if rerr := a.refreshLocked(); rerr != nil {
+			return dht.Peer{}, fmt.Errorf("core: auto sample failed (%v) and refresh failed: %w", err, rerr)
+		}
+		p, err = a.inner.Sample()
+		if err != nil {
+			return dht.Peer{}, fmt.Errorf("core: auto sample after refresh: %w", err)
+		}
+	}
+	a.sinceLast++
+	return p, nil
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"github.com/dht-sampling/randompeer/internal/stats"
+)
+
+func TestAutoSamplerUniform(t *testing.T) {
+	t.Parallel()
+	const n = 64
+	o := newOracle(t, 201, n)
+	a, err := NewAuto(o, o.PeerByIndex(0), rand.New(rand.NewPCG(1, 1)), Config{}, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int64, n)
+	for i := 0; i < 40*n; i++ {
+		p, err := a.Sample()
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[p.Owner]++
+	}
+	_, pvalue, err := stats.ChiSquareUniform(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pvalue < 1e-3 {
+		t.Errorf("auto sampler rejected (p = %v)", pvalue)
+	}
+	if a.Name() != "king-saia-auto" {
+		t.Errorf("Name = %q", a.Name())
+	}
+}
+
+func TestAutoSamplerRefreshSchedule(t *testing.T) {
+	t.Parallel()
+	const n = 64
+	o := newOracle(t, 203, n)
+	a, err := NewAuto(o, o.PeerByIndex(0), rand.New(rand.NewPCG(2, 2)), Config{}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Refreshes(); got != 1 {
+		t.Fatalf("initial refreshes = %d, want 1", got)
+	}
+	for i := 0; i < 350; i++ {
+		if _, err := a.Sample(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 350 samples at refresh-every-100: refreshes at samples 100, 200,
+	// 300 plus the initial one.
+	if got := a.Refreshes(); got != 4 {
+		t.Errorf("refreshes = %d, want 4", got)
+	}
+	if a.Params().Lambda == 0 {
+		t.Error("params not populated")
+	}
+}
+
+func TestAutoSamplerDefaultCadence(t *testing.T) {
+	t.Parallel()
+	o := newOracle(t, 205, 32)
+	a, err := NewAuto(o, o.PeerByIndex(0), rand.New(rand.NewPCG(3, 3)), Config{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := a.Sample(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := a.Refreshes(); got != 1 {
+		t.Errorf("refreshes = %d before default cadence of 1024", got)
+	}
+}
+
+func TestAutoSamplerConcurrent(t *testing.T) {
+	t.Parallel()
+	const n = 64
+	o := newOracle(t, 207, n)
+	a, err := NewAuto(o, o.PeerByIndex(0), rand.New(rand.NewPCG(4, 4)), Config{}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 4)
+	for w := 0; w < 4; w++ {
+		go func() {
+			for i := 0; i < 200; i++ {
+				if _, err := a.Sample(); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for w := 0; w < 4; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Refreshes() < 2 {
+		t.Errorf("expected concurrent refreshes, got %d", a.Refreshes())
+	}
+}

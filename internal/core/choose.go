@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+
+	"github.com/dht-sampling/randompeer/internal/dht"
+	"github.com/dht-sampling/randompeer/internal/ring"
+)
+
+// Config parameterizes a Sampler. The zero value selects the paper's
+// constants.
+type Config struct {
+	// C1 is the Estimate n tightness constant (default 2).
+	C1 float64
+	// Gamma1 is the lower approximation constant of the size estimate
+	// used to overestimate n as n' = nhat/gamma1 (default 2/7, from
+	// Lemma 3).
+	Gamma1 float64
+	// StepFactor is the per-trial walk bound multiplier (default 6, the
+	// paper's "repeat 6 ln n' times").
+	StepFactor float64
+	// MaxTrials caps the rejection loop (default 4096). The success
+	// probability of each trial is n*lambda = n/(7*nhat) >= 1/42 under
+	// Lemma 3, so the cap is hit with negligible probability unless the
+	// size estimate is grossly wrong.
+	MaxTrials int
+}
+
+func (c Config) withDefaults() Config {
+	if c.C1 <= 0 {
+		c.C1 = 2
+	}
+	if c.Gamma1 <= 0 {
+		c.Gamma1 = 2.0 / 7.0
+	}
+	if c.StepFactor <= 0 {
+		c.StepFactor = 6
+	}
+	if c.MaxTrials <= 0 {
+		c.MaxTrials = 4096
+	}
+	return c
+}
+
+// Stats accumulates sampling effort counters across a Sampler's lifetime.
+type Stats struct {
+	// Samples is the number of successful Sample calls.
+	Samples int64
+	// Trials is the total number of rejection-loop iterations (each
+	// costing one h lookup).
+	Trials int64
+	// Steps is the total number of next-walk steps taken.
+	Steps int64
+}
+
+// Trace reports the effort of a single Sample call.
+type Trace struct {
+	// Trials is the number of starting points drawn (>= 1).
+	Trials int
+	// Steps is the number of next steps walked across all trials.
+	Steps int
+}
+
+// Sampler implements Choose Random Peer (Figure 1 of the paper): it
+// chooses a peer uniformly at random — each peer with probability
+// exactly 1/n w.h.p. over the hash function — from the set of all peers
+// of the DHT, using one h lookup per trial and at most MaxSteps next
+// steps per trial.
+//
+// A Sampler is safe for concurrent use.
+type Sampler struct {
+	d   dht.DHT
+	cfg Config
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	params Params
+	est    EstimateResult
+	stats  Stats
+}
+
+var _ dht.Sampler = (*Sampler)(nil)
+
+// New builds a Sampler for the given caller peer: it runs Estimate n
+// from the caller (as the paper prescribes — each peer derives its own
+// lambda) and derives the sampling parameters.
+func New(d dht.DHT, caller dht.Peer, rng *rand.Rand, cfg Config) (*Sampler, error) {
+	cfg = cfg.withDefaults()
+	est, err := EstimateN(d, caller, cfg.C1)
+	if err != nil {
+		return nil, fmt.Errorf("core: estimating n: %w", err)
+	}
+	gamma1 := cfg.Gamma1
+	if est.Exact {
+		// The estimate is exact, so no overestimation slack is needed.
+		gamma1 = 1
+	}
+	params, err := DeriveParams(est.NHat, gamma1, cfg.StepFactor)
+	if err != nil {
+		return nil, err
+	}
+	return &Sampler{d: d, cfg: cfg, rng: rng, params: params, est: est}, nil
+}
+
+// NewWithParams builds a Sampler with explicit parameters, bypassing
+// estimation. Experiments use it to isolate the choosing algorithm from
+// the estimator and to sweep lambda.
+func NewWithParams(d dht.DHT, rng *rand.Rand, params Params, cfg Config) (*Sampler, error) {
+	cfg = cfg.withDefaults()
+	if params.Lambda == 0 {
+		return nil, fmt.Errorf("%w: lambda must be positive", ErrBadEstimate)
+	}
+	if params.MaxSteps < 1 {
+		return nil, fmt.Errorf("core: max steps must be >= 1, got %d", params.MaxSteps)
+	}
+	return &Sampler{d: d, cfg: cfg, rng: rng, params: params}, nil
+}
+
+// Name implements dht.Sampler.
+func (s *Sampler) Name() string { return "king-saia" }
+
+// Params returns the derived sampling parameters.
+func (s *Sampler) Params() Params { return s.params }
+
+// Estimate returns the size-estimation run that parameterized the
+// sampler (zero-valued if NewWithParams was used).
+func (s *Sampler) Estimate() EstimateResult { return s.est }
+
+// Stats returns a snapshot of the cumulative effort counters.
+func (s *Sampler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Sample implements dht.Sampler.
+func (s *Sampler) Sample() (dht.Peer, error) {
+	p, _, err := s.SampleTraced()
+	return p, err
+}
+
+// SampleTraced chooses a random peer and reports the effort expended.
+//
+// This is Figure 1 of the paper, iterated until a trial succeeds:
+//
+//  1. s <- random point in (0,1]
+//  2. if |I(s, l(h(s)))| is small (< lambda) return h(s)
+//  3. else first <- h(s); T <- |I(s, l(first))| - lambda
+//     repeat 6 ln n' times:
+//     T <- T + |I(l(first), l(next(first)))| - lambda
+//     if T <= 0 return next(first) else first <- next(first)
+//
+// The boundary semantics follow the proof of Theorem 6: intervals are
+// half-open (a, b], "small" means strictly shorter than lambda, and the
+// walk accepts at the first step where T becomes non-positive. T is
+// tracked in exact 128-bit arithmetic; float rounding never decides an
+// acceptance.
+func (s *Sampler) SampleTraced() (dht.Peer, Trace, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var trace Trace
+	for trial := 1; trial <= s.cfg.MaxTrials; trial++ {
+		trace.Trials = trial
+		start := ring.Point(s.rng.Uint64())
+		first, err := s.d.H(start)
+		if err != nil {
+			return dht.Peer{}, trace, fmt.Errorf("core: h(%v): %w", start, err)
+		}
+		d0 := ring.Distance(start, first.Point)
+		if d0 < s.params.Lambda {
+			// |I(s, l(h(s)))| is small: h(s) is the chosen peer.
+			s.stats.Samples++
+			s.stats.Trials += int64(trace.Trials)
+			s.stats.Steps += int64(trace.Steps)
+			return first, trace, nil
+		}
+		t := ring.S128Of(d0).SubUint(s.params.Lambda)
+		cur := first
+		for step := 0; step < s.params.MaxSteps; step++ {
+			next, err := s.d.Next(cur)
+			if err != nil {
+				return dht.Peer{}, trace, fmt.Errorf("core: next(%v): %w", cur.Point, err)
+			}
+			trace.Steps++
+			arc := ring.Distance(cur.Point, next.Point)
+			t = t.AddUint(arc).SubUint(s.params.Lambda)
+			if !t.IsPos() {
+				s.stats.Samples++
+				s.stats.Trials += int64(trace.Trials)
+				s.stats.Steps += int64(trace.Steps)
+				return next, trace, nil
+			}
+			cur = next
+		}
+		// Trial failed: the starting point fell in unassigned measure.
+	}
+	return dht.Peer{}, trace, fmt.Errorf("%w: after %d trials (lambda=%d, maxSteps=%d)",
+		ErrTrialsExhausted, s.cfg.MaxTrials, s.params.Lambda, s.params.MaxSteps)
+}

@@ -1,0 +1,72 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"github.com/dht-sampling/randompeer/internal/core"
+	"github.com/dht-sampling/randompeer/internal/dht"
+	"github.com/dht-sampling/randompeer/internal/ring"
+)
+
+// ExampleSampler demonstrates the complete pipeline: place peers, let
+// one of them estimate the network size, and draw uniform samples.
+func ExampleSampler() {
+	rng := rand.New(rand.NewPCG(1, 2))
+	o, err := dht.GenerateOracle(rng, 1000)
+	if err != nil {
+		panic(err)
+	}
+	s, err := core.New(o, o.PeerByIndex(0), rng, core.Config{})
+	if err != nil {
+		panic(err)
+	}
+	seen := make(map[int]bool)
+	for i := 0; i < 200; i++ {
+		p, err := s.Sample()
+		if err != nil {
+			panic(err)
+		}
+		seen[p.Owner] = true
+	}
+	// 200 draws from 1000 peers: the birthday bound puts the expected
+	// number of distinct peers near 181 (deterministic for the seed).
+	fmt.Println("distinct peers sampled:", len(seen) > 160)
+	// Output: distinct peers sampled: true
+}
+
+// ExampleEstimateN shows the Section 2 size estimator.
+func ExampleEstimateN() {
+	rng := rand.New(rand.NewPCG(3, 4))
+	o, err := dht.GenerateOracle(rng, 4096)
+	if err != nil {
+		panic(err)
+	}
+	res, err := core.EstimateN(o, o.PeerByIndex(0), 2)
+	if err != nil {
+		panic(err)
+	}
+	ratio := res.NHat / 4096
+	fmt.Println("estimate within Lemma 3 band:", ratio > 2.0/7.0 && ratio < 6)
+	// Output: estimate within Lemma 3 band: true
+}
+
+// ExampleAnalyze verifies Theorem 6 exactly: every peer's assigned
+// measure equals lambda up to integer rounding.
+func ExampleAnalyze() {
+	rng := rand.New(rand.NewPCG(5, 6))
+	r, err := ring.Generate(rng, 512)
+	if err != nil {
+		panic(err)
+	}
+	params, err := core.DeriveParams(512, 1, 6)
+	if err != nil {
+		panic(err)
+	}
+	a, err := core.Analyze(r, params.Lambda, params.MaxSteps)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("max deviation in circle units:", a.MaxDeviation)
+	// Output: max deviation in circle units: 1
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"github.com/dht-sampling/randompeer/internal/ring"
+)
+
+// FuzzAnalyzeAgreement fuzzes the two independent decision procedures —
+// the literal Figure 1 walk (chooseAt) and the closed-form threshold
+// rule (thresholdChoice) — against each other and against the aggregate
+// analyzer, over arbitrary ring seeds, sizes, lambdas and walk bounds.
+// Run with "go test -fuzz=FuzzAnalyzeAgreement"; the seed corpus runs
+// as a regression test on every plain "go test".
+func FuzzAnalyzeAgreement(f *testing.F) {
+	f.Add(uint64(1), uint16(16), uint8(5), uint8(6), uint64(99))
+	f.Add(uint64(7), uint16(2), uint8(0), uint8(0), uint64(1))
+	f.Add(uint64(42), uint16(200), uint8(19), uint8(20), uint64(0))
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw uint16, lamExp, stepsRaw uint8, pointSeed uint64) {
+		n := 2 + int(nRaw)%300
+		rng := rand.New(rand.NewPCG(seed, uint64(n)))
+		r, err := ring.Generate(rng, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lambda := uint64(1) << (38 + lamExp%22)
+		maxSteps := int(stepsRaw) % 32
+		a, err := Analyze(r, lambda, maxSteps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.DeepestStep > maxSteps {
+			t.Fatalf("DeepestStep %d > maxSteps %d", a.DeepestStep, maxSteps)
+		}
+		// Pointwise: the walk and the threshold rule must agree for
+		// arbitrary starting points.
+		prng := rand.New(rand.NewPCG(pointSeed, seed))
+		for trial := 0; trial < 64; trial++ {
+			s := ring.Point(prng.Uint64())
+			walk := chooseAt(r, lambda, maxSteps, s)
+			thresh := thresholdChoice(r, lambda, maxSteps, s)
+			if walk != thresh {
+				t.Fatalf("n=%d lambda=%d steps=%d s=%v: walk=%d threshold=%d",
+					n, lambda, maxSteps, s, walk, thresh)
+			}
+		}
+	})
+}

@@ -1,0 +1,165 @@
+// Package dhttest is a conformance suite for dht.DHT implementations.
+// The paper's algorithm is written against only the (h, next) model, so
+// any backend that passes this suite — the oracle, the virtual-node
+// oracle, the real Chord network — supports the sampler unmodified.
+// That is the paper's "applicable for a wide range of DHTs" claim made
+// executable.
+package dhttest
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"github.com/dht-sampling/randompeer/internal/dht"
+	"github.com/dht-sampling/randompeer/internal/ring"
+)
+
+// Factory builds the DHT under test over the given peer points. The
+// returned DHT must place exactly those points on its circle.
+type Factory func(points []ring.Point) (dht.DHT, error)
+
+// Run executes the conformance suite against the factory.
+func Run(t *testing.T, name string, mk Factory) {
+	t.Helper()
+	t.Run(name+"/HMatchesClockwiseSuccessor", func(t *testing.T) { checkH(t, mk) })
+	t.Run(name+"/HAtPeerPointIsIdentity", func(t *testing.T) { checkHIdentity(t, mk) })
+	t.Run(name+"/NextCyclesRing", func(t *testing.T) { checkNextCycle(t, mk) })
+	t.Run(name+"/OwnersInRange", func(t *testing.T) { checkOwners(t, mk) })
+	t.Run(name+"/MeterMonotone", func(t *testing.T) { checkMeter(t, mk) })
+	t.Run(name+"/SizeConsistent", func(t *testing.T) { checkSize(t, mk) })
+}
+
+// build creates a DHT over n random points and returns it with the
+// ground-truth ring.
+func build(t *testing.T, mk Factory, seed uint64, n int) (dht.DHT, *ring.Ring) {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, seed^0xd47ec0))
+	r, err := ring.Generate(rng, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := mk(r.Points())
+	if err != nil {
+		t.Fatalf("factory: %v", err)
+	}
+	return d, r
+}
+
+func checkH(t *testing.T, mk Factory) {
+	d, r := build(t, mk, 1001, 64)
+	rng := rand.New(rand.NewPCG(7, 7))
+	for trial := 0; trial < 300; trial++ {
+		x := ring.Point(rng.Uint64())
+		p, err := d.H(x)
+		if err != nil {
+			t.Fatalf("H(%v): %v", x, err)
+		}
+		want := r.At(r.Successor(x))
+		if p.Point != want {
+			t.Fatalf("H(%v) = %v, clockwise successor is %v", x, p.Point, want)
+		}
+	}
+}
+
+func checkHIdentity(t *testing.T, mk Factory) {
+	d, r := build(t, mk, 1003, 32)
+	for i := 0; i < r.Len(); i++ {
+		p, err := d.H(r.At(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Point != r.At(i) {
+			t.Fatalf("H at peer point %v returned %v", r.At(i), p.Point)
+		}
+	}
+}
+
+func checkNextCycle(t *testing.T, mk Factory) {
+	d, r := build(t, mk, 1005, 48)
+	start, err := d.H(r.At(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := start
+	visited := make(map[ring.Point]bool, r.Len())
+	for step := 0; step < r.Len(); step++ {
+		if visited[cur.Point] {
+			t.Fatalf("revisited %v before completing the cycle", cur.Point)
+		}
+		visited[cur.Point] = true
+		// Each next must be the immediate clockwise neighbor.
+		idx := r.IndexOf(cur.Point)
+		if idx < 0 {
+			t.Fatalf("next returned non-member point %v", cur.Point)
+		}
+		next, err := d.Next(cur)
+		if err != nil {
+			t.Fatalf("Next(%v): %v", cur.Point, err)
+		}
+		if want := r.At(r.NextIndex(idx)); next.Point != want {
+			t.Fatalf("Next(%v) = %v, want %v", cur.Point, next.Point, want)
+		}
+		cur = next
+	}
+	if cur.Point != start.Point {
+		t.Fatalf("walk of %d steps did not return to start", r.Len())
+	}
+	if len(visited) != r.Len() {
+		t.Fatalf("visited %d of %d peers", len(visited), r.Len())
+	}
+}
+
+func checkOwners(t *testing.T, mk Factory) {
+	d, r := build(t, mk, 1007, 40)
+	rng := rand.New(rand.NewPCG(9, 9))
+	owners := d.Owners()
+	if owners < 1 {
+		t.Fatalf("Owners = %d", owners)
+	}
+	for trial := 0; trial < 100; trial++ {
+		p, err := d.H(ring.Point(rng.Uint64()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Owner < 0 || p.Owner >= owners {
+			t.Fatalf("owner %d outside [0, %d)", p.Owner, owners)
+		}
+	}
+	_ = r
+}
+
+func checkMeter(t *testing.T, mk Factory) {
+	d, r := build(t, mk, 1009, 32)
+	before := d.Meter().Snapshot()
+	p, err := d.H(r.At(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterH := d.Meter().Snapshot()
+	if afterH.Calls <= before.Calls || afterH.Messages <= before.Messages {
+		t.Fatal("H charged nothing")
+	}
+	if _, err := d.Next(p); err != nil {
+		t.Fatal(err)
+	}
+	afterNext := d.Meter().Snapshot()
+	if afterNext.Calls <= afterH.Calls {
+		t.Fatal("Next charged nothing")
+	}
+	// A lookup must cost at least as much as one successor chase.
+	hCost := afterH.Calls - before.Calls
+	nextCost := afterNext.Calls - afterH.Calls
+	if hCost < nextCost {
+		t.Fatalf("H cost %d below Next cost %d", hCost, nextCost)
+	}
+}
+
+func checkSize(t *testing.T, mk Factory) {
+	d, _ := build(t, mk, 1011, 24)
+	if d.Size() != 24 {
+		t.Fatalf("Size = %d, want 24", d.Size())
+	}
+	if d.Owners() > d.Size() {
+		t.Fatalf("Owners %d exceeds Size %d", d.Owners(), d.Size())
+	}
+}

@@ -1,0 +1,114 @@
+package dht
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"github.com/dht-sampling/randompeer/internal/ring"
+	"github.com/dht-sampling/randompeer/internal/simnet"
+)
+
+// Oracle is an idealized DHT backend: it resolves h by binary search over
+// the sorted peer points and charges the standard synthetic costs
+// (t_h = m_h/2 = ceil(log2 n) sequential RPCs for a lookup, one RPC for a
+// successor chase). It models a perfectly stabilized Chord ring and
+// scales to millions of peers, which the experiment sweeps rely on.
+type Oracle struct {
+	ring   *ring.Ring
+	owners []int // owner of point i; nil means owner == index
+	nOwner int
+	meter  simnet.Meter
+}
+
+var _ DHT = (*Oracle)(nil)
+
+// NewOracle builds an oracle DHT over the given ring; peer i owns point i.
+func NewOracle(r *ring.Ring) *Oracle {
+	return &Oracle{ring: r, nOwner: r.Len()}
+}
+
+// GenerateOracle places n peers uniformly at random (the paper's
+// random-oracle placement) and returns the resulting DHT.
+func GenerateOracle(rng *rand.Rand, n int) (*Oracle, error) {
+	r, err := ring.Generate(rng, n)
+	if err != nil {
+		return nil, fmt.Errorf("dht: generating oracle ring: %w", err)
+	}
+	return NewOracle(r), nil
+}
+
+// NewVirtualOracle builds an oracle DHT in which each of nOwners peers
+// owns pointsPerOwner points placed uniformly at random — the classic
+// virtual-nodes load-balancing extension discussed in the paper's related
+// work. h resolves to a point; Owner identifies the real peer.
+func NewVirtualOracle(rng *rand.Rand, nOwners, pointsPerOwner int) (*Oracle, error) {
+	if nOwners <= 0 || pointsPerOwner <= 0 {
+		return nil, fmt.Errorf("dht: need positive owners (%d) and points per owner (%d)", nOwners, pointsPerOwner)
+	}
+	total := nOwners * pointsPerOwner
+	r, err := ring.Generate(rng, total)
+	if err != nil {
+		return nil, fmt.Errorf("dht: generating virtual ring: %w", err)
+	}
+	// Points were generated in one batch and sorted; assign owners by
+	// dealing points round-robin through a shuffled order so ownership is
+	// independent of position, as if each owner hashed its own points.
+	perm := rng.Perm(total)
+	owners := make([]int, total)
+	for j, idx := range perm {
+		owners[idx] = j % nOwners
+	}
+	return &Oracle{ring: r, owners: owners, nOwner: nOwners}, nil
+}
+
+// Ring exposes the underlying ring for analyzers and experiments.
+func (o *Oracle) Ring() *ring.Ring { return o.ring }
+
+// H implements DHT. It charges ceil(log2 n) sequential RPCs (2 messages
+// each), the textbook Chord lookup cost.
+func (o *Oracle) H(x ring.Point) (Peer, error) {
+	hops := o.lookupHops()
+	o.meter.Charge(hops, 2*hops)
+	i := o.ring.Successor(x)
+	return o.peerAt(i), nil
+}
+
+// Next implements DHT. It charges one RPC (2 messages).
+func (o *Oracle) Next(p Peer) (Peer, error) {
+	i := o.ring.IndexOf(p.Point)
+	if i < 0 {
+		return Peer{}, fmt.Errorf("%w: no peer at %v", ErrUnknownPeer, p.Point)
+	}
+	o.meter.Charge(1, 2)
+	return o.peerAt(o.ring.NextIndex(i)), nil
+}
+
+// Size implements DHT.
+func (o *Oracle) Size() int { return o.ring.Len() }
+
+// Owners implements DHT.
+func (o *Oracle) Owners() int { return o.nOwner }
+
+// Meter implements DHT.
+func (o *Oracle) Meter() *simnet.Meter { return &o.meter }
+
+// PeerByIndex returns the peer owning point index i, for experiment
+// drivers that iterate over all peers.
+func (o *Oracle) PeerByIndex(i int) Peer { return o.peerAt(i) }
+
+func (o *Oracle) peerAt(i int) Peer {
+	owner := i
+	if o.owners != nil {
+		owner = o.owners[i]
+	}
+	return Peer{Point: o.ring.At(i), Owner: owner}
+}
+
+func (o *Oracle) lookupHops() int64 {
+	n := o.ring.Len()
+	if n <= 1 {
+		return 1
+	}
+	return int64(math.Ceil(math.Log2(float64(n))))
+}

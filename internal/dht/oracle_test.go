@@ -1,0 +1,192 @@
+package dht
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+
+	"github.com/dht-sampling/randompeer/internal/ring"
+)
+
+func mustRing(t *testing.T, points ...ring.Point) *ring.Ring {
+	t.Helper()
+	r, err := ring.New(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestOracleH(t *testing.T) {
+	t.Parallel()
+	o := NewOracle(mustRing(t, 100, 200, 300))
+	tests := []struct {
+		name      string
+		x         ring.Point
+		wantOwner int
+	}{
+		{name: "maps to first", x: 50, wantOwner: 0},
+		{name: "exact hit", x: 200, wantOwner: 1},
+		{name: "wraps", x: 301, wantOwner: 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			p, err := o.H(tt.x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.Owner != tt.wantOwner {
+				t.Errorf("H(%d).Owner = %d, want %d", tt.x, p.Owner, tt.wantOwner)
+			}
+		})
+	}
+}
+
+func TestOracleNext(t *testing.T) {
+	t.Parallel()
+	o := NewOracle(mustRing(t, 100, 200, 300))
+	p, err := o.H(150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nxt, err := o.Next(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nxt.Point != 300 || nxt.Owner != 2 {
+		t.Errorf("Next = %+v, want point 300 owner 2", nxt)
+	}
+	// Wraps around.
+	nxt2, err := o.Next(nxt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nxt2.Point != 100 {
+		t.Errorf("Next wrap = %+v, want point 100", nxt2)
+	}
+	// Unknown peer.
+	if _, err := o.Next(Peer{Point: 12345}); !errors.Is(err, ErrUnknownPeer) {
+		t.Errorf("err = %v, want ErrUnknownPeer", err)
+	}
+}
+
+func TestOracleCostCharging(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewPCG(1, 1))
+	o, err := GenerateOracle(rng, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := o.Meter().Snapshot()
+	if _, err := o.H(0); err != nil {
+		t.Fatal(err)
+	}
+	afterH := o.Meter().Snapshot().Sub(before)
+	// log2(1024) = 10 hops, 20 messages.
+	if afterH.Calls != 10 || afterH.Messages != 20 {
+		t.Errorf("H cost = %+v, want 10 calls / 20 messages", afterH)
+	}
+	p := o.PeerByIndex(0)
+	before = o.Meter().Snapshot()
+	if _, err := o.Next(p); err != nil {
+		t.Fatal(err)
+	}
+	afterNext := o.Meter().Snapshot().Sub(before)
+	if afterNext.Calls != 1 || afterNext.Messages != 2 {
+		t.Errorf("Next cost = %+v, want 1 call / 2 messages", afterNext)
+	}
+}
+
+func TestOracleSizeOwners(t *testing.T) {
+	t.Parallel()
+	o := NewOracle(mustRing(t, 1, 2, 3))
+	if o.Size() != 3 || o.Owners() != 3 {
+		t.Errorf("Size/Owners = %d/%d, want 3/3", o.Size(), o.Owners())
+	}
+}
+
+func TestGenerateOracle(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewPCG(9, 9))
+	o, err := GenerateOracle(rng, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Size() != 100 {
+		t.Errorf("Size = %d, want 100", o.Size())
+	}
+	if _, err := GenerateOracle(rng, 0); err == nil {
+		t.Error("zero peers should fail")
+	}
+}
+
+func TestVirtualOracle(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewPCG(4, 2))
+	const owners, perOwner = 50, 8
+	o, err := NewVirtualOracle(rng, owners, perOwner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Size() != owners*perOwner {
+		t.Errorf("Size = %d, want %d", o.Size(), owners*perOwner)
+	}
+	if o.Owners() != owners {
+		t.Errorf("Owners = %d, want %d", o.Owners(), owners)
+	}
+	// Every owner appears exactly perOwner times.
+	counts := make([]int, owners)
+	for i := 0; i < o.Size(); i++ {
+		p := o.PeerByIndex(i)
+		if p.Owner < 0 || p.Owner >= owners {
+			t.Fatalf("owner %d out of range", p.Owner)
+		}
+		counts[p.Owner]++
+	}
+	for owner, c := range counts {
+		if c != perOwner {
+			t.Errorf("owner %d has %d points, want %d", owner, c, perOwner)
+		}
+	}
+	// Next stays within the ring and resolves owners.
+	p := o.PeerByIndex(0)
+	nxt, err := o.Next(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nxt.Point != o.Ring().At(1) {
+		t.Errorf("Next point = %v, want %v", nxt.Point, o.Ring().At(1))
+	}
+}
+
+func TestVirtualOracleValidation(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewPCG(4, 3))
+	if _, err := NewVirtualOracle(rng, 0, 4); err == nil {
+		t.Error("zero owners should fail")
+	}
+	if _, err := NewVirtualOracle(rng, 4, 0); err == nil {
+		t.Error("zero points per owner should fail")
+	}
+}
+
+func TestOracleHMatchesRingSuccessor(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewPCG(6, 6))
+	o, err := GenerateOracle(rng, 333)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 1000; trial++ {
+		x := ring.Point(rng.Uint64())
+		p, err := o.H(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := o.Ring().Successor(x)
+		if p.Owner != want {
+			t.Fatalf("H(%v).Owner = %d, ring.Successor = %d", x, p.Owner, want)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+// Package exp is the experiment harness that regenerates every
+// quantitative claim of King & Saia's paper as a table or figure-series.
+// DESIGN.md carries the experiment index (E1-E20); EXPERIMENTS.md records
+// paper-claim versus measured output for each. Each experiment supports
+// a Quick mode (small sweeps, used by tests and smoke runs) and a Full
+// mode (the sweeps recorded in EXPERIMENTS.md).
+package exp
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Table is a rendered experiment result: a paper-style table or the data
+// series behind a figure.
+type Table struct {
+	ID      string
+	Title   string
+	Claim   string // the paper claim under test
+	Columns []string
+	Rows    [][]string
+	Notes   []string // free-form findings (fit slopes, verdicts)
+}
+
+// AddRow appends a formatted row; the value count must match Columns.
+func (t *Table) AddRow(values ...string) error {
+	if len(values) != len(t.Columns) {
+		return fmt.Errorf("exp: row has %d values for %d columns", len(values), len(t.Columns))
+	}
+	t.Rows = append(t.Rows, values)
+	return nil
+}
+
+// AddNote appends a formatted note line.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the table in aligned plain text.
+func (t *Table) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	if t.Claim != "" {
+		if _, err := fmt.Fprintf(w, "claim: %s\n", t.Claim); err != nil {
+			return err
+		}
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, v := range row {
+			if len(v) > widths[i] {
+				widths[i] = len(v)
+			}
+		}
+	}
+	writeRow := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, v := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], v)
+		}
+		_, err := fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+		return err
+	}
+	if err := writeRow(t.Columns); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if err := writeRow(sep); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	for _, note := range t.Notes {
+		if _, err := fmt.Fprintf(w, "  note: %s\n", note); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteCSV writes the table data as CSV (columns header plus rows).
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// RunConfig selects the sweep size and seeds an experiment run.
+type RunConfig struct {
+	// Seed roots all randomness of the run; equal seeds reproduce equal
+	// tables.
+	Seed uint64
+	// Quick selects reduced sweeps for tests and smoke runs.
+	Quick bool
+}
+
+// Experiment is one reproducible claim check.
+type Experiment struct {
+	ID    string
+	Title string
+	Claim string
+	Run   func(cfg RunConfig) (*Table, error)
+}
+
+// All returns every registered experiment, ordered by ID.
+func All() []Experiment {
+	exps := []Experiment{
+		expE1(),
+		expE2(),
+		expE3(),
+		expE4(),
+		expE5(),
+		expE6(),
+		expE7(),
+		expE8(),
+		expE9(),
+		expE10(),
+		expE11(),
+		expE12(),
+		expE13(),
+		expE14(),
+		expE15(),
+		expE16(),
+		expE17(),
+		expE18(),
+		expE19(),
+		expE20(),
+		expE21(),
+		expE22(),
+		expE23(),
+	}
+	sort.Slice(exps, func(i, j int) bool { return idOrder(exps[i].ID) < idOrder(exps[j].ID) })
+	return exps
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("exp: unknown experiment %q", id)
+}
+
+func idOrder(id string) int {
+	n, err := strconv.Atoi(strings.TrimPrefix(id, "E"))
+	if err != nil {
+		return 1 << 30
+	}
+	return n
+}
+
+// sweep returns the experiment's n values.
+func sweep(quick bool, full ...int) []int {
+	if !quick {
+		return full
+	}
+	if len(full) <= 2 {
+		return full
+	}
+	return full[:2]
+}
+
+// fmtF renders a float compactly.
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', 5, 64) }
+
+// fmtI renders an int.
+func fmtI(v int) string { return strconv.Itoa(v) }
+
+// fmtI64 renders an int64.
+func fmtI64(v int64) string { return strconv.FormatInt(v, 10) }
+
+// fmtU renders a uint64.
+func fmtU(v uint64) string { return strconv.FormatUint(v, 10) }

@@ -1,0 +1,60 @@
+// Package loadbalance implements the paper's second motivating
+// application (Karger & Ruhl, IPTPS 2004): spreading computational
+// tasks across peers by assigning each task to a sampled peer. With a
+// uniform sampler this is the classic balls-into-bins process whose
+// maximum load for m = n ln n tasks is Theta(ln n); with the biased
+// naive heuristic the longest-arc peer receives Theta(log n) times its
+// fair share.
+package loadbalance
+
+import (
+	"fmt"
+
+	"github.com/dht-sampling/randompeer/internal/dht"
+)
+
+// Result reports a task-assignment run.
+type Result struct {
+	// Loads[i] is the number of tasks assigned to peer i.
+	Loads []int
+	// MaxLoad is the heaviest peer's load.
+	MaxLoad int
+	// MeanLoad is tasks/peers.
+	MeanLoad float64
+	// Imbalance is MaxLoad/MeanLoad, the figure of merit.
+	Imbalance float64
+	// Idle is the number of peers that received no task.
+	Idle int
+}
+
+// Assign distributes tasks among owners peers, one sampler call per task.
+func Assign(s dht.Sampler, owners, tasks int) (Result, error) {
+	if owners < 1 {
+		return Result{}, fmt.Errorf("loadbalance: need >= 1 peer, got %d", owners)
+	}
+	if tasks < 1 {
+		return Result{}, fmt.Errorf("loadbalance: need >= 1 task, got %d", tasks)
+	}
+	loads := make([]int, owners)
+	for t := 0; t < tasks; t++ {
+		peer, err := s.Sample()
+		if err != nil {
+			return Result{}, fmt.Errorf("loadbalance: assigning task %d: %w", t, err)
+		}
+		if peer.Owner < 0 || peer.Owner >= owners {
+			return Result{}, fmt.Errorf("loadbalance: sampled owner %d outside [0, %d)", peer.Owner, owners)
+		}
+		loads[peer.Owner]++
+	}
+	res := Result{Loads: loads, MeanLoad: float64(tasks) / float64(owners)}
+	for _, l := range loads {
+		if l > res.MaxLoad {
+			res.MaxLoad = l
+		}
+		if l == 0 {
+			res.Idle++
+		}
+	}
+	res.Imbalance = float64(res.MaxLoad) / res.MeanLoad
+	return res, nil
+}

@@ -1,0 +1,116 @@
+package loadbalance
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"github.com/dht-sampling/randompeer/internal/baseline"
+	"github.com/dht-sampling/randompeer/internal/core"
+	"github.com/dht-sampling/randompeer/internal/dht"
+)
+
+func oracleAt(t *testing.T, seed uint64, n int) *dht.Oracle {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, seed*5+3))
+	o, err := dht.GenerateOracle(rng, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestAssignValidation(t *testing.T) {
+	t.Parallel()
+	o := oracleAt(t, 1, 8)
+	s := baseline.NewNaive(o, rand.New(rand.NewPCG(1, 1)))
+	if _, err := Assign(s, 0, 10); err == nil {
+		t.Error("zero peers should fail")
+	}
+	if _, err := Assign(s, 8, 0); err == nil {
+		t.Error("zero tasks should fail")
+	}
+}
+
+func TestAssignAccounting(t *testing.T) {
+	t.Parallel()
+	const n, tasks = 64, 640
+	o := oracleAt(t, 3, n)
+	s, err := core.New(o, o.PeerByIndex(0), rand.New(rand.NewPCG(2, 2)), core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Assign(s, n, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, l := range res.Loads {
+		total += l
+	}
+	if total != tasks {
+		t.Errorf("loads sum to %d, want %d", total, tasks)
+	}
+	if math.Abs(res.MeanLoad-10) > 1e-12 {
+		t.Errorf("MeanLoad = %v, want 10", res.MeanLoad)
+	}
+	if res.MaxLoad < 10 {
+		t.Errorf("MaxLoad = %d below mean", res.MaxLoad)
+	}
+	if res.Imbalance < 1 {
+		t.Errorf("Imbalance = %v", res.Imbalance)
+	}
+}
+
+func TestUniformBalancesBetterThanNaive(t *testing.T) {
+	t.Parallel()
+	// m = n ln n tasks: uniform max load is Theta(ln n); naive
+	// concentrates Theta(log n / n) of all tasks on the longest-arc peer.
+	const n = 256
+	tasks := int(float64(n) * math.Log(float64(n)))
+	o := oracleAt(t, 5, n)
+	uni, err := core.New(o, o.PeerByIndex(0), rand.New(rand.NewPCG(4, 4)), core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniRes, err := Assign(uni, n, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naiveRes, err := Assign(baseline.NewNaive(o, rand.New(rand.NewPCG(5, 5))), n, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if naiveRes.Imbalance <= uniRes.Imbalance {
+		t.Errorf("naive imbalance %v should exceed uniform %v", naiveRes.Imbalance, uniRes.Imbalance)
+	}
+	// Uniform balls-into-bins with ln n balls per bin: max load is
+	// within a small constant of the mean.
+	if uniRes.Imbalance > 4 {
+		t.Errorf("uniform imbalance = %v, want <= 4", uniRes.Imbalance)
+	}
+}
+
+func TestNaiveLeavesPeersIdle(t *testing.T) {
+	t.Parallel()
+	// Short-arc peers are almost never selected by the naive heuristic,
+	// so with m = 2n tasks many peers stay idle — far more than under
+	// uniform assignment.
+	const n = 512
+	o := oracleAt(t, 7, n)
+	uni, err := core.New(o, o.PeerByIndex(0), rand.New(rand.NewPCG(6, 6)), core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniRes, err := Assign(uni, n, 2*n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naiveRes, err := Assign(baseline.NewNaive(o, rand.New(rand.NewPCG(7, 7))), n, 2*n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if naiveRes.Idle <= uniRes.Idle {
+		t.Errorf("naive idle %d should exceed uniform idle %d", naiveRes.Idle, uniRes.Idle)
+	}
+}

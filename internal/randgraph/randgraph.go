@@ -1,0 +1,184 @@
+// Package randgraph implements the paper's third motivating application:
+// creating and maintaining random links. Every node draws k links to
+// peers chosen through a sampler; with uniform sampling the resulting
+// graph is an Erdos–Renyi-like random graph that stays well connected
+// under massive adversarial deletion (the paper cites Motwani & Raghavan
+// ch. 5.3), while biased sampling concentrates in-links on long-arc
+// peers, handing an adversary cheap cut vertices.
+package randgraph
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/dht-sampling/randompeer/internal/dht"
+)
+
+// Graph is an undirected overlay built from sampled links.
+type Graph struct {
+	n     int
+	adj   [][]int
+	alive []bool
+}
+
+// Build constructs a graph on n nodes where each node draws k links via
+// the sampler (self-loops and duplicate edges are kept out of the
+// adjacency lists; the sampler's Owner index identifies targets).
+func Build(s dht.Sampler, n, k int) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("randgraph: need >= 2 nodes, got %d", n)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("randgraph: need >= 1 link per node, got %d", k)
+	}
+	g := &Graph{
+		n:     n,
+		adj:   make([][]int, n),
+		alive: make([]bool, n),
+	}
+	for i := range g.alive {
+		g.alive[i] = true
+	}
+	edges := make(map[[2]int]struct{}, n*k)
+	for i := 0; i < n; i++ {
+		for j := 0; j < k; j++ {
+			peer, err := s.Sample()
+			if err != nil {
+				return nil, fmt.Errorf("randgraph: sampling link %d of node %d: %w", j, i, err)
+			}
+			target := peer.Owner
+			if target < 0 || target >= n {
+				return nil, fmt.Errorf("randgraph: sampled owner %d outside [0, %d)", target, n)
+			}
+			if target == i {
+				continue
+			}
+			key := [2]int{i, target}
+			if target < i {
+				key = [2]int{target, i}
+			}
+			if _, dup := edges[key]; dup {
+				continue
+			}
+			edges[key] = struct{}{}
+			g.adj[i] = append(g.adj[i], target)
+			g.adj[target] = append(g.adj[target], i)
+		}
+	}
+	return g, nil
+}
+
+// N returns the number of nodes (alive or deleted).
+func (g *Graph) N() int { return g.n }
+
+// NumAlive returns the number of surviving nodes.
+func (g *Graph) NumAlive() int {
+	count := 0
+	for _, a := range g.alive {
+		if a {
+			count++
+		}
+	}
+	return count
+}
+
+// Degree returns the degree of node i counting only alive neighbors.
+func (g *Graph) Degree(i int) (int, error) {
+	if i < 0 || i >= g.n {
+		return 0, fmt.Errorf("randgraph: node %d outside [0, %d)", i, g.n)
+	}
+	d := 0
+	for _, j := range g.adj[i] {
+		if g.alive[j] {
+			d++
+		}
+	}
+	return d, nil
+}
+
+// Delete removes a node.
+func (g *Graph) Delete(i int) error {
+	if i < 0 || i >= g.n {
+		return fmt.Errorf("randgraph: node %d outside [0, %d)", i, g.n)
+	}
+	g.alive[i] = false
+	return nil
+}
+
+// DeleteAdversarial deletes the ceil(frac*n) highest-degree surviving
+// nodes (degree measured in the original graph — the adversary targets
+// hubs), returning the deleted ids. This is the attack model under which
+// uniform random links retain a giant component while biased links
+// fragment.
+func (g *Graph) DeleteAdversarial(frac float64) ([]int, error) {
+	if frac < 0 || frac >= 1 {
+		return nil, fmt.Errorf("randgraph: deletion fraction %v outside [0, 1)", frac)
+	}
+	type nodeDeg struct{ id, deg int }
+	nodes := make([]nodeDeg, 0, g.n)
+	for i := 0; i < g.n; i++ {
+		if g.alive[i] {
+			nodes = append(nodes, nodeDeg{id: i, deg: len(g.adj[i])})
+		}
+	}
+	sort.Slice(nodes, func(a, b int) bool {
+		if nodes[a].deg != nodes[b].deg {
+			return nodes[a].deg > nodes[b].deg
+		}
+		return nodes[a].id < nodes[b].id
+	})
+	toDelete := int(frac * float64(len(nodes)))
+	deleted := make([]int, 0, toDelete)
+	for i := 0; i < toDelete; i++ {
+		g.alive[nodes[i].id] = false
+		deleted = append(deleted, nodes[i].id)
+	}
+	return deleted, nil
+}
+
+// LargestComponentFraction returns the size of the largest connected
+// component among surviving nodes divided by the number of survivors.
+func (g *Graph) LargestComponentFraction() float64 {
+	aliveCount := g.NumAlive()
+	if aliveCount == 0 {
+		return 0
+	}
+	visited := make([]bool, g.n)
+	best := 0
+	queue := make([]int, 0, aliveCount)
+	for start := 0; start < g.n; start++ {
+		if !g.alive[start] || visited[start] {
+			continue
+		}
+		size := 0
+		queue = append(queue[:0], start)
+		visited[start] = true
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			size++
+			for _, w := range g.adj[v] {
+				if g.alive[w] && !visited[w] {
+					visited[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+		if size > best {
+			best = size
+		}
+	}
+	return float64(best) / float64(aliveCount)
+}
+
+// MaxDegree returns the maximum original degree, the hub statistic that
+// distinguishes biased from uniform link construction.
+func (g *Graph) MaxDegree() int {
+	best := 0
+	for i := 0; i < g.n; i++ {
+		if d := len(g.adj[i]); d > best {
+			best = d
+		}
+	}
+	return best
+}

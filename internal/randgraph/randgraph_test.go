@@ -1,0 +1,177 @@
+package randgraph
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"github.com/dht-sampling/randompeer/internal/baseline"
+	"github.com/dht-sampling/randompeer/internal/core"
+	"github.com/dht-sampling/randompeer/internal/dht"
+)
+
+func oracleAt(t *testing.T, seed uint64, n int) *dht.Oracle {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, seed^0x5a5a))
+	o, err := dht.GenerateOracle(rng, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestBuildValidation(t *testing.T) {
+	t.Parallel()
+	o := oracleAt(t, 1, 16)
+	s := baseline.NewNaive(o, rand.New(rand.NewPCG(1, 1)))
+	if _, err := Build(s, 1, 3); err == nil {
+		t.Error("n=1 should fail")
+	}
+	if _, err := Build(s, 16, 0); err == nil {
+		t.Error("k=0 should fail")
+	}
+}
+
+func TestBuildBasicStructure(t *testing.T) {
+	t.Parallel()
+	const n, k = 200, 5
+	o := oracleAt(t, 3, n)
+	s, err := core.New(o, o.PeerByIndex(0), rand.New(rand.NewPCG(2, 2)), core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Build(s, n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != n || g.NumAlive() != n {
+		t.Errorf("N/NumAlive = %d/%d", g.N(), g.NumAlive())
+	}
+	// Adjacency symmetric and self-loop free.
+	for i := 0; i < n; i++ {
+		d, err := g.Degree(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d == 0 {
+			t.Errorf("node %d isolated in fresh graph", i)
+		}
+	}
+	// Fully connected before deletions (k=5 uniform links on 200 nodes
+	// is far above the connectivity threshold).
+	if frac := g.LargestComponentFraction(); frac != 1 {
+		t.Errorf("fresh giant component = %v, want 1", frac)
+	}
+}
+
+func TestUniformLinksSurviveAdversarialDeletion(t *testing.T) {
+	t.Parallel()
+	const n, k = 400, 6
+	o := oracleAt(t, 5, n)
+	s, err := core.New(o, o.PeerByIndex(0), rand.New(rand.NewPCG(4, 4)), core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Build(s, n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deleted, err := g.DeleteAdversarial(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deleted) != int(0.3*float64(n)) {
+		t.Errorf("deleted %d nodes", len(deleted))
+	}
+	if frac := g.LargestComponentFraction(); frac < 0.9 {
+		t.Errorf("uniform-link giant component after 30%% adversarial deletion = %v, want >= 0.9", frac)
+	}
+}
+
+func TestBiasedLinksFragmentMore(t *testing.T) {
+	t.Parallel()
+	// Links drawn through the naive sampler concentrate on long-arc
+	// peers; deleting hubs must hurt the biased graph strictly more.
+	const n, k = 400, 3
+	o := oracleAt(t, 7, n)
+	uni, err := core.New(o, o.PeerByIndex(0), rand.New(rand.NewPCG(6, 6)), core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gUni, err := Build(uni, n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gBias, err := Build(baseline.NewNaive(o, rand.New(rand.NewPCG(7, 7))), n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gBias.MaxDegree() <= gUni.MaxDegree() {
+		t.Errorf("biased max degree %d should exceed uniform %d", gBias.MaxDegree(), gUni.MaxDegree())
+	}
+	if _, err := gUni.DeleteAdversarial(0.4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gBias.DeleteAdversarial(0.4); err != nil {
+		t.Fatal(err)
+	}
+	fu := gUni.LargestComponentFraction()
+	fb := gBias.LargestComponentFraction()
+	if fb >= fu {
+		t.Errorf("biased graph survived as well as uniform: biased %v vs uniform %v", fb, fu)
+	}
+}
+
+func TestDeleteAndDegree(t *testing.T) {
+	t.Parallel()
+	const n = 50
+	o := oracleAt(t, 9, n)
+	s := baseline.NewNaive(o, rand.New(rand.NewPCG(8, 8)))
+	g, err := Build(s, n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumAlive() != n-1 {
+		t.Errorf("NumAlive = %d", g.NumAlive())
+	}
+	if err := g.Delete(-1); err == nil {
+		t.Error("negative id should fail")
+	}
+	if _, err := g.Degree(n); err == nil {
+		t.Error("out-of-range degree should fail")
+	}
+}
+
+func TestDeleteAdversarialValidation(t *testing.T) {
+	t.Parallel()
+	o := oracleAt(t, 11, 20)
+	g, err := Build(baseline.NewNaive(o, rand.New(rand.NewPCG(9, 9))), 20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.DeleteAdversarial(1.0); err == nil {
+		t.Error("frac=1 should fail")
+	}
+	if _, err := g.DeleteAdversarial(-0.1); err == nil {
+		t.Error("negative frac should fail")
+	}
+}
+
+func TestLargestComponentEmpty(t *testing.T) {
+	t.Parallel()
+	o := oracleAt(t, 13, 4)
+	g, err := Build(baseline.NewNaive(o, rand.New(rand.NewPCG(10, 10))), 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := g.Delete(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if frac := g.LargestComponentFraction(); frac != 0 {
+		t.Errorf("empty graph component fraction = %v", frac)
+	}
+}

@@ -1,0 +1,56 @@
+package ring
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func benchRing(b *testing.B, n int) *Ring {
+	b.Helper()
+	rng := rand.New(rand.NewPCG(uint64(n), 1))
+	r, err := Generate(rng, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+func BenchmarkSuccessor(b *testing.B) {
+	r := benchRing(b, 1<<16)
+	rng := rand.New(rand.NewPCG(2, 2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Successor(Point(rng.Uint64()))
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(rng, 4096); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCountIn(b *testing.B) {
+	r := benchRing(b, 4096)
+	rng := rand.New(rand.NewPCG(4, 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := Point(rng.Uint64())
+		_ = r.CountIn(NewInterval(start, Add(start, 1<<52)))
+	}
+}
+
+func BenchmarkS128Arithmetic(b *testing.B) {
+	s := S128Of(1 << 60)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s = s.AddUint(uint64(i)).SubUint(uint64(i) / 2)
+		if s.IsNeg() {
+			s = S128Of(1 << 60)
+		}
+	}
+}

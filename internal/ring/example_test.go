@@ -1,0 +1,37 @@
+package ring_test
+
+import (
+	"fmt"
+
+	"github.com/dht-sampling/randompeer/internal/ring"
+)
+
+// ExampleDistance shows clockwise distance on the 2^64-unit circle.
+func ExampleDistance() {
+	fmt.Println(ring.Distance(10, 25))
+	fmt.Println(ring.Distance(25, 10)) // wraps the long way around
+	// Output:
+	// 15
+	// 18446744073709551601
+}
+
+// ExampleRing_Successor shows the h(x) primitive: the peer whose point
+// is closest clockwise to a key.
+func ExampleRing_Successor() {
+	r, err := ring.New([]ring.Point{100, 200, 300})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(r.Successor(150)) // between 100 and 200 -> peer at 200
+	fmt.Println(r.Successor(301)) // past the last peer -> wraps to 100
+	// Output:
+	// 1
+	// 0
+}
+
+// ExampleInterval shows the paper's half-open interval convention.
+func ExampleInterval() {
+	iv := ring.NewInterval(10, 20)
+	fmt.Println(iv.Contains(10), iv.Contains(20), iv.Length())
+	// Output: false true 10
+}

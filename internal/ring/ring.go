@@ -1,0 +1,228 @@
+// Package ring implements exact fixed-point arithmetic on the DHT unit
+// circle used throughout the King–Saia random-peer-selection reproduction.
+//
+// The paper scales the DHT key space to the real interval (0,1] and treats
+// it as a circle of unit circumference. We instead represent the circle as
+// the integers modulo 2^64: a Point is a uint64, the circle has exactly
+// 2^64 "units", and the clockwise distance from x to y is (y-x) mod 2^64.
+// Integer arithmetic makes every measure-theoretic statement in the paper
+// (interval lengths, per-peer assigned measure, arc statistics) exactly
+// checkable with no floating-point drift. Floating point appears only at
+// presentation boundaries via Float and PointOf.
+package ring
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+)
+
+// Point is a position on the unit circle, measured in 2^64ths of the
+// circumference. Clockwise corresponds to increasing values (mod 2^64).
+type Point uint64
+
+// UnitsPerCircle is the number of discrete positions on the circle as a
+// float64 (2^64). The exact integer value does not fit in a uint64.
+const UnitsPerCircle = float64(1<<63) * 2
+
+// Distance returns the clockwise distance from x to y in circle units.
+// Distance(x, x) == 0. This is the paper's d(x, y) scaled by 2^64.
+func Distance(x, y Point) uint64 {
+	return uint64(y) - uint64(x)
+}
+
+// Add returns the point d units clockwise from p.
+func Add(p Point, d uint64) Point {
+	return Point(uint64(p) + d)
+}
+
+// Sub returns the point d units counterclockwise from p.
+func Sub(p Point, d uint64) Point {
+	return Point(uint64(p) - d)
+}
+
+// Float maps p to the half-open real interval [0, 1).
+func (p Point) Float() float64 {
+	return float64(uint64(p)) / UnitsPerCircle
+}
+
+// PointOf maps a real number to the nearest point, reducing mod 1.0 so any
+// finite value is accepted.
+func PointOf(f float64) Point {
+	f = f - math.Floor(f)
+	u := f * UnitsPerCircle
+	if u >= UnitsPerCircle {
+		return 0
+	}
+	return Point(uint64(u))
+}
+
+// String renders the point both as raw units and as a fraction of the
+// circle, which is the form used in the paper.
+func (p Point) String() string {
+	return fmt.Sprintf("%.6f", p.Float())
+}
+
+// FracToUnits converts a fraction of the circle (such as the paper's
+// lambda = 1/(7*nhat)) to a whole number of circle units, rounding down.
+// Fractions of 1.0 or more saturate to the maximum representable length.
+func FracToUnits(frac float64) uint64 {
+	if frac <= 0 {
+		return 0
+	}
+	if frac >= 1 {
+		return math.MaxUint64
+	}
+	u := frac * UnitsPerCircle
+	if u >= UnitsPerCircle {
+		return math.MaxUint64
+	}
+	return uint64(u)
+}
+
+// UnitsToFrac converts a length in circle units to a fraction of the
+// circle circumference.
+func UnitsToFrac(units uint64) float64 {
+	return float64(units) / UnitsPerCircle
+}
+
+// Ring is an immutable set of distinct peer points in sorted (clockwise)
+// order. Index i identifies the peer owning point i; indices are the
+// stable peer identities used by the samplers' tallies and by the exact
+// assignment analyzer.
+//
+// The zero value is an empty ring; use New or Generate to build one.
+type Ring struct {
+	points []Point
+}
+
+// New builds a ring from the given peer points. The input is copied,
+// sorted clockwise from zero, and must contain no duplicates.
+func New(points []Point) (*Ring, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("ring: need at least one peer point")
+	}
+	ps := make([]Point, len(points))
+	copy(ps, points)
+	sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+	for i := 1; i < len(ps); i++ {
+		if ps[i] == ps[i-1] {
+			return nil, fmt.Errorf("ring: duplicate peer point %d", uint64(ps[i]))
+		}
+	}
+	return &Ring{points: ps}, nil
+}
+
+// Generate places n peers independently and uniformly at random on the
+// circle, matching the paper's random-oracle placement assumption, and
+// returns the resulting ring. Collisions (probability about n^2/2^64) are
+// re-drawn so the result always has exactly n distinct points.
+func Generate(rng *rand.Rand, n int) (*Ring, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("ring: peer count must be positive, got %d", n)
+	}
+	seen := make(map[Point]struct{}, n)
+	points := make([]Point, 0, n)
+	for len(points) < n {
+		p := Point(rng.Uint64())
+		if _, dup := seen[p]; dup {
+			continue
+		}
+		seen[p] = struct{}{}
+		points = append(points, p)
+	}
+	return New(points)
+}
+
+// Len returns the number of peers.
+func (r *Ring) Len() int { return len(r.points) }
+
+// At returns the peer point at index i.
+func (r *Ring) At(i int) Point { return r.points[i] }
+
+// Points returns a copy of the sorted peer points.
+func (r *Ring) Points() []Point {
+	out := make([]Point, len(r.points))
+	copy(out, r.points)
+	return out
+}
+
+// Successor returns the index of the peer whose point is closest in
+// clockwise distance to x. This is the paper's h(x): if x coincides with
+// a peer point the peer at x itself is returned (distance zero).
+func (r *Ring) Successor(x Point) int {
+	n := len(r.points)
+	i := sort.Search(n, func(i int) bool { return r.points[i] >= x })
+	if i == n {
+		return 0 // wrapped past the largest point
+	}
+	return i
+}
+
+// NextIndex returns the index of the peer immediately clockwise of peer i.
+// This is the paper's next(p).
+func (r *Ring) NextIndex(i int) int {
+	return (i + 1) % len(r.points)
+}
+
+// PrevIndex returns the index of the peer immediately counterclockwise of
+// peer i.
+func (r *Ring) PrevIndex(i int) int {
+	return (i - 1 + len(r.points)) % len(r.points)
+}
+
+// Arc returns the clockwise distance from peer i's point to its
+// successor's point: the length of the (maximally peerless) interval
+// anchored counterclockwise at peer i. For a single-peer ring the "arc"
+// wraps the whole circle, which is not representable; it saturates to
+// MaxUint64 (one unit short of the full circle).
+func (r *Ring) Arc(i int) uint64 {
+	if len(r.points) == 1 {
+		return math.MaxUint64
+	}
+	return Distance(r.points[i], r.points[r.NextIndex(i)])
+}
+
+// IndexOf returns the index owning point p, or -1 if no peer sits at p.
+func (r *Ring) IndexOf(p Point) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i] >= p })
+	if i < len(r.points) && r.points[i] == p {
+		return i
+	}
+	return -1
+}
+
+// MinArc returns the shortest arc length and the index of its
+// counterclockwise endpoint.
+func (r *Ring) MinArc() (length uint64, index int) {
+	length = math.MaxUint64
+	for i := range r.points {
+		if a := r.Arc(i); a < length {
+			length, index = a, i
+		}
+	}
+	return length, index
+}
+
+// MaxArc returns the longest arc length and the index of its
+// counterclockwise endpoint.
+func (r *Ring) MaxArc() (length uint64, index int) {
+	for i := range r.points {
+		if a := r.Arc(i); a >= length {
+			length, index = a, i
+		}
+	}
+	return length, index
+}
+
+// TotalArc returns the sum of all arcs. For rings of two or more peers the
+// arcs tile the circle, so the sum is 2^64 which wraps to zero; TotalArc
+// is exposed for exactness checks in tests.
+func (r *Ring) TotalArc() uint64 {
+	var sum uint64
+	for i := range r.points {
+		sum += r.Arc(i)
+	}
+	return sum
+}

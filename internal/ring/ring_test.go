@@ -1,0 +1,313 @@
+package ring
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistance(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		name string
+		x, y Point
+		want uint64
+	}{
+		{name: "zero distance", x: 10, y: 10, want: 0},
+		{name: "forward", x: 10, y: 25, want: 15},
+		{name: "wrapping", x: math.MaxUint64, y: 4, want: 5},
+		{name: "almost full circle", x: 1, y: 0, want: math.MaxUint64},
+		{name: "from origin", x: 0, y: 1 << 63, want: 1 << 63},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			if got := Distance(tt.x, tt.y); got != tt.want {
+				t.Errorf("Distance(%d, %d) = %d, want %d", tt.x, tt.y, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	t.Parallel()
+	// d(x,y) + d(y,x) is a full circle (== 0 mod 2^64) unless x == y.
+	antisym := func(x, y uint64) bool {
+		if x == y {
+			return Distance(Point(x), Point(y)) == 0
+		}
+		return Distance(Point(x), Point(y))+Distance(Point(y), Point(x)) == 0
+	}
+	if err := quick.Check(antisym, nil); err != nil {
+		t.Errorf("antisymmetry: %v", err)
+	}
+	// Triangle identity along the clockwise order: d(x,z) == d(x,y) + d(y,z)
+	// whenever y lies on the clockwise path from x to z.
+	chain := func(x, a, b uint64) bool {
+		y := Point(x + a)
+		z := Point(x + a + b)
+		return Distance(Point(x), z) == Distance(Point(x), y)+Distance(y, z)
+	}
+	if err := quick.Check(chain, nil); err != nil {
+		t.Errorf("chain rule: %v", err)
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	t.Parallel()
+	roundTrip := func(p, d uint64) bool {
+		return Sub(Add(Point(p), d), d) == Point(p)
+	}
+	if err := quick.Check(roundTrip, nil); err != nil {
+		t.Error(err)
+	}
+	if got := Add(Point(math.MaxUint64), 1); got != 0 {
+		t.Errorf("Add wrap = %v, want 0", got)
+	}
+}
+
+func TestFloatConversion(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		name string
+		f    float64
+		want float64
+	}{
+		{name: "zero", f: 0, want: 0},
+		{name: "half", f: 0.5, want: 0.5},
+		{name: "quarter", f: 0.25, want: 0.25},
+		{name: "wraps above one", f: 1.25, want: 0.25},
+		{name: "negative wraps", f: -0.25, want: 0.75},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			p := PointOf(tt.f)
+			if got := p.Float(); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("PointOf(%v).Float() = %v, want %v", tt.f, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestFracToUnits(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		name string
+		frac float64
+		want uint64
+	}{
+		{name: "zero", frac: 0, want: 0},
+		{name: "negative", frac: -0.5, want: 0},
+		{name: "half", frac: 0.5, want: 1 << 63},
+		{name: "one saturates", frac: 1.0, want: math.MaxUint64},
+		{name: "above one saturates", frac: 2.0, want: math.MaxUint64},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			if got := FracToUnits(tt.frac); got != tt.want {
+				t.Errorf("FracToUnits(%v) = %d, want %d", tt.frac, got, tt.want)
+			}
+		})
+	}
+	// Round trip within float precision.
+	for _, frac := range []float64{1e-9, 1e-6, 0.001, 0.125, 0.999} {
+		units := FracToUnits(frac)
+		if got := UnitsToFrac(units); math.Abs(got-frac)/frac > 1e-9 {
+			t.Errorf("UnitsToFrac(FracToUnits(%v)) = %v", frac, got)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := New(nil); err == nil {
+		t.Error("New(nil) should fail")
+	}
+	if _, err := New([]Point{5, 9, 5}); err == nil {
+		t.Error("New with duplicates should fail")
+	}
+	r, err := New([]Point{30, 10, 20})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	want := []Point{10, 20, 30}
+	for i, w := range want {
+		if r.At(i) != w {
+			t.Errorf("At(%d) = %v, want %v", i, r.At(i), w)
+		}
+	}
+}
+
+func TestGenerate(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewPCG(1, 2))
+	r, err := Generate(rng, 1000)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if r.Len() != 1000 {
+		t.Fatalf("Len = %d, want 1000", r.Len())
+	}
+	for i := 1; i < r.Len(); i++ {
+		if r.At(i) <= r.At(i-1) {
+			t.Fatalf("points not strictly sorted at %d", i)
+		}
+	}
+	if _, err := Generate(rng, 0); err == nil {
+		t.Error("Generate(0) should fail")
+	}
+}
+
+func TestSuccessor(t *testing.T) {
+	t.Parallel()
+	r, err := New([]Point{100, 200, 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name string
+		x    Point
+		want int
+	}{
+		{name: "before first", x: 50, want: 0},
+		{name: "exactly at peer", x: 100, want: 0},
+		{name: "between", x: 150, want: 1},
+		{name: "at last", x: 300, want: 2},
+		{name: "after last wraps", x: 301, want: 0},
+		{name: "near top wraps", x: math.MaxUint64, want: 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			if got := r.Successor(tt.x); got != tt.want {
+				t.Errorf("Successor(%d) = %d, want %d", tt.x, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSuccessorIsClosestClockwise(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewPCG(7, 7))
+	r, err := Generate(rng, 257)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// h(x) must be the peer minimizing clockwise distance from x.
+	for trial := 0; trial < 2000; trial++ {
+		x := Point(rng.Uint64())
+		got := r.Successor(x)
+		best, bestDist := -1, uint64(math.MaxUint64)
+		for i := 0; i < r.Len(); i++ {
+			if d := Distance(x, r.At(i)); d <= bestDist {
+				// Strictly closest; ties impossible with distinct points.
+				if d < bestDist {
+					best, bestDist = i, d
+				}
+			}
+		}
+		if got != best {
+			t.Fatalf("Successor(%d) = %d, brute force found %d", x, got, best)
+		}
+	}
+}
+
+func TestNextPrevIndex(t *testing.T) {
+	t.Parallel()
+	r, err := New([]Point{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.NextIndex(2); got != 0 {
+		t.Errorf("NextIndex(2) = %d, want 0", got)
+	}
+	if got := r.PrevIndex(0); got != 2 {
+		t.Errorf("PrevIndex(0) = %d, want 2", got)
+	}
+	for i := 0; i < r.Len(); i++ {
+		if r.PrevIndex(r.NextIndex(i)) != i {
+			t.Errorf("prev(next(%d)) != %d", i, i)
+		}
+	}
+}
+
+func TestArcsTileCircle(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewPCG(3, 9))
+	for _, n := range []int{2, 3, 17, 1024} {
+		r, err := Generate(rng, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Arcs of a multi-peer ring tile the circle exactly: their sum is
+		// 2^64 which wraps to 0 in uint64 arithmetic.
+		if sum := r.TotalArc(); sum != 0 {
+			t.Errorf("n=%d: TotalArc = %d, want 0 (full circle)", n, sum)
+		}
+	}
+}
+
+func TestMinMaxArc(t *testing.T) {
+	t.Parallel()
+	r, err := New([]Point{0, 10, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	minLen, minIdx := r.MinArc()
+	if minLen != 10 || minIdx != 0 {
+		t.Errorf("MinArc = (%d, %d), want (10, 0)", minLen, minIdx)
+	}
+	maxLen, maxIdx := r.MaxArc()
+	// Arc from 100 wraps to 0: 2^64 - 100.
+	wantMax := Distance(100, 0)
+	if maxLen != wantMax || maxIdx != 2 {
+		t.Errorf("MaxArc = (%d, %d), want (%d, 2)", maxLen, maxIdx, wantMax)
+	}
+}
+
+func TestSinglePeerRing(t *testing.T) {
+	t.Parallel()
+	r, err := New([]Point{42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Successor(0); got != 0 {
+		t.Errorf("Successor = %d, want 0", got)
+	}
+	if got := r.Arc(0); got != math.MaxUint64 {
+		t.Errorf("Arc(0) = %d, want saturated MaxUint64", got)
+	}
+	if got := r.NextIndex(0); got != 0 {
+		t.Errorf("NextIndex(0) = %d, want 0", got)
+	}
+}
+
+func TestIndexOf(t *testing.T) {
+	t.Parallel()
+	r, err := New([]Point{5, 15, 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.IndexOf(15); got != 1 {
+		t.Errorf("IndexOf(15) = %d, want 1", got)
+	}
+	if got := r.IndexOf(16); got != -1 {
+		t.Errorf("IndexOf(16) = %d, want -1", got)
+	}
+}
+
+func TestPointsReturnsCopy(t *testing.T) {
+	t.Parallel()
+	r, err := New([]Point{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := r.Points()
+	ps[0] = 99
+	if r.At(0) != 1 {
+		t.Error("Points() must return a defensive copy")
+	}
+}

@@ -1,0 +1,173 @@
+package simnet
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Chan is a goroutine-per-node transport: every registered node runs a
+// server goroutine that processes its inbox sequentially, so a node's
+// handler executions are serialized exactly as a single-threaded peer
+// process would be. It is used by the churn experiments, where many
+// driver goroutines (stabilizers, samplers, the churn schedule) issue
+// RPCs concurrently.
+//
+// Handlers must not issue nested RPCs that can form a call cycle; the
+// Chord handlers issue none at all, so no deadlock is possible.
+type Chan struct {
+	mu      sync.RWMutex
+	inboxes map[NodeID]chan envelope
+	closed  bool
+	wg      sync.WaitGroup
+	meter   Meter
+	faults  *Faults
+	bufSize int
+}
+
+var _ Transport = (*Chan)(nil)
+
+type envelope struct {
+	from  NodeID
+	msg   Message
+	reply chan result
+}
+
+type result struct {
+	msg Message
+	err error
+}
+
+// ChanOption configures a Chan transport.
+type ChanOption func(*Chan)
+
+// WithChanFaults attaches a fault-injection plan.
+func WithChanFaults(f *Faults) ChanOption {
+	return func(c *Chan) { c.faults = f }
+}
+
+// WithInboxSize overrides the per-node inbox capacity (default 64).
+func WithInboxSize(n int) ChanOption {
+	return func(c *Chan) {
+		if n > 0 {
+			c.bufSize = n
+		}
+	}
+}
+
+// NewChan returns a ready-to-use goroutine-per-node transport. Callers
+// must Close it to stop the server goroutines.
+func NewChan(opts ...ChanOption) *Chan {
+	c := &Chan{inboxes: make(map[NodeID]chan envelope), bufSize: 64}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// Register implements Transport: it starts the node's server goroutine.
+func (c *Chan) Register(id NodeID, h Handler) error {
+	if h == nil {
+		return fmt.Errorf("simnet: nil handler for node %d", id)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	if _, ok := c.inboxes[id]; ok {
+		return fmt.Errorf("%w: %d", ErrDuplicateID, id)
+	}
+	inbox := make(chan envelope, c.bufSize)
+	c.inboxes[id] = inbox
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		for env := range inbox {
+			resp, err := h(env.from, env.msg)
+			env.reply <- result{msg: resp, err: err}
+		}
+	}()
+	return nil
+}
+
+// Deregister implements Transport: it stops the node's server goroutine.
+// In-flight requests already queued are still answered before shutdown.
+func (c *Chan) Deregister(id NodeID) {
+	c.mu.Lock()
+	inbox, ok := c.inboxes[id]
+	if ok {
+		delete(c.inboxes, id)
+	}
+	c.mu.Unlock()
+	if ok {
+		close(inbox)
+	}
+}
+
+// Call implements Transport.
+func (c *Chan) Call(from, to NodeID, msg Message) (Message, error) {
+	c.mu.RLock()
+	if c.closed {
+		c.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	inbox, ok := c.inboxes[to]
+	c.mu.RUnlock()
+	if !ok {
+		c.meter.chargeFailure()
+		return nil, fmt.Errorf("%w: %d", ErrUnknownNode, to)
+	}
+	if err := c.faults.check(to); err != nil {
+		c.meter.chargeFailure()
+		return nil, fmt.Errorf("call %d->%d: %w", from, to, err)
+	}
+	reply := make(chan result, 1)
+	// The inbox may have been closed by a concurrent Deregister; sending
+	// to a closed channel panics, so recover that specific case into an
+	// unknown-node error.
+	if err := c.send(inbox, envelope{from: from, msg: msg, reply: reply}); err != nil {
+		c.meter.chargeFailure()
+		return nil, fmt.Errorf("call %d->%d: %w", from, to, err)
+	}
+	res := <-reply
+	if res.err != nil {
+		c.meter.chargeFailure()
+		return nil, fmt.Errorf("call %d->%d: %w", from, to, res.err)
+	}
+	c.meter.chargeSuccess()
+	return res.msg, nil
+}
+
+// send delivers env to inbox, converting a send-on-closed-channel panic
+// (a Deregister race) into ErrUnknownNode.
+func (c *Chan) send(inbox chan envelope, env envelope) (err error) {
+	defer func() {
+		if recover() != nil {
+			err = ErrUnknownNode
+		}
+	}()
+	inbox <- env
+	return nil
+}
+
+// Meter implements Transport.
+func (c *Chan) Meter() *Meter { return &c.meter }
+
+// Close implements Transport: it stops all server goroutines and waits
+// for them to drain.
+func (c *Chan) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	inboxes := c.inboxes
+	c.inboxes = make(map[NodeID]chan envelope)
+	c.mu.Unlock()
+	for _, inbox := range inboxes {
+		close(inbox)
+	}
+	c.wg.Wait()
+	return nil
+}

@@ -1,0 +1,100 @@
+package simnet
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Direct is a synchronous in-process transport: Call invokes the
+// destination handler in the caller's goroutine. It is deterministic,
+// allocation-light and safe for concurrent use, which makes it the
+// default backend for experiments.
+type Direct struct {
+	mu       sync.RWMutex
+	handlers map[NodeID]Handler
+	closed   bool
+	meter    Meter
+	faults   *Faults
+}
+
+var _ Transport = (*Direct)(nil)
+
+// DirectOption configures a Direct transport.
+type DirectOption func(*Direct)
+
+// WithFaults attaches a fault-injection plan.
+func WithFaults(f *Faults) DirectOption {
+	return func(d *Direct) { d.faults = f }
+}
+
+// NewDirect returns a ready-to-use synchronous transport.
+func NewDirect(opts ...DirectOption) *Direct {
+	d := &Direct{handlers: make(map[NodeID]Handler)}
+	for _, opt := range opts {
+		opt(d)
+	}
+	return d
+}
+
+// Register implements Transport.
+func (d *Direct) Register(id NodeID, h Handler) error {
+	if h == nil {
+		return fmt.Errorf("simnet: nil handler for node %d", id)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if _, ok := d.handlers[id]; ok {
+		return fmt.Errorf("%w: %d", ErrDuplicateID, id)
+	}
+	d.handlers[id] = h
+	return nil
+}
+
+// Deregister implements Transport.
+func (d *Direct) Deregister(id NodeID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.handlers, id)
+}
+
+// Call implements Transport. The handler runs synchronously with no
+// transport locks held, so handlers may call back into the transport.
+func (d *Direct) Call(from, to NodeID, msg Message) (Message, error) {
+	d.mu.RLock()
+	if d.closed {
+		d.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	h, ok := d.handlers[to]
+	d.mu.RUnlock()
+	if !ok {
+		d.meter.chargeFailure()
+		return nil, fmt.Errorf("%w: %d", ErrUnknownNode, to)
+	}
+	if err := d.faults.check(to); err != nil {
+		d.meter.chargeFailure()
+		return nil, fmt.Errorf("call %d->%d: %w", from, to, err)
+	}
+	resp, err := h(from, msg)
+	if err != nil {
+		d.meter.chargeFailure()
+		return nil, fmt.Errorf("call %d->%d: %w", from, to, err)
+	}
+	d.meter.chargeSuccess()
+	return resp, nil
+}
+
+// Meter implements Transport.
+func (d *Direct) Meter() *Meter { return &d.meter }
+
+// Close implements Transport.
+func (d *Direct) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.closed = true
+	d.handlers = make(map[NodeID]Handler)
+	return nil
+}

@@ -1,0 +1,72 @@
+// Package simnet provides the simulated message-passing network beneath
+// the Chord DHT: synchronous RPC transports with exact message and hop
+// accounting, plus fault injection (dead nodes, message drops).
+//
+// The paper's cost model measures two quantities per operation: latency
+// (the number of sequential RPC round trips, since every protocol here
+// issues its RPCs one after another) and messages (each RPC is one
+// request plus one reply). Meter counts both.
+package simnet
+
+import "sync/atomic"
+
+// Meter accumulates transport costs. All methods are safe for concurrent
+// use. The zero value is ready to use.
+type Meter struct {
+	calls    atomic.Int64 // completed RPC round trips (latency proxy)
+	messages atomic.Int64 // individual messages (request + reply each count 1)
+	failures atomic.Int64 // RPCs that failed (dropped or dead destination)
+}
+
+// Cost is an immutable snapshot of a Meter.
+type Cost struct {
+	Calls    int64
+	Messages int64
+	Failures int64
+}
+
+// Snapshot returns the current counter values.
+func (m *Meter) Snapshot() Cost {
+	return Cost{
+		Calls:    m.calls.Load(),
+		Messages: m.messages.Load(),
+		Failures: m.failures.Load(),
+	}
+}
+
+// Charge records an arbitrary cost. It is used by synthetic backends
+// (such as the oracle DHT) that model rather than execute RPCs.
+func (m *Meter) Charge(calls, messages int64) {
+	m.calls.Add(calls)
+	m.messages.Add(messages)
+}
+
+// chargeSuccess records one completed RPC: one round trip, two messages.
+func (m *Meter) chargeSuccess() {
+	m.calls.Add(1)
+	m.messages.Add(2)
+}
+
+// chargeFailure records a failed RPC attempt. The request message still
+// crossed the network (or was lost in it), so it is counted.
+func (m *Meter) chargeFailure() {
+	m.failures.Add(1)
+	m.messages.Add(1)
+}
+
+// Reset zeroes all counters.
+func (m *Meter) Reset() {
+	m.calls.Store(0)
+	m.messages.Store(0)
+	m.failures.Store(0)
+}
+
+// Sub returns the component-wise difference c - prev, used to measure the
+// cost of a single operation between two snapshots.
+func (c Cost) Sub(prev Cost) Cost {
+	return Cost{
+		Calls:    c.Calls - prev.Calls,
+		Messages: c.Messages - prev.Messages,
+		Failures: c.Failures - prev.Failures,
+	}
+}

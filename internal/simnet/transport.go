@@ -1,0 +1,108 @@
+package simnet
+
+import (
+	"errors"
+	"math/rand/v2"
+	"sync"
+)
+
+// NodeID identifies a node on the simulated network. Chord uses the
+// node's ring point as its NodeID.
+type NodeID uint64
+
+// Message is an opaque RPC payload. Transports never inspect it.
+type Message any
+
+// Handler processes one RPC at its destination and produces the reply.
+// Handlers must not block indefinitely; they may issue further RPCs
+// through the transport provided the resulting call graph is acyclic
+// (the Chord handlers issue none).
+type Handler func(from NodeID, msg Message) (Message, error)
+
+// Transport is a synchronous RPC fabric between simulated nodes.
+type Transport interface {
+	// Call performs one RPC from node "from" to node "to" and returns the
+	// destination handler's reply.
+	Call(from, to NodeID, msg Message) (Message, error)
+	// Register attaches a node's handler to the network.
+	Register(id NodeID, h Handler) error
+	// Deregister detaches a node. Subsequent calls to it fail with
+	// ErrUnknownNode.
+	Deregister(id NodeID)
+	// Meter exposes the transport's cost counters.
+	Meter() *Meter
+	// Close releases transport resources. Calls after Close fail with
+	// ErrClosed.
+	Close() error
+}
+
+// Transport error conditions.
+var (
+	ErrUnknownNode = errors.New("simnet: unknown node")
+	ErrNodeDead    = errors.New("simnet: node is dead")
+	ErrDropped     = errors.New("simnet: message dropped")
+	ErrClosed      = errors.New("simnet: transport closed")
+	ErrDuplicateID = errors.New("simnet: node id already registered")
+)
+
+// Faults injects failures into a transport. The zero value injects
+// nothing. All methods are safe for concurrent use.
+type Faults struct {
+	mu       sync.Mutex
+	dead     map[NodeID]bool
+	dropRate float64
+	rng      *rand.Rand
+}
+
+// NewFaults returns a fault plan using rng for drop decisions. A nil rng
+// disables probabilistic drops (only explicit dead nodes fail).
+func NewFaults(rng *rand.Rand) *Faults {
+	return &Faults{dead: make(map[NodeID]bool), rng: rng}
+}
+
+// SetDead marks a node dead or alive. RPCs to a dead node fail with
+// ErrNodeDead without reaching its handler.
+func (f *Faults) SetDead(id NodeID, dead bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.dead == nil {
+		f.dead = make(map[NodeID]bool)
+	}
+	if dead {
+		f.dead[id] = true
+	} else {
+		delete(f.dead, id)
+	}
+}
+
+// SetDropRate sets the probability that any RPC is dropped in flight
+// (failing with ErrDropped). Requires a rng; rates outside [0,1] are
+// clamped.
+func (f *Faults) SetDropRate(rate float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	f.dropRate = rate
+}
+
+// check returns the error the fault plan injects for an RPC to "to", or
+// nil to let it through.
+func (f *Faults) check(to NodeID) error {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.dead[to] {
+		return ErrNodeDead
+	}
+	if f.dropRate > 0 && f.rng != nil && f.rng.Float64() < f.dropRate {
+		return ErrDropped
+	}
+	return nil
+}

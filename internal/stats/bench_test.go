@@ -1,0 +1,62 @@
+package stats
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func benchCounts(b *testing.B, k int) []int64 {
+	b.Helper()
+	rng := rand.New(rand.NewPCG(uint64(k), 5))
+	counts := make([]int64, k)
+	for i := 0; i < 100*k; i++ {
+		counts[rng.IntN(k)]++
+	}
+	return counts
+}
+
+func BenchmarkChiSquareUniform(b *testing.B) {
+	counts := benchCounts(b, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ChiSquareUniform(counts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTotalVariationUniform(b *testing.B) {
+	counts := benchCounts(b, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TotalVariationUniform(counts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSummarize(b *testing.B) {
+	rng := rand.New(rand.NewPCG(6, 6))
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Summarize(xs)
+	}
+}
+
+func BenchmarkKSUniform(b *testing.B) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := KSUniform(xs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

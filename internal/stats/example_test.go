@@ -1,0 +1,50 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"github.com/dht-sampling/randompeer/internal/stats"
+)
+
+// ExampleChiSquareUniform tests category counts against uniformity.
+func ExampleChiSquareUniform() {
+	balanced := []int64{100, 98, 103, 99}
+	_, p, err := stats.ChiSquareUniform(balanced)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("balanced counts look uniform:", p > 0.05)
+
+	skewed := []int64{400, 10, 5, 5}
+	_, p, err = stats.ChiSquareUniform(skewed)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("skewed counts look uniform:", p > 0.05)
+	// Output:
+	// balanced counts look uniform: true
+	// skewed counts look uniform: false
+}
+
+// ExampleLinearFit fits the O(log n) scaling line used by the cost
+// experiments.
+func ExampleLinearFit() {
+	logN := []float64{6, 8, 10, 12}
+	hops := []float64{13, 17, 21, 25} // 2*log2(n) + 1
+	slope, intercept, r2, err := stats.LinearFit(logN, hops)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("hops = %.1f*log2(n) + %.1f (r2 = %.2f)\n", slope, intercept, r2)
+	// Output: hops = 2.0*log2(n) + 1.0 (r2 = 1.00)
+}
+
+// ExampleTotalVariationUniform measures distance from uniformity.
+func ExampleTotalVariationUniform() {
+	tvd, err := stats.TotalVariationUniform([]int64{25, 25, 25, 25})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(tvd)
+	// Output: 0
+}

@@ -1,0 +1,200 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ChiSquareUniform runs Pearson's chi-square goodness-of-fit test of the
+// observed category counts against the uniform distribution over the
+// categories. It returns the test statistic and the p-value
+// P(X >= stat) for a chi-square distribution with len(counts)-1 degrees
+// of freedom.
+func ChiSquareUniform(counts []int64) (stat, pvalue float64, err error) {
+	if len(counts) < 2 {
+		return 0, 0, fmt.Errorf("stats: chi-square needs at least 2 categories, got %d", len(counts))
+	}
+	var total int64
+	for _, c := range counts {
+		if c < 0 {
+			return 0, 0, fmt.Errorf("stats: negative count %d", c)
+		}
+		total += c
+	}
+	if total == 0 {
+		return 0, 0, fmt.Errorf("stats: no observations")
+	}
+	expected := float64(total) / float64(len(counts))
+	for _, c := range counts {
+		d := float64(c) - expected
+		stat += d * d / expected
+	}
+	df := float64(len(counts) - 1)
+	pvalue = ChiSquareSurvival(stat, df)
+	return stat, pvalue, nil
+}
+
+// ChiSquareSurvival returns P(X >= x) for a chi-square random variable
+// with df degrees of freedom, i.e. the regularized upper incomplete gamma
+// function Q(df/2, x/2).
+func ChiSquareSurvival(x, df float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return regularizedGammaQ(df/2, x/2)
+}
+
+// TotalVariationUniform returns the total-variation distance between the
+// empirical distribution given by counts and the uniform distribution
+// over the categories: (1/2) * sum |p_i - 1/k|.
+func TotalVariationUniform(counts []int64) (float64, error) {
+	if len(counts) == 0 {
+		return 0, fmt.Errorf("stats: no categories")
+	}
+	var total int64
+	for _, c := range counts {
+		if c < 0 {
+			return 0, fmt.Errorf("stats: negative count %d", c)
+		}
+		total += c
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("stats: no observations")
+	}
+	uniform := 1 / float64(len(counts))
+	var tv float64
+	for _, c := range counts {
+		tv += math.Abs(float64(c)/float64(total) - uniform)
+	}
+	return tv / 2, nil
+}
+
+// TotalVariation returns the total-variation distance between a
+// probability vector p and the uniform distribution over its support.
+func TotalVariation(p []float64) (float64, error) {
+	if len(p) == 0 {
+		return 0, fmt.Errorf("stats: empty distribution")
+	}
+	uniform := 1 / float64(len(p))
+	var tv float64
+	for _, pi := range p {
+		tv += math.Abs(pi - uniform)
+	}
+	return tv / 2, nil
+}
+
+// KSUniform runs the one-sample Kolmogorov–Smirnov test of xs (values in
+// [0,1)) against the uniform distribution on [0,1). It returns the
+// statistic D and an asymptotic p-value.
+func KSUniform(xs []float64) (d, pvalue float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, fmt.Errorf("stats: empty sample")
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	n := float64(len(sorted))
+	for i, x := range sorted {
+		if x < 0 || x >= 1 {
+			return 0, 0, fmt.Errorf("stats: KS sample value %v outside [0,1)", x)
+		}
+		upper := float64(i+1)/n - x
+		lower := x - float64(i)/n
+		d = math.Max(d, math.Max(upper, lower))
+	}
+	pvalue = ksSurvival(math.Sqrt(n) * d)
+	return d, pvalue, nil
+}
+
+// ksSurvival evaluates the Kolmogorov distribution survival function
+// Q(t) = 2 * sum_{k>=1} (-1)^{k-1} exp(-2 k^2 t^2).
+func ksSurvival(t float64) float64 {
+	if t < 1e-8 {
+		return 1
+	}
+	var sum float64
+	sign := 1.0
+	for k := 1; k <= 100; k++ {
+		term := math.Exp(-2 * float64(k*k) * t * t)
+		sum += sign * term
+		sign = -sign
+		if term < 1e-12 {
+			break
+		}
+	}
+	p := 2 * sum
+	return math.Min(1, math.Max(0, p))
+}
+
+// regularizedGammaQ computes Q(a, x) = Gamma(a, x)/Gamma(a), the
+// regularized upper incomplete gamma function, via the series expansion
+// for x < a+1 and the continued fraction otherwise (Numerical Recipes
+// gammp/gammq construction, stdlib-only).
+func regularizedGammaQ(a, x float64) float64 {
+	if x < 0 || a <= 0 {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 1
+	}
+	if x < a+1 {
+		return 1 - gammaSeriesP(a, x)
+	}
+	return gammaContinuedQ(a, x)
+}
+
+// gammaSeriesP computes P(a, x) by the series representation.
+func gammaSeriesP(a, x float64) float64 {
+	const (
+		maxIter = 500
+		eps     = 3e-14
+	)
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < maxIter; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*eps {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+// gammaContinuedQ computes Q(a, x) by the continued-fraction
+// representation (modified Lentz's method).
+func gammaContinuedQ(a, x float64) float64 {
+	const (
+		maxIter = 500
+		eps     = 3e-14
+		tiny    = 1e-300
+	)
+	lg, _ := math.Lgamma(a)
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= maxIter; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}

@@ -1,0 +1,193 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestChiSquareSurvivalKnownValues(t *testing.T) {
+	t.Parallel()
+	// Reference values from standard chi-square tables.
+	tests := []struct {
+		name string
+		x    float64
+		df   float64
+		want float64
+		tol  float64
+	}{
+		{name: "df1 critical 5%", x: 3.841, df: 1, want: 0.05, tol: 1e-3},
+		{name: "df2 exact exp", x: 2, df: 2, want: math.Exp(-1), tol: 1e-10},
+		{name: "df5 critical 5%", x: 11.070, df: 5, want: 0.05, tol: 1e-3},
+		{name: "df10 critical 1%", x: 23.209, df: 10, want: 0.01, tol: 1e-3},
+		{name: "df100 median-ish", x: 99.334, df: 100, want: 0.5, tol: 1e-3},
+		{name: "zero statistic", x: 0, df: 7, want: 1, tol: 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			if got := ChiSquareSurvival(tt.x, tt.df); !almostEqual(got, tt.want, tt.tol) {
+				t.Errorf("ChiSquareSurvival(%v, %v) = %v, want %v", tt.x, tt.df, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestChiSquareUniformAcceptsUniform(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewPCG(2, 4))
+	counts := make([]int64, 50)
+	for i := 0; i < 100000; i++ {
+		counts[rng.IntN(len(counts))]++
+	}
+	_, p, err := ChiSquareUniform(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.001 {
+		t.Errorf("uniform draws rejected: p = %v", p)
+	}
+}
+
+func TestChiSquareUniformRejectsBiased(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewPCG(2, 5))
+	counts := make([]int64, 50)
+	for i := 0; i < 100000; i++ {
+		// Category 0 twice as likely.
+		if rng.Float64() < 2.0/51.0 {
+			counts[0]++
+		} else {
+			counts[1+rng.IntN(49)]++
+		}
+	}
+	_, p, err := ChiSquareUniform(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 1e-6 {
+		t.Errorf("biased draws accepted: p = %v", p)
+	}
+}
+
+func TestChiSquareUniformErrors(t *testing.T) {
+	t.Parallel()
+	if _, _, err := ChiSquareUniform([]int64{5}); err == nil {
+		t.Error("single category should fail")
+	}
+	if _, _, err := ChiSquareUniform([]int64{1, -1}); err == nil {
+		t.Error("negative count should fail")
+	}
+	if _, _, err := ChiSquareUniform([]int64{0, 0}); err == nil {
+		t.Error("no observations should fail")
+	}
+}
+
+func TestTotalVariationUniform(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		name   string
+		counts []int64
+		want   float64
+	}{
+		{name: "perfectly uniform", counts: []int64{10, 10, 10, 10}, want: 0},
+		{name: "all mass on one", counts: []int64{40, 0, 0, 0}, want: 0.75},
+		{name: "half-half over four", counts: []int64{20, 20, 0, 0}, want: 0.5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			got, err := TotalVariationUniform(tt.counts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("TVD = %v, want %v", got, tt.want)
+			}
+		})
+	}
+	if _, err := TotalVariationUniform(nil); err == nil {
+		t.Error("empty counts should fail")
+	}
+	if _, err := TotalVariationUniform([]int64{0, 0}); err == nil {
+		t.Error("zero observations should fail")
+	}
+}
+
+func TestTotalVariation(t *testing.T) {
+	t.Parallel()
+	got, err := TotalVariation([]float64{0.5, 0.5, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 0.5, 1e-12) {
+		t.Errorf("TVD = %v, want 0.5", got)
+	}
+	if _, err := TotalVariation(nil); err == nil {
+		t.Error("empty distribution should fail")
+	}
+}
+
+func TestKSUniformAcceptsUniform(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewPCG(8, 1))
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = rng.Float64()
+	}
+	d, p, err := KSUniform(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.001 {
+		t.Errorf("uniform sample rejected: D=%v p=%v", d, p)
+	}
+}
+
+func TestKSUniformRejectsSkewed(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewPCG(8, 2))
+	xs := make([]float64, 5000)
+	for i := range xs {
+		u := rng.Float64()
+		xs[i] = u * u // heavily skewed toward 0
+	}
+	_, p, err := KSUniform(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 1e-6 {
+		t.Errorf("skewed sample accepted: p = %v", p)
+	}
+}
+
+func TestKSUniformErrors(t *testing.T) {
+	t.Parallel()
+	if _, _, err := KSUniform(nil); err == nil {
+		t.Error("empty sample should fail")
+	}
+	if _, _, err := KSUniform([]float64{1.5}); err == nil {
+		t.Error("out-of-range sample should fail")
+	}
+}
+
+func TestRegularizedGammaQProperties(t *testing.T) {
+	t.Parallel()
+	// Q is decreasing in x and bounded in [0,1].
+	for _, a := range []float64{0.5, 1, 2.5, 10, 50} {
+		prev := 1.0
+		for x := 0.0; x <= 100; x += 0.5 {
+			q := regularizedGammaQ(a, x)
+			if q < -1e-12 || q > 1+1e-12 {
+				t.Fatalf("Q(%v, %v) = %v outside [0,1]", a, x, q)
+			}
+			if q > prev+1e-9 {
+				t.Fatalf("Q(%v, %v) = %v not decreasing (prev %v)", a, x, q, prev)
+			}
+			prev = q
+		}
+	}
+	if !math.IsNaN(regularizedGammaQ(-1, 1)) {
+		t.Error("negative shape should give NaN")
+	}
+}

@@ -1,0 +1,180 @@
+// Package stats is a small, stdlib-only statistics toolkit used by the
+// experiment harness: descriptive summaries, goodness-of-fit tests
+// against the uniform distribution (chi-square with exact p-values,
+// total-variation distance, Kolmogorov–Smirnov), confidence intervals
+// and least-squares fits for the paper's scaling claims.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64 // sample standard deviation (n-1 denominator)
+	Min    float64
+	Max    float64
+	P50    float64
+	P95    float64
+	P99    float64
+}
+
+// Summarize computes descriptive statistics. It returns a zero Summary
+// for an empty input.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.StdDev = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	s.P50 = Percentile(sorted, 0.50)
+	s.P95 = Percentile(sorted, 0.95)
+	s.P99 = Percentile(sorted, 0.99)
+	return s
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 1) of an already
+// sorted sample, using linear interpolation between order statistics.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean, or NaN for an empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// MeanCI returns the mean with a normal-approximation confidence interval
+// at the given z value (1.96 for 95%).
+func MeanCI(xs []float64, z float64) (mean, lo, hi float64) {
+	s := Summarize(xs)
+	if s.N == 0 {
+		return math.NaN(), math.NaN(), math.NaN()
+	}
+	half := z * s.StdDev / math.Sqrt(float64(s.N))
+	return s.Mean, s.Mean - half, s.Mean + half
+}
+
+// WilsonCI returns the Wilson score interval for a binomial proportion:
+// successes k out of n trials at the given z value.
+func WilsonCI(k, n int, z float64) (lo, hi float64) {
+	if n == 0 {
+		return math.NaN(), math.NaN()
+	}
+	p := float64(k) / float64(n)
+	nf := float64(n)
+	z2 := z * z
+	denom := 1 + z2/nf
+	center := (p + z2/(2*nf)) / denom
+	half := z / denom * math.Sqrt(p*(1-p)/nf+z2/(4*nf*nf))
+	return math.Max(0, center-half), math.Min(1, center+half)
+}
+
+// Histogram bins xs into nbins equal-width buckets spanning [min, max].
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+}
+
+// NewHistogram builds an equal-width histogram. Values outside [min, max]
+// are clamped to the boundary buckets. It returns an error for invalid
+// bounds or bin counts.
+func NewHistogram(xs []float64, min, max float64, nbins int) (*Histogram, error) {
+	if nbins <= 0 {
+		return nil, fmt.Errorf("stats: nbins must be positive, got %d", nbins)
+	}
+	if !(min < max) {
+		return nil, fmt.Errorf("stats: invalid histogram bounds [%v, %v]", min, max)
+	}
+	h := &Histogram{Min: min, Max: max, Counts: make([]int, nbins)}
+	width := (max - min) / float64(nbins)
+	for _, x := range xs {
+		i := int((x - min) / width)
+		if i < 0 {
+			i = 0
+		}
+		if i >= nbins {
+			i = nbins - 1
+		}
+		h.Counts[i]++
+	}
+	return h, nil
+}
+
+// LinearFit performs ordinary least squares of y on x, returning slope,
+// intercept and the coefficient of determination r^2. Used for the
+// O(log n) scaling fits: regressing cost against log2(n) should give a
+// stable positive slope and r^2 near one.
+func LinearFit(x, y []float64) (slope, intercept, r2 float64, err error) {
+	if len(x) != len(y) {
+		return 0, 0, 0, fmt.Errorf("stats: mismatched lengths %d vs %d", len(x), len(y))
+	}
+	if len(x) < 2 {
+		return 0, 0, 0, fmt.Errorf("stats: need at least two points, got %d", len(x))
+	}
+	n := float64(len(x))
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return 0, 0, 0, fmt.Errorf("stats: x values are constant")
+	}
+	slope = sxy / sxx
+	intercept = my - slope*mx
+	if syy == 0 {
+		return slope, intercept, 1, nil
+	}
+	r2 = sxy * sxy / (sxx * syy)
+	return slope, intercept, r2, nil
+}

@@ -1,0 +1,190 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestSummarize(t *testing.T) {
+	t.Parallel()
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	s := Summarize(xs)
+	if s.N != 8 {
+		t.Errorf("N = %d, want 8", s.N)
+	}
+	if !almostEqual(s.Mean, 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", s.Mean)
+	}
+	// Sample stddev with n-1: variance = 32/7.
+	if !almostEqual(s.StdDev, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Errorf("StdDev = %v, want %v", s.StdDev, math.Sqrt(32.0/7.0))
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("Min/Max = %v/%v, want 2/9", s.Min, s.Max)
+	}
+	if !almostEqual(s.P50, 4.5, 1e-12) {
+		t.Errorf("P50 = %v, want 4.5", s.P50)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	t.Parallel()
+	s := Summarize(nil)
+	if s.N != 0 {
+		t.Errorf("empty summary N = %d", s.N)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	t.Parallel()
+	sorted := []float64{1, 2, 3, 4, 5}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{p: 0, want: 1},
+		{p: 0.25, want: 2},
+		{p: 0.5, want: 3},
+		{p: 1, want: 5},
+		{p: 0.125, want: 1.5},
+	}
+	for _, tt := range tests {
+		if got := Percentile(sorted, tt.p); !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if !math.IsNaN(Percentile(nil, 0.5)) {
+		t.Error("Percentile of empty slice should be NaN")
+	}
+	if got := Percentile([]float64{7}, 0.9); got != 7 {
+		t.Errorf("single-element percentile = %v, want 7", got)
+	}
+}
+
+func TestMeanCI(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewPCG(5, 5))
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*2 + 10
+	}
+	mean, lo, hi := MeanCI(xs, 1.96)
+	if !(lo < mean && mean < hi) {
+		t.Errorf("CI ordering broken: %v < %v < %v", lo, mean, hi)
+	}
+	if !almostEqual(mean, 10, 0.1) {
+		t.Errorf("mean = %v, want ~10", mean)
+	}
+	if hi-lo > 0.2 {
+		t.Errorf("CI too wide: %v", hi-lo)
+	}
+}
+
+func TestWilsonCI(t *testing.T) {
+	t.Parallel()
+	lo, hi := WilsonCI(50, 100, 1.96)
+	if !(lo < 0.5 && 0.5 < hi) {
+		t.Errorf("Wilson CI [%v, %v] should cover 0.5", lo, hi)
+	}
+	// Extreme cases stay within [0,1].
+	lo, hi = WilsonCI(0, 10, 1.96)
+	if lo < 0 || hi > 1 {
+		t.Errorf("Wilson CI out of range: [%v, %v]", lo, hi)
+	}
+	lo, hi = WilsonCI(10, 10, 1.96)
+	if lo < 0 || hi > 1 {
+		t.Errorf("Wilson CI out of range: [%v, %v]", lo, hi)
+	}
+	if lo2, _ := WilsonCI(0, 0, 1.96); !math.IsNaN(lo2) {
+		t.Error("zero trials should give NaN")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	t.Parallel()
+	h, err := NewHistogram([]float64{0.05, 0.15, 0.15, 0.95, -1, 2}, 0, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Counts[0] != 2 { // 0.05 and the clamped -1
+		t.Errorf("bucket 0 = %d, want 2", h.Counts[0])
+	}
+	if h.Counts[1] != 2 {
+		t.Errorf("bucket 1 = %d, want 2", h.Counts[1])
+	}
+	if h.Counts[9] != 2 { // 0.95 and the clamped 2
+		t.Errorf("bucket 9 = %d, want 2", h.Counts[9])
+	}
+	if _, err := NewHistogram(nil, 0, 1, 0); err == nil {
+		t.Error("zero bins should fail")
+	}
+	if _, err := NewHistogram(nil, 1, 0, 5); err == nil {
+		t.Error("inverted bounds should fail")
+	}
+}
+
+func TestLinearFit(t *testing.T) {
+	t.Parallel()
+	// Perfect line y = 3x + 2.
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{5, 8, 11, 14, 17}
+	slope, intercept, r2, err := LinearFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(slope, 3, 1e-12) || !almostEqual(intercept, 2, 1e-12) {
+		t.Errorf("fit = (%v, %v), want (3, 2)", slope, intercept)
+	}
+	if !almostEqual(r2, 1, 1e-12) {
+		t.Errorf("r2 = %v, want 1", r2)
+	}
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	t.Parallel()
+	if _, _, _, err := LinearFit([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths should fail")
+	}
+	if _, _, _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point should fail")
+	}
+	if _, _, _, err := LinearFit([]float64{2, 2}, []float64{1, 5}); err == nil {
+		t.Error("constant x should fail")
+	}
+}
+
+func TestLinearFitNoisy(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewPCG(1, 9))
+	x := make([]float64, 200)
+	y := make([]float64, 200)
+	for i := range x {
+		x[i] = float64(i)
+		y[i] = 0.5*x[i] + 1 + rng.NormFloat64()*0.1
+	}
+	slope, _, r2, err := LinearFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(slope, 0.5, 0.01) {
+		t.Errorf("slope = %v, want ~0.5", slope)
+	}
+	if r2 < 0.99 {
+		t.Errorf("r2 = %v, want > 0.99", r2)
+	}
+}
+
+func TestMean(t *testing.T) {
+	t.Parallel()
+	if got := Mean([]float64{1, 2, 3}); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("Mean = %v, want 2", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean of empty should be NaN")
+	}
+}

@@ -1,0 +1,289 @@
+// Package randompeer is a complete implementation and experimental
+// evaluation of Valerie King and Jared Saia's "Choosing a Random Peer"
+// (PODC 2004): the first fully distributed algorithm that chooses a peer
+// uniformly at random — each peer with probability exactly 1/n — from
+// all peers of a DHT, with O(log n) expected latency and messages.
+//
+// The package is the public facade; the implementation lives in the
+// internal packages:
+//
+//   - internal/core: the paper's algorithms (Estimate n, Choose Random
+//     Peer) and the exact assignment analyzer behind Theorem 6.
+//   - internal/chord: a full Chord DHT over a simulated network.
+//   - internal/dht: the abstract (h, next) DHT model and an oracle
+//     backend for million-peer experiments.
+//   - internal/baseline: the naive, random-walk and virtual-node
+//     samplers the algorithm is evaluated against.
+//   - internal/{collect,randgraph,loadbalance,agreement}: the paper's
+//     motivating applications.
+//   - internal/exp: the experiment harness (E1-E17, see DESIGN.md).
+//
+// # Quick start
+//
+//	tb, err := randompeer.New(randompeer.WithPeers(1024), randompeer.WithSeed(7))
+//	if err != nil { ... }
+//	s, err := tb.UniformSampler(42)
+//	if err != nil { ... }
+//	peer, err := s.Sample() // uniform over all 1024 peers
+package randompeer
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"github.com/dht-sampling/randompeer/internal/baseline"
+	"github.com/dht-sampling/randompeer/internal/biased"
+	"github.com/dht-sampling/randompeer/internal/chord"
+	"github.com/dht-sampling/randompeer/internal/core"
+	"github.com/dht-sampling/randompeer/internal/dht"
+	"github.com/dht-sampling/randompeer/internal/ring"
+	"github.com/dht-sampling/randompeer/internal/simnet"
+)
+
+// Re-exported core types. Peer identifies a sampled peer (Owner is its
+// stable index); Sampler is the common sampling interface; Point is a
+// position on the 2^64-unit identifier circle.
+type (
+	// Peer is a peer of the DHT: its point on the circle plus a stable
+	// owner index used for tallies.
+	Peer = dht.Peer
+	// Sampler chooses peers; all samplers in this module implement it.
+	Sampler = dht.Sampler
+	// DHT is the paper's abstract model: h (lookup) and next (successor).
+	DHT = dht.DHT
+	// Point is a position on the identifier circle.
+	Point = ring.Point
+	// SamplerConfig tunes the King-Saia sampler's constants.
+	SamplerConfig = core.Config
+	// EstimateResult reports one run of the Estimate n algorithm.
+	EstimateResult = core.EstimateResult
+	// Assignment is the exact measure partition behind Theorem 6.
+	Assignment = core.Assignment
+	// WeightFunc assigns relative selection weights for biased sampling
+	// (the paper's open problem 3).
+	WeightFunc = biased.WeightFunc
+)
+
+// Backend selects the DHT substrate of a Testbed.
+type Backend int
+
+// Available backends.
+const (
+	// OracleBackend resolves lookups by binary search and charges the
+	// textbook O(log n) costs; it scales to millions of peers.
+	OracleBackend Backend = iota + 1
+	// ChordBackend runs a real Chord ring: every h is an iterative
+	// finger-table lookup over the simulated network.
+	ChordBackend
+)
+
+// Testbed is a simulated DHT populated with uniformly placed peers,
+// ready for sampling and measurement.
+type Testbed struct {
+	backend Backend
+	n       int
+	seed    uint64
+
+	oracle *dht.Oracle
+	net    *chord.Network
+	view   *chord.DHT
+	r      *ring.Ring
+}
+
+// Option configures New.
+type Option func(*options)
+
+type options struct {
+	n       int
+	seed    uint64
+	backend Backend
+}
+
+// WithPeers sets the network size (default 128).
+func WithPeers(n int) Option { return func(o *options) { o.n = n } }
+
+// WithSeed sets the placement seed (default 1); equal seeds build
+// identical networks.
+func WithSeed(seed uint64) Option { return func(o *options) { o.seed = seed } }
+
+// WithBackend selects the substrate (default OracleBackend).
+func WithBackend(b Backend) Option { return func(o *options) { o.backend = b } }
+
+// New builds a Testbed.
+func New(opts ...Option) (*Testbed, error) {
+	cfg := options{n: 128, seed: 1, backend: OracleBackend}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.n < 1 {
+		return nil, fmt.Errorf("randompeer: need at least one peer, got %d", cfg.n)
+	}
+	rng := rand.New(rand.NewPCG(cfg.seed, cfg.seed^0x517cc1b727220a95))
+	r, err := ring.Generate(rng, cfg.n)
+	if err != nil {
+		return nil, fmt.Errorf("randompeer: placing peers: %w", err)
+	}
+	tb := &Testbed{backend: cfg.backend, n: cfg.n, seed: cfg.seed, r: r}
+	switch cfg.backend {
+	case OracleBackend:
+		tb.oracle = dht.NewOracle(r)
+	case ChordBackend:
+		net, err := chord.BuildStatic(chord.Config{}, simnet.NewDirect(), r.Points())
+		if err != nil {
+			return nil, fmt.Errorf("randompeer: building chord ring: %w", err)
+		}
+		view, err := net.AsDHT(r.At(0))
+		if err != nil {
+			return nil, err
+		}
+		tb.net = net
+		tb.view = view
+	default:
+		return nil, fmt.Errorf("randompeer: unknown backend %d", cfg.backend)
+	}
+	return tb, nil
+}
+
+// Size returns the number of peers.
+func (tb *Testbed) Size() int { return tb.n }
+
+// DHT returns the testbed's DHT view (from peer 0 for the Chord
+// backend, which initiates all lookups).
+func (tb *Testbed) DHT() DHT {
+	if tb.backend == OracleBackend {
+		return tb.oracle
+	}
+	return tb.view
+}
+
+// Peer returns the peer with the given owner index.
+func (tb *Testbed) Peer(i int) (Peer, error) {
+	if i < 0 || i >= tb.n {
+		return Peer{}, fmt.Errorf("randompeer: peer %d outside [0, %d)", i, tb.n)
+	}
+	return Peer{Point: tb.r.At(i), Owner: i}, nil
+}
+
+// UniformSampler builds the King-Saia uniform sampler, run from peer 0:
+// it estimates the network size with Estimate n and then chooses peers
+// with probability exactly 1/n each (Theorem 6).
+func (tb *Testbed) UniformSampler(seed uint64) (Sampler, error) {
+	return tb.UniformSamplerFrom(0, seed, SamplerConfig{})
+}
+
+// UniformSamplerFrom builds the uniform sampler run from the given peer
+// with explicit configuration.
+func (tb *Testbed) UniformSamplerFrom(caller int, seed uint64, cfg SamplerConfig) (Sampler, error) {
+	p, err := tb.Peer(caller)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewPCG(seed, seed^0x2545f4914f6cdd1d))
+	s, err := core.New(tb.DHT(), p, rng, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("randompeer: building uniform sampler: %w", err)
+	}
+	return s, nil
+}
+
+// AutoUniformSampler builds the deployment variant of the uniform
+// sampler: it re-runs Estimate n every refreshEvery samples (and after
+// any sampling failure), keeping lambda fresh as the network churns.
+func (tb *Testbed) AutoUniformSampler(seed uint64, refreshEvery int64) (Sampler, error) {
+	p, err := tb.Peer(0)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewPCG(seed, seed^0xa07a))
+	s, err := core.NewAuto(tb.DHT(), p, rng, core.Config{}, refreshEvery)
+	if err != nil {
+		return nil, fmt.Errorf("randompeer: building auto sampler: %w", err)
+	}
+	return s, nil
+}
+
+// NaiveSampler builds the biased baseline "return h(x) for random x"
+// that the paper's Section 1 analyzes.
+func (tb *Testbed) NaiveSampler(seed uint64) Sampler {
+	rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+	return baseline.NewNaive(tb.DHT(), rng)
+}
+
+// EstimateSize runs the paper's Estimate n algorithm from the given
+// peer. The result is a constant-factor approximation of the true size
+// (Lemma 3) obtained from O(log n) messages.
+func (tb *Testbed) EstimateSize(caller int, c1 float64) (EstimateResult, error) {
+	p, err := tb.Peer(caller)
+	if err != nil {
+		return EstimateResult{}, err
+	}
+	return core.EstimateN(tb.DHT(), p, c1)
+}
+
+// VerifyUniformity computes the exact measure the Figure 1 partition
+// assigns to every peer for the given (or, when nHat <= 0, the true)
+// size estimate, turning Theorem 6 into a checkable identity. The
+// returned Assignment reports the per-peer measure, the maximum
+// deviation from lambda, and the per-trial success probability.
+func (tb *Testbed) VerifyUniformity(nHat float64) (*Assignment, error) {
+	if nHat <= 0 {
+		nHat = float64(tb.n)
+	}
+	params, err := core.DeriveParams(nHat, 1, 6)
+	if err != nil {
+		return nil, err
+	}
+	return core.Analyze(tb.r, params.Lambda, params.MaxSteps)
+}
+
+// ChordNetwork exposes the underlying Chord network for protocol-level
+// experiments (nil for the oracle backend).
+func (tb *Testbed) ChordNetwork() *chord.Network { return tb.net }
+
+// BiasedSampler builds a sampler choosing peers with probability
+// proportional to weight(p), by rejection over the uniform sampler —
+// the paper's open problem 3. maxWeight must upper-bound the weight
+// function; the expected number of uniform draws per sample is
+// maxWeight divided by the mean weight.
+func (tb *Testbed) BiasedSampler(seed uint64, weight WeightFunc, maxWeight float64) (Sampler, error) {
+	uniform, err := tb.UniformSampler(seed)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewPCG(seed^0xb1a5, seed))
+	s, err := biased.New(uniform, weight, maxWeight, rng)
+	if err != nil {
+		return nil, fmt.Errorf("randompeer: building biased sampler: %w", err)
+	}
+	return s, nil
+}
+
+// InverseDistanceWeight returns the paper's example bias for
+// BiasedSampler: selection probability inversely proportional to
+// clockwise distance from the given peer, saturating below floorFrac of
+// the circle. It returns the weight function and its upper bound.
+func (tb *Testbed) InverseDistanceWeight(caller int, floorFrac float64) (WeightFunc, float64, error) {
+	p, err := tb.Peer(caller)
+	if err != nil {
+		return nil, 0, err
+	}
+	return biased.InverseDistance(p, floorFrac)
+}
+
+// MetropolisSampler builds the degree-corrected random-walk sampler
+// over the symmetrized overlay graph — the approximate answer to the
+// paper's open problem 2 for networks with less structure than a DHT.
+// It is only available on the oracle backend, where the symmetrized
+// adjacency is precomputed.
+func (tb *Testbed) MetropolisSampler(seed uint64, steps int) (Sampler, error) {
+	if tb.backend != OracleBackend {
+		return nil, fmt.Errorf("randompeer: metropolis sampler requires the oracle backend")
+	}
+	g := baseline.NewUndirectedOracleGraph(tb.oracle)
+	rng := rand.New(rand.NewPCG(seed^0x3e7a, seed))
+	s, err := baseline.NewMetropolisWalk(tb.oracle, g, tb.oracle.PeerByIndex(0), steps, rng)
+	if err != nil {
+		return nil, fmt.Errorf("randompeer: building metropolis sampler: %w", err)
+	}
+	return s, nil
+}
