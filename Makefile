@@ -1,0 +1,45 @@
+# Build/test/benchmark entry points for the King–Saia random peer
+# reproduction. CI (.github/workflows/ci.yml) calls these same targets.
+
+GO ?= go
+PR ?= 1
+
+.PHONY: all build test race vet fmt-check bench bench-snapshot examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The race job is the regression gate for the concurrent sampling
+# engine: it runs the stress and determinism tests under the detector.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Key benchmarks as a smoke test (one iteration each): the headline
+# single-sample cost and the batch engine at n=1e6 across worker counts.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkUniformSample|BenchmarkBatchThroughput' -benchtime=1x .
+
+# Full throughput measurement, recorded into the committed perf
+# trajectory (BENCH_$(PR).json). Override PR for later snapshots.
+bench-snapshot:
+	$(GO) run ./cmd/benchsnap -o BENCH_$(PR).json
+
+# Build and run every example program.
+examples:
+	@for d in examples/*/; do \
+		echo "== $$d"; $(GO) run ./$$d || exit 1; done
+
+clean:
+	$(GO) clean ./...

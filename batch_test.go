@@ -1,0 +1,186 @@
+package randompeer
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// TestSampleNFacadeDeterminism: the facade batch API must reproduce the
+// same multiset (indeed the same sequence) of peers for a fixed batch
+// seed at every worker count, on both the uniform and naive samplers.
+func TestSampleNFacadeDeterminism(t *testing.T) {
+	tb, err := New(WithPeers(512), WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	us, err := tb.UniformSampler(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Sampler{us, tb.NaiveSampler(6)} {
+		base, err := tb.SampleN(context.Background(), s, 2000, WithWorkers(1), WithBatchSeed(77))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !base.Deterministic {
+			t.Fatalf("%s: batch run not deterministic", s.Name())
+		}
+		for _, workers := range []int{2, 8} {
+			got, err := tb.SampleN(context.Background(), s, 2000, WithWorkers(workers), WithBatchSeed(77))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range base.Peers {
+				if got.Peers[i] != base.Peers[i] {
+					t.Fatalf("%s workers=%d: peer %d differs", s.Name(), workers, i)
+				}
+			}
+		}
+	}
+}
+
+// TestSampleNFacadeTallyAndCost: the tally must sum to k and the batch
+// must charge the testbed meter (per-sample cost ~ O(log n) calls).
+func TestSampleNFacadeTallyAndCost(t *testing.T) {
+	tb, err := New(WithPeers(1024), WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := tb.UniformSampler(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 3000
+	res, err := tb.SampleN(context.Background(), s, k, WithWorkers(4), WithTallyOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Peers != nil {
+		t.Fatal("WithTallyOnly kept the peer log")
+	}
+	if len(res.Tally) != tb.Size() {
+		t.Fatalf("tally over %d owners, want %d", len(res.Tally), tb.Size())
+	}
+	var total int64
+	for _, c := range res.Tally {
+		total += c
+	}
+	if total != k {
+		t.Fatalf("tally sums to %d, want %d", total, k)
+	}
+	if res.Cost.Calls < k {
+		t.Fatalf("batch charged only %d calls for %d samples", res.Cost.Calls, k)
+	}
+}
+
+// TestSampleNFacadeStress hammers one testbed from concurrent batch
+// runs and raw Sample calls at once — the facade-level -race gate.
+func TestSampleNFacadeStress(t *testing.T) {
+	tb, err := New(WithPeers(256), WithSeed(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := tb.UniformSampler(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			if _, err := tb.SampleN(context.Background(), s, 1000, WithWorkers(4), WithBatchSeed(uint64(g))); err != nil {
+				errs <- err
+			}
+		}(g)
+	}
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if _, err := s.Sample(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestSampleNFacadeAuto: AutoUniformSampler is not forkable, so the
+// batch must fall back to the shared-sampler mode and still complete.
+func TestSampleNFacadeAuto(t *testing.T) {
+	tb, err := New(WithPeers(128), WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := tb.AutoUniformSampler(3, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tb.SampleN(context.Background(), s, 1200, WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deterministic {
+		t.Fatal("auto sampler cannot be deterministic across workers")
+	}
+	var total int64
+	for _, c := range res.Tally {
+		total += c
+	}
+	if total != 1200 {
+		t.Fatalf("tally sums to %d, want 1200", total)
+	}
+}
+
+// TestForkableSamplers pins which facade samplers implement
+// ForkableSampler.
+func TestForkableSamplers(t *testing.T) {
+	tb, err := New(WithPeers(128), WithSeed(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	us, err := tb.UniformSampler(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, maxW, err := tb.InverseDistanceWeight(0, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := tb.BiasedSampler(1, w, maxW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := tb.MetropolisSampler(1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, err := tb.AutoUniformSampler(1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		s    Sampler
+		want bool
+	}{
+		{us, true},
+		{tb.NaiveSampler(2), true},
+		{bs, true},
+		{ms, true},
+		{auto, false},
+	} {
+		if _, ok := tc.s.(ForkableSampler); ok != tc.want {
+			t.Errorf("%s: forkable = %v, want %v", tc.s.Name(), ok, tc.want)
+		}
+	}
+}

@@ -12,10 +12,12 @@ package randompeer
 // actual tables.
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand/v2"
 	"testing"
+	"time"
 
 	"github.com/dht-sampling/randompeer/internal/agreement"
 	"github.com/dht-sampling/randompeer/internal/arcs"
@@ -26,6 +28,7 @@ import (
 	"github.com/dht-sampling/randompeer/internal/collect"
 	"github.com/dht-sampling/randompeer/internal/core"
 	"github.com/dht-sampling/randompeer/internal/dht"
+	"github.com/dht-sampling/randompeer/internal/engine"
 	"github.com/dht-sampling/randompeer/internal/loadbalance"
 	"github.com/dht-sampling/randompeer/internal/randgraph"
 	"github.com/dht-sampling/randompeer/internal/ring"
@@ -51,6 +54,64 @@ func benchRing(b *testing.B, n int) *ring.Ring {
 		b.Fatal(err)
 	}
 	return r
+}
+
+// BenchmarkUniformSample is the headline single-sample benchmark: one
+// King–Saia uniform sample over the oracle backend at n=16384. It is
+// the per-op cost the batch engine parallelizes; CI runs it on every
+// push as the perf-trajectory anchor.
+func BenchmarkUniformSample(b *testing.B) {
+	o := benchOracle(b, 16384)
+	rng := rand.New(rand.NewPCG(20, 20))
+	s, err := core.New(o, o.PeerByIndex(0), rng, core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Sample(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBatchThroughput measures the concurrent sampling engine on
+// the million-peer oracle backend at 1/2/4/8 workers, reporting
+// samples/sec. On a multi-core machine throughput scales with workers
+// (the per-block forks share no mutable state and the cost meter is
+// sharded); cmd/benchsnap records the same measurement into the
+// committed BENCH_<pr>.json trajectory.
+//
+// batch must stay well above workers*engine.DefaultBlockSize — the
+// engine clamps workers to the block count, so a small batch would
+// silently measure fewer workers than the sub-benchmark name claims —
+// and large enough that drawing samples, not zeroing the per-worker
+// million-owner tallies, dominates each op.
+func BenchmarkBatchThroughput(b *testing.B) {
+	const n = 1_000_000
+	const batch = 16384
+	o := benchOracle(b, n)
+	rng := rand.New(rand.NewPCG(21, 21))
+	s, err := core.New(o, o.PeerByIndex(0), rng, core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				_, err := engine.SampleN(context.Background(), s, batch, engine.Config{
+					Workers: w, Seed: uint64(i), Owners: o.Owners(), TallyOnly: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			elapsed := time.Since(start)
+			b.ReportMetric(float64(batch)*float64(b.N)/elapsed.Seconds(), "samples/sec")
+		})
+	}
 }
 
 // BenchmarkChooseRandomPeer (E1): one uniform sample over the oracle

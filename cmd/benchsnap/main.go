@@ -1,0 +1,162 @@
+// Command benchsnap records the batch-throughput perf trajectory: it
+// runs the concurrent sampling engine over a million-peer oracle DHT at
+// a sweep of worker counts and writes a JSON snapshot (committed as
+// BENCH_<pr>.json at the repo root) so regressions and speedups are
+// visible PR over PR.
+//
+// Usage:
+//
+//	benchsnap [-n 1000000] [-k 100000] [-workers 1,2,4,8] [-seed 1] [-o BENCH_1.json]
+//
+// The drawn multiset is identical at every worker count (the engine
+// forks per-block PCG streams), so every run measures the same work.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/dht-sampling/randompeer"
+)
+
+// Run is one timed configuration.
+type Run struct {
+	Workers       int     `json:"workers"`
+	ElapsedMS     float64 `json:"elapsed_ms"`
+	SamplesPerSec float64 `json:"samples_per_sec"`
+	SpeedupVs1    float64 `json:"speedup_vs_1"`
+}
+
+// Snapshot is the committed benchmark record.
+type Snapshot struct {
+	Benchmark  string    `json:"benchmark"`
+	Date       time.Time `json:"date"`
+	GoVersion  string    `json:"go_version"`
+	NumCPU     int       `json:"num_cpu"`
+	GOMAXPROCS int       `json:"gomaxprocs"`
+	Peers      int       `json:"peers"`
+	Samples    int       `json:"samples_per_run"`
+	Seed       uint64    `json:"seed"`
+	Runs       []Run     `json:"runs"`
+	Note       string    `json:"note,omitempty"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("benchsnap", flag.ContinueOnError)
+	var (
+		n       = fs.Int("n", 1_000_000, "network size")
+		k       = fs.Int("k", 100_000, "samples per timed run")
+		workers = fs.String("workers", "1,2,4,8", "comma-separated worker counts")
+		seed    = fs.Uint64("seed", 1, "placement and batch seed")
+		out     = fs.String("o", "", "output path (default stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	ws, err := parseWorkers(*workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		return 2
+	}
+	snap, err := measure(*n, *k, *seed, ws)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		return 1
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return 0
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "benchsnap: wrote %s\n", *out)
+	return 0
+}
+
+func parseWorkers(spec string) ([]int, error) {
+	var ws []int
+	for _, part := range strings.Split(spec, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("bad worker count %q", part)
+		}
+		ws = append(ws, w)
+	}
+	if len(ws) == 0 {
+		return nil, fmt.Errorf("empty worker list")
+	}
+	return ws, nil
+}
+
+func measure(n, k int, seed uint64, ws []int) (*Snapshot, error) {
+	fmt.Fprintf(os.Stderr, "benchsnap: building %d-peer oracle testbed...\n", n)
+	tb, err := randompeer.New(randompeer.WithPeers(n), randompeer.WithSeed(seed))
+	if err != nil {
+		return nil, err
+	}
+	s, err := tb.UniformSampler(seed + 1)
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+	// Warm up caches (and fault in the ring) before timing.
+	if _, err := tb.SampleN(ctx, s, min(k/10, 5000), randompeer.WithTallyOnly()); err != nil {
+		return nil, err
+	}
+	snap := &Snapshot{
+		Benchmark:  "batch-throughput",
+		Date:       time.Now().UTC(),
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Peers:      n,
+		Samples:    k,
+		Seed:       seed,
+	}
+	var base float64
+	for _, w := range ws {
+		res, err := tb.SampleN(ctx, s, k,
+			randompeer.WithWorkers(w),
+			randompeer.WithBatchSeed(seed+2),
+			randompeer.WithTallyOnly(),
+		)
+		if err != nil {
+			return nil, err
+		}
+		rate := float64(k) / res.Elapsed.Seconds()
+		r := Run{
+			Workers:       w,
+			ElapsedMS:     float64(res.Elapsed.Microseconds()) / 1000,
+			SamplesPerSec: rate,
+		}
+		if base == 0 {
+			base = rate
+		}
+		r.SpeedupVs1 = rate / base
+		snap.Runs = append(snap.Runs, r)
+		fmt.Fprintf(os.Stderr, "benchsnap: workers=%d  %.0f samples/sec  (%.2fx)\n", w, rate, r.SpeedupVs1)
+	}
+	if snap.GOMAXPROCS < ws[len(ws)-1] {
+		snap.Note = fmt.Sprintf("machine exposes only %d CPU(s); worker counts beyond that cannot speed up this CPU-bound workload", snap.GOMAXPROCS)
+	}
+	return snap, nil
+}

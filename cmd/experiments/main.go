@@ -3,10 +3,14 @@
 //
 // Usage:
 //
-//	experiments [-run E1,E2|all] [-seed N] [-quick] [-csv DIR] [-list]
+//	experiments [-run E1,E2|all] [-seed N] [-quick] [-csv DIR] [-list] [-workers N]
 //
 // Output is a paper-style aligned table per experiment on stdout; with
-// -csv the raw data also lands in DIR/<id>.csv for plotting.
+// -csv the raw data also lands in DIR/<id>.csv for plotting. Experiments
+// (and the sweep points within them) execute across -workers goroutines;
+// every sweep point is seeded independently, so the tables are identical
+// at any worker count and print in experiment order regardless of which
+// finishes first.
 package main
 
 import (
@@ -14,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -27,11 +32,12 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		runIDs = fs.String("run", "all", "comma-separated experiment ids (e.g. E1,E8) or 'all'")
-		seed   = fs.Uint64("seed", 1, "root seed; equal seeds reproduce equal tables")
-		quick  = fs.Bool("quick", false, "reduced sweeps (smoke run)")
-		csvDir = fs.String("csv", "", "also write <id>.csv files into this directory")
-		list   = fs.Bool("list", false, "list experiments and exit")
+		runIDs  = fs.String("run", "all", "comma-separated experiment ids (e.g. E1,E8) or 'all'")
+		seed    = fs.Uint64("seed", 1, "root seed; equal seeds reproduce equal tables")
+		quick   = fs.Bool("quick", false, "reduced sweeps (smoke run)")
+		csvDir  = fs.String("csv", "", "also write <id>.csv files into this directory")
+		list    = fs.Bool("list", false, "list experiments and exit")
+		workers = fs.Int("workers", runtime.GOMAXPROCS(0), "goroutines for experiments and their sweep points")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -53,28 +59,26 @@ func run(args []string) int {
 			return 1
 		}
 	}
-	cfg := exp.RunConfig{Seed: *seed, Quick: *quick}
+	cfg := exp.RunConfig{Seed: *seed, Quick: *quick, Workers: *workers}
 	mode := "full"
 	if *quick {
 		mode = "quick"
 	}
-	fmt.Printf("running %d experiments (%s mode, seed %d)\n\n", len(selected), mode, *seed)
+	fmt.Printf("running %d experiments (%s mode, seed %d, %d workers)\n\n", len(selected), mode, *seed, *workers)
 	failures := 0
-	for _, e := range selected {
-		start := time.Now()
-		table, err := e.Run(cfg)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", e.ID, err)
+	for _, res := range exp.RunAll(cfg, selected, *workers) {
+		if res.Err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", res.Experiment.ID, res.Err)
 			failures++
 			continue
 		}
-		if err := table.Render(os.Stdout); err != nil {
+		if err := res.Table.Render(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			return 1
 		}
-		fmt.Printf("  (%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("  (%s completed in %v)\n\n", res.Experiment.ID, res.Elapsed.Round(time.Millisecond))
 		if *csvDir != "" {
-			if err := writeCSV(*csvDir, table); err != nil {
+			if err := writeCSV(*csvDir, res.Table); err != nil {
 				fmt.Fprintln(os.Stderr, "experiments:", err)
 				failures++
 			}

@@ -3,22 +3,26 @@
 //
 // Usage:
 //
-//	randpeer sample   [-n N] [-seed S] [-k K] [-sampler king-saia|naive] [-backend oracle|chord]
+//	randpeer sample   [-n N] [-seed S] [-k K] [-workers W] [-sampler king-saia|naive] [-backend oracle|chord]
 //	randpeer estimate [-n N] [-seed S] [-c1 C] [-callers K]
 //	randpeer verify   [-n N] [-seed S]
 //	randpeer arcs     [-n N] [-seed S]
 //
-// sample draws K peers and prints the tally summary; estimate runs the
-// paper's size estimator from K callers; verify computes the exact
-// Theorem 6 measure partition; arcs prints the structural statistics
-// (Lemmas 1 and 4, Theorem 8).
+// sample draws K peers across W workers (the batch engine keeps the
+// drawn multiset identical at any worker count) and prints the tally
+// summary; estimate runs the paper's size estimator from K callers;
+// verify computes the exact Theorem 6 measure partition; arcs prints
+// the structural statistics (Lemmas 1 and 4, Theorem 8).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand/v2"
 	"os"
+	"runtime"
+	"time"
 
 	"github.com/dht-sampling/randompeer"
 	"github.com/dht-sampling/randompeer/internal/arcs"
@@ -92,6 +96,7 @@ func cmdSample(args []string) error {
 		n       = fs.Int("n", 1024, "network size")
 		seed    = fs.Uint64("seed", 1, "placement seed")
 		k       = fs.Int("k", 10000, "samples to draw")
+		workers = fs.Int("workers", runtime.GOMAXPROCS(0), "parallel sampling workers")
 		sampler = fs.String("sampler", "king-saia", "king-saia or naive")
 		backend = fs.String("backend", "oracle", "oracle or chord")
 	)
@@ -114,30 +119,30 @@ func cmdSample(args []string) error {
 	default:
 		return fmt.Errorf("unknown sampler %q", *sampler)
 	}
-	counts := make([]int64, tb.Size())
-	before := tb.DHT().Meter().Snapshot()
-	for i := 0; i < *k; i++ {
-		p, err := s.Sample()
-		if err != nil {
-			return fmt.Errorf("sample %d: %w", i, err)
-		}
-		counts[p.Owner]++
-	}
-	cost := tb.DHT().Meter().Snapshot().Sub(before)
-	stat, pvalue, err := stats.ChiSquareUniform(counts)
+	res, err := tb.SampleN(context.Background(), s, *k,
+		randompeer.WithWorkers(*workers),
+		randompeer.WithBatchSeed(*seed+1),
+		randompeer.WithTallyOnly(),
+	)
 	if err != nil {
 		return err
 	}
-	tvd, err := stats.TotalVariationUniform(counts)
+	stat, pvalue, err := stats.ChiSquareUniform(res.Tally)
 	if err != nil {
 		return err
 	}
+	tvd, err := stats.TotalVariationUniform(res.Tally)
+	if err != nil {
+		return err
+	}
+	persec := float64(*k) / res.Elapsed.Seconds()
 	fmt.Printf("sampler:   %s over %d peers (%s backend)\n", s.Name(), tb.Size(), *backend)
-	fmt.Printf("samples:   %d\n", *k)
+	fmt.Printf("samples:   %d (%d workers, deterministic=%v)\n", *k, res.Workers, res.Deterministic)
 	fmt.Printf("chi2:      %.2f (p = %.4f)  [p >= 0.05 is consistent with uniform]\n", stat, pvalue)
 	fmt.Printf("tvd:       %.4f\n", tvd)
 	fmt.Printf("cost:      %.1f RPCs and %.1f messages per sample\n",
-		float64(cost.Calls)/float64(*k), float64(cost.Messages)/float64(*k))
+		float64(res.Cost.Calls)/float64(*k), float64(res.Cost.Messages)/float64(*k))
+	fmt.Printf("rate:      %.0f samples/sec (%v elapsed)\n", persec, res.Elapsed.Round(time.Microsecond))
 	return nil
 }
 

@@ -1,0 +1,51 @@
+package randompeer
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestExamplesSmoke builds and runs every program under examples/ so
+// the example code cannot silently rot: each must compile against the
+// current API and exit 0. The examples are tiny (the whole set runs in
+// a few seconds); CI additionally runs them in a go-run matrix.
+func TestExamplesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping example subprocesses in -short mode")
+	}
+	gobin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		found++
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+			defer cancel()
+			cmd := exec.CommandContext(ctx, gobin, "run", "./"+filepath.Join("examples", name))
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run ./examples/%s: %v\n%s", name, err, out)
+			}
+			if len(out) == 0 {
+				t.Errorf("examples/%s produced no output", name)
+			}
+		})
+	}
+	if found == 0 {
+		t.Fatal("no example programs found")
+	}
+}

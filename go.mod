@@ -1,0 +1,3 @@
+module github.com/dht-sampling/randompeer
+
+go 1.22

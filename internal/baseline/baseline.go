@@ -23,7 +23,10 @@ import (
 )
 
 // Naive samples h(x) at a uniformly random x: one lookup per sample.
-// It is safe for concurrent use.
+//
+// Concurrency contract: safe for unsynchronized concurrent use; the
+// mutex guards only the RNG draw and is never held across the lookup.
+// For reproducible parallel batches give each goroutine its own Fork.
 type Naive struct {
 	d    dht.DHT
 	name string
@@ -61,6 +64,12 @@ func (s *Naive) Sample() (dht.Peer, error) {
 // Name implements dht.Sampler.
 func (s *Naive) Name() string { return s.name }
 
+// Fork returns an independent naive sampler over the same DHT with its
+// own PCG stream seeded from seed. It makes no DHT calls.
+func (s *Naive) Fork(seed uint64) (dht.Sampler, error) {
+	return &Naive{d: s.d, name: s.name, rng: rand.New(rand.NewPCG(seed, seed^0xbb67ae8584caa73b))}, nil
+}
+
 // Graph exposes a DHT overlay's edges for random walks. The Chord
 // adapter's underlying network satisfies it via NeighborsOf; the oracle
 // satisfies it via OracleGraph.
@@ -71,8 +80,13 @@ type Graph interface {
 
 // Walk samples by running a fixed-length random walk on the overlay
 // graph from a fixed start peer and returning the endpoint. Each step
-// costs one RPC (charged to the DHT's meter). It is safe for concurrent
-// use.
+// costs one RPC (charged to the DHT's meter).
+//
+// Concurrency contract: safe for unsynchronized concurrent use, but a
+// shared Walk serializes whole walks under its mutex (each step's RNG
+// draw depends on the neighbor list just fetched, so the lock must span
+// the walk). Concurrent throughput comes from Fork: per-goroutine
+// clones walk in parallel with no shared state.
 type Walk struct {
 	g     Graph
 	d     dht.DHT
@@ -116,6 +130,16 @@ func (s *Walk) Sample() (dht.Peer, error) {
 
 // Name implements dht.Sampler.
 func (s *Walk) Name() string { return fmt.Sprintf("walk-%d", s.steps) }
+
+// Fork returns an independent walk sampler with the same graph, start
+// peer and walk length but its own PCG stream seeded from seed. It
+// makes no DHT calls.
+func (s *Walk) Fork(seed uint64) (dht.Sampler, error) {
+	return &Walk{
+		g: s.g, d: s.d, start: s.start, steps: s.steps,
+		rng: rand.New(rand.NewPCG(seed, seed^0x3c6ef372fe94f82b)),
+	}, nil
+}
 
 // Steps returns the per-sample walk length.
 func (s *Walk) Steps() int { return s.steps }

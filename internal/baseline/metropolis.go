@@ -22,6 +22,12 @@ import (
 // move), charged to the DHT's meter. The result is approximate —
 // accuracy depends on the mixing time — but it needs no ring structure
 // at all, only neighbor lists.
+//
+// Concurrency contract: safe for unsynchronized concurrent use, but a
+// shared MetropolisWalk serializes whole walks under its mutex (every
+// accept/reject draw depends on the degrees just fetched). Concurrent
+// throughput comes from Fork: per-goroutine clones walk in parallel
+// with no shared state.
 type MetropolisWalk struct {
 	g     Graph
 	d     dht.DHT
@@ -78,6 +84,16 @@ func (s *MetropolisWalk) Sample() (dht.Peer, error) {
 
 // Name implements dht.Sampler.
 func (s *MetropolisWalk) Name() string { return fmt.Sprintf("mh-walk-%d", s.steps) }
+
+// Fork returns an independent Metropolis walk sampler with the same
+// graph, start peer and walk length but its own PCG stream seeded from
+// seed. It makes no DHT calls.
+func (s *MetropolisWalk) Fork(seed uint64) (dht.Sampler, error) {
+	return &MetropolisWalk{
+		g: s.g, d: s.d, start: s.start, steps: s.steps,
+		rng: rand.New(rand.NewPCG(seed, seed^0xa54ff53a5f1d36f1)),
+	}, nil
+}
 
 // Steps returns the per-sample walk length.
 func (s *MetropolisWalk) Steps() int { return s.steps }

@@ -18,6 +18,7 @@ import (
 	"math"
 	"math/rand/v2"
 	"sync"
+	"sync/atomic"
 
 	"github.com/dht-sampling/randompeer/internal/dht"
 	"github.com/dht-sampling/randompeer/internal/ring"
@@ -28,8 +29,14 @@ import (
 type WeightFunc func(p dht.Peer) float64
 
 // Sampler chooses peers with probability proportional to a weight
-// function. It is safe for concurrent use if the underlying uniform
-// sampler is.
+// function.
+//
+// Concurrency contract: safe for unsynchronized concurrent use if the
+// underlying uniform sampler is (every sampler in this module is). The
+// mutex guards only the accept/reject RNG draw, never the uniform
+// Sample call, and the draw counters are atomic, so concurrent biased
+// samples overlap their uniform draws freely. For reproducible parallel
+// batches give each goroutine its own Fork.
 type Sampler struct {
 	uniform   dht.Sampler
 	weight    WeightFunc
@@ -37,11 +44,17 @@ type Sampler struct {
 	maxDraws  int
 	name      string
 
-	mu  sync.Mutex
+	mu  sync.Mutex // guards rng only
 	rng *rand.Rand
 
-	draws   int64
-	samples int64
+	draws   atomic.Int64
+	samples atomic.Int64
+}
+
+// forkable is the optional fork capability of samplers in this module
+// (the engine package declares the canonical copy).
+type forkable interface {
+	Fork(seed uint64) (dht.Sampler, error)
 }
 
 var _ dht.Sampler = (*Sampler)(nil)
@@ -72,6 +85,28 @@ func New(uniform dht.Sampler, weight WeightFunc, maxWeight float64, rng *rand.Ra
 // Name implements dht.Sampler.
 func (s *Sampler) Name() string { return s.name }
 
+// Fork returns an independent biased sampler with its own PCG stream
+// and a fork of the underlying uniform sampler. It fails if the uniform
+// sampler does not support forking.
+func (s *Sampler) Fork(seed uint64) (dht.Sampler, error) {
+	f, ok := s.uniform.(forkable)
+	if !ok {
+		return nil, fmt.Errorf("biased: uniform sampler %s is not forkable", s.uniform.Name())
+	}
+	uniform, err := f.Fork(seed ^ 0x510e527fade682d1)
+	if err != nil {
+		return nil, fmt.Errorf("biased: forking uniform sampler: %w", err)
+	}
+	return &Sampler{
+		uniform:   uniform,
+		weight:    s.weight,
+		maxWeight: s.maxWeight,
+		maxDraws:  s.maxDraws,
+		name:      s.name,
+		rng:       rand.New(rand.NewPCG(seed, seed^0x9b05688c2b3e6c1f)),
+	}, nil
+}
+
 // Sample implements dht.Sampler.
 func (s *Sampler) Sample() (dht.Peer, error) {
 	for draw := 1; draw <= s.maxDraws; draw++ {
@@ -85,12 +120,10 @@ func (s *Sampler) Sample() (dht.Peer, error) {
 		}
 		s.mu.Lock()
 		accept := s.rng.Float64()*s.maxWeight < w
-		if accept {
-			s.draws += int64(draw)
-			s.samples++
-		}
 		s.mu.Unlock()
 		if accept {
+			s.draws.Add(int64(draw))
+			s.samples.Add(1)
 			return p, nil
 		}
 	}
@@ -100,12 +133,11 @@ func (s *Sampler) Sample() (dht.Peer, error) {
 // MeanDraws reports the observed mean number of uniform draws per
 // accepted sample.
 func (s *Sampler) MeanDraws() float64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.samples == 0 {
+	samples := s.samples.Load()
+	if samples == 0 {
 		return 0
 	}
-	return float64(s.draws) / float64(s.samples)
+	return float64(s.draws.Load()) / float64(samples)
 }
 
 // InverseDistance returns the paper's example bias: weight inversely

@@ -15,7 +15,13 @@ import (
 // samples, and immediately after any sampling error (the typical
 // symptom of a badly stale estimate or a repaired ring).
 //
-// It is safe for concurrent use.
+// Concurrency contract: safe for unsynchronized concurrent use, but
+// calls are fully serialized — the refresh schedule and the retry-after-
+// failure logic are inherently shared state, and successive inner
+// samplers share one RNG. AutoSampler therefore does not implement Fork;
+// the batch engine falls back to shared-sampler mode for it. For
+// parallel throughput, sample through a plain Sampler (whose Fork shares
+// the estimate) and refresh it at the application's own cadence.
 type AutoSampler struct {
 	d      dht.DHT
 	caller dht.Peer

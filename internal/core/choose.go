@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"sync"
+	"sync/atomic"
 
 	"github.com/dht-sampling/randompeer/internal/dht"
 	"github.com/dht-sampling/randompeer/internal/ring"
@@ -44,7 +45,7 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Stats accumulates sampling effort counters across a Sampler's lifetime.
+// Stats is a snapshot of a Sampler's cumulative effort counters.
 type Stats struct {
 	// Samples is the number of successful Sample calls.
 	Samples int64
@@ -69,16 +70,27 @@ type Trace struct {
 // of the DHT, using one h lookup per trial and at most MaxSteps next
 // steps per trial.
 //
-// A Sampler is safe for concurrent use.
+// Concurrency contract: a Sampler is safe for unsynchronized concurrent
+// use. The derived parameters are immutable after construction, effort
+// counters are atomic, and the only shared mutable state — the RNG — is
+// touched under a mutex held just for the one draw per trial, never
+// across DHT calls, so concurrent Sample calls overlap their lookups and
+// walks freely. Concurrent callers do interleave draws from the one RNG;
+// for bit-for-bit reproducible parallel sampling give each goroutine its
+// own Fork (or use the batch engine, which forks per block).
 type Sampler struct {
 	d   dht.DHT
 	cfg Config
 
-	mu     sync.Mutex
-	rng    *rand.Rand
 	params Params
 	est    EstimateResult
-	stats  Stats
+
+	mu  sync.Mutex // guards rng only; never held across DHT calls
+	rng *rand.Rand
+
+	samples atomic.Int64
+	trials  atomic.Int64
+	steps   atomic.Int64
 }
 
 var _ dht.Sampler = (*Sampler)(nil)
@@ -121,6 +133,17 @@ func NewWithParams(d dht.DHT, rng *rand.Rand, params Params, cfg Config) (*Sampl
 // Name implements dht.Sampler.
 func (s *Sampler) Name() string { return "king-saia" }
 
+// Fork returns an independent sampler over the same DHT with the same
+// configuration and derived parameters (and estimate provenance) but its
+// own PCG stream seeded from seed and fresh effort counters. Fork makes
+// no DHT calls — the expensive Estimate n run is shared, not repeated —
+// so a batch engine can cheaply hand every worker (or every block of
+// work) a private sampler and keep parallel results deterministic.
+func (s *Sampler) Fork(seed uint64) (dht.Sampler, error) {
+	rng := rand.New(rand.NewPCG(seed, seed^0x6a09e667f3bcc909))
+	return &Sampler{d: s.d, cfg: s.cfg, rng: rng, params: s.params, est: s.est}, nil
+}
+
 // Params returns the derived sampling parameters.
 func (s *Sampler) Params() Params { return s.params }
 
@@ -128,11 +151,22 @@ func (s *Sampler) Params() Params { return s.params }
 // sampler (zero-valued if NewWithParams was used).
 func (s *Sampler) Estimate() EstimateResult { return s.est }
 
-// Stats returns a snapshot of the cumulative effort counters.
+// Stats returns a snapshot of the cumulative effort counters. Each
+// counter is read atomically; a snapshot taken while Sample calls are in
+// flight is not an atomic cut across the three counters.
 func (s *Sampler) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	return Stats{
+		Samples: s.samples.Load(),
+		Trials:  s.trials.Load(),
+		Steps:   s.steps.Load(),
+	}
+}
+
+// record accumulates the effort of one successful sample.
+func (s *Sampler) record(trace Trace) {
+	s.samples.Add(1)
+	s.trials.Add(int64(trace.Trials))
+	s.steps.Add(int64(trace.Steps))
 }
 
 // Sample implements dht.Sampler.
@@ -158,12 +192,12 @@ func (s *Sampler) Sample() (dht.Peer, error) {
 // tracked in exact 128-bit arithmetic; float rounding never decides an
 // acceptance.
 func (s *Sampler) SampleTraced() (dht.Peer, Trace, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	var trace Trace
 	for trial := 1; trial <= s.cfg.MaxTrials; trial++ {
 		trace.Trials = trial
+		s.mu.Lock()
 		start := ring.Point(s.rng.Uint64())
+		s.mu.Unlock()
 		first, err := s.d.H(start)
 		if err != nil {
 			return dht.Peer{}, trace, fmt.Errorf("core: h(%v): %w", start, err)
@@ -171,9 +205,7 @@ func (s *Sampler) SampleTraced() (dht.Peer, Trace, error) {
 		d0 := ring.Distance(start, first.Point)
 		if d0 < s.params.Lambda {
 			// |I(s, l(h(s)))| is small: h(s) is the chosen peer.
-			s.stats.Samples++
-			s.stats.Trials += int64(trace.Trials)
-			s.stats.Steps += int64(trace.Steps)
+			s.record(trace)
 			return first, trace, nil
 		}
 		t := ring.S128Of(d0).SubUint(s.params.Lambda)
@@ -187,9 +219,7 @@ func (s *Sampler) SampleTraced() (dht.Peer, Trace, error) {
 			arc := ring.Distance(cur.Point, next.Point)
 			t = t.AddUint(arc).SubUint(s.params.Lambda)
 			if !t.IsPos() {
-				s.stats.Samples++
-				s.stats.Trials += int64(trace.Trials)
-				s.stats.Steps += int64(trace.Steps)
+				s.record(trace)
 				return next, trace, nil
 			}
 			cur = next

@@ -1,0 +1,218 @@
+// Package engine is the concurrent batch sampling engine: it fans a
+// request for k samples out over a worker pool while keeping the result
+// deterministic for a fixed seed, independent of the worker count.
+//
+// # Design
+//
+// The work is split into fixed-size blocks of consecutive sample
+// indices. Randomness is keyed to the block, not the worker: for each
+// block the engine derives a per-block seed from (Seed, block index)
+// with a SplitMix64 mix and forks the sampler into a private clone
+// seeded with it (see Forker). Workers pull block indices from an
+// atomic counter, so scheduling decides only *who* executes a block,
+// never *what* the block draws — the multiset (and, position by
+// position, the sequence) of sampled peers is a pure function of the
+// seed and k. Per-worker tallies are merged once at the end, so the
+// hot loop writes only worker-private memory plus the DHT's sharded
+// cost meter.
+//
+// Samplers that cannot fork (for example core.AutoSampler, whose
+// refresh schedule is inherently shared state) are still supported:
+// every sampler in this module is safe for concurrent use, so the
+// engine falls back to hammering the shared sampler from all workers.
+// In that mode the interleaving of RNG draws — and hence the exact
+// result — depends on scheduling, and throughput is bounded by the
+// sampler's own serialization: core.AutoSampler serializes every call
+// under one mutex, so batches over it gain nothing from extra workers.
+// Result.Deterministic reports which mode ran.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/dht-sampling/randompeer/internal/dht"
+)
+
+// Forker is the optional capability the engine uses to give each block
+// of work a private sampler: Fork must return an independent sampler
+// whose random stream is a pure function of seed and which shares no
+// mutable state with its parent. All samplers in this module except
+// core.AutoSampler implement it.
+type Forker interface {
+	dht.Sampler
+	Fork(seed uint64) (dht.Sampler, error)
+}
+
+// DefaultBlockSize is the number of consecutive sample indices a worker
+// claims at a time. It amortizes the per-block fork and tally-merge
+// overhead while keeping ~worker-count blocks of tail imbalance small.
+const DefaultBlockSize = 512
+
+// Config tunes a SampleN run. The zero value selects GOMAXPROCS
+// workers, DefaultBlockSize, seed 0 and peer retention.
+type Config struct {
+	// Workers is the worker pool size (default runtime.GOMAXPROCS(0)).
+	Workers int
+	// Seed roots the per-block sampler forks. For a forkable sampler,
+	// equal (Seed, k) yield identical results at any worker count.
+	Seed uint64
+	// BlockSize overrides DefaultBlockSize (mainly for tests).
+	BlockSize int
+	// Owners sizes the tally. It must be the number of distinct owners
+	// of the DHT being sampled (dht.Owners()).
+	Owners int
+	// TallyOnly drops the per-index peer log, keeping only the tally —
+	// the right choice for uniformity sweeps with huge k, where the
+	// peer log would dominate memory.
+	TallyOnly bool
+}
+
+// Result is the outcome of one batch run.
+type Result struct {
+	// Peers holds the sampled peer at every sample index (nil when
+	// TallyOnly was set).
+	Peers []dht.Peer
+	// Tally counts samples per owner index.
+	Tally []int64
+	// Workers is the number of workers that ran.
+	Workers int
+	// Blocks is the number of work blocks the run was split into.
+	Blocks int
+	// Deterministic reports whether per-block forking was used, making
+	// the result a pure function of (Seed, k).
+	Deterministic bool
+}
+
+// splitmix64 is the standard SplitMix64 finalizer, used to spread
+// consecutive block indices into well-separated PCG seeds.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// BlockSeed derives the sampler seed for block b of a run rooted at
+// seed. It is exported so tests and tools can reproduce any block in
+// isolation.
+func BlockSeed(seed uint64, b int) uint64 {
+	return splitmix64(seed ^ splitmix64(uint64(b)+1))
+}
+
+// SampleN draws k samples from s using a pool of workers and returns
+// the merged result. See the package comment for the determinism
+// contract. A nil ctx is treated as context.Background(); cancellation
+// is observed between blocks, returning ctx.Err(). The first sampling
+// error aborts the run.
+func SampleN(ctx context.Context, s dht.Sampler, k int, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if s == nil {
+		return nil, fmt.Errorf("engine: nil sampler")
+	}
+	if k < 0 {
+		return nil, fmt.Errorf("engine: negative sample count %d", k)
+	}
+	if cfg.Owners <= 0 {
+		return nil, fmt.Errorf("engine: config needs the owner count, got %d", cfg.Owners)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	blockSize := cfg.BlockSize
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	blocks := (k + blockSize - 1) / blockSize
+	if workers > blocks && blocks > 0 {
+		workers = blocks
+	}
+
+	forker, deterministic := s.(Forker)
+	res := &Result{
+		Tally:         make([]int64, cfg.Owners),
+		Workers:       workers,
+		Blocks:        blocks,
+		Deterministic: deterministic,
+	}
+	if !cfg.TallyOnly {
+		res.Peers = make([]dht.Peer, k)
+	}
+	if k == 0 {
+		return res, nil
+	}
+
+	var (
+		next     atomic.Int64 // next unclaimed block index
+		firstErr atomic.Pointer[error]
+		wg       sync.WaitGroup
+		tallyMu  sync.Mutex
+	)
+	fail := func(err error) {
+		firstErr.CompareAndSwap(nil, &err)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tally := make([]int64, cfg.Owners)
+			defer func() {
+				tallyMu.Lock()
+				for i, c := range tally {
+					res.Tally[i] += c
+				}
+				tallyMu.Unlock()
+			}()
+			for {
+				if firstErr.Load() != nil {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
+				b := int(next.Add(1)) - 1
+				if b >= blocks {
+					return
+				}
+				bs := s
+				if deterministic {
+					f, err := forker.Fork(BlockSeed(cfg.Seed, b))
+					if err != nil {
+						fail(fmt.Errorf("engine: forking sampler for block %d: %w", b, err))
+						return
+					}
+					bs = f
+				}
+				lo := b * blockSize
+				hi := min(lo+blockSize, k)
+				for i := lo; i < hi; i++ {
+					p, err := bs.Sample()
+					if err != nil {
+						fail(fmt.Errorf("engine: sample %d: %w", i, err))
+						return
+					}
+					if p.Owner < 0 || p.Owner >= cfg.Owners {
+						fail(fmt.Errorf("engine: sampler %s returned owner %d outside [0, %d)", bs.Name(), p.Owner, cfg.Owners))
+						return
+					}
+					tally[p.Owner]++
+					if res.Peers != nil {
+						res.Peers[i] = p
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if errp := firstErr.Load(); errp != nil {
+		return nil, *errp
+	}
+	return res, nil
+}

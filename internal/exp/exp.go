@@ -10,9 +10,13 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Table is a rendered experiment result: a paper-style table or the data
@@ -115,6 +119,98 @@ type RunConfig struct {
 	Seed uint64
 	// Quick selects reduced sweeps for tests and smoke runs.
 	Quick bool
+	// Workers bounds the goroutines an experiment may use in total
+	// across its sweep points and any batch sampling inside them
+	// (default GOMAXPROCS). Experiments divide the budget between
+	// nesting levels rather than multiplying it. Every sweep point is
+	// seeded independently, so the worker count never changes a
+	// table's contents.
+	Workers int
+}
+
+// workerCount resolves the effective worker budget.
+func (cfg RunConfig) workerCount() int {
+	if cfg.Workers > 0 {
+		return cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEach runs fn(i) for every i in [0, n) across at most workers
+// goroutines and returns the first error (remaining iterations are
+// skipped once an error is observed). Iterations must be independent;
+// experiments use it to spread sweep points over cores while writing
+// results into per-index slots so row order stays deterministic.
+func forEach(workers, n int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next     atomic.Int64
+		firstErr atomic.Pointer[error]
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || firstErr.Load() != nil {
+					return
+				}
+				if err := fn(i); err != nil {
+					firstErr.CompareAndSwap(nil, &err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if errp := firstErr.Load(); errp != nil {
+		return *errp
+	}
+	return nil
+}
+
+// RunResult is one experiment's outcome from RunAll.
+type RunResult struct {
+	Experiment Experiment
+	Table      *Table
+	Err        error
+	Elapsed    time.Duration
+}
+
+// RunAll executes the experiments across at most workers goroutines
+// (default GOMAXPROCS when workers <= 0) and returns their results in
+// input order. The budget is divided, not multiplied: with c
+// experiments in flight, each runs with Workers = workers/c for its own
+// sweep points, so the whole run stays within the overall bound.
+// Experiments are independent by construction — each seeds its own
+// generators from cfg.Seed — so concurrent execution reproduces exactly
+// the tables a sequential run would.
+func RunAll(cfg RunConfig, exps []Experiment, workers int) []RunResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	concurrent := min(workers, max(len(exps), 1))
+	cfg.Workers = max(1, workers/concurrent)
+	results := make([]RunResult, len(exps))
+	_ = forEach(concurrent, len(exps), func(i int) error {
+		start := time.Now()
+		table, err := exps[i].Run(cfg)
+		results[i] = RunResult{Experiment: exps[i], Table: table, Err: err, Elapsed: time.Since(start)}
+		return nil // a failed experiment must not cancel its siblings
+	})
+	return results
 }
 
 // Experiment is one reproducible claim check.

@@ -1,11 +1,13 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 
 	"github.com/dht-sampling/randompeer/internal/core"
 	"github.com/dht-sampling/randompeer/internal/dht"
+	"github.com/dht-sampling/randompeer/internal/engine"
 	"github.com/dht-sampling/randompeer/internal/ring"
 	"github.com/dht-sampling/randompeer/internal/stats"
 )
@@ -30,42 +32,60 @@ func expE1() Experiment {
 			if cfg.Quick {
 				samplesPerPeer = 20
 			}
-			for _, n := range ns {
+			// Sweep points are independent (each seeds its own PCG from
+			// (Seed, n)) and the empirical draws run through the batch
+			// engine, whose per-block forks make the tally a pure
+			// function of the seed — so the table is identical at any
+			// worker count. The worker budget is split between the two
+			// levels (outer sweep points times inner engine workers
+			// stays within cfg.Workers), not multiplied.
+			rows := make([][]string, len(ns))
+			outer := min(cfg.workerCount(), len(ns))
+			inner := max(1, cfg.workerCount()/outer)
+			if err := forEach(outer, len(ns), func(i int) error {
+				n := ns[i]
 				rng := rand.New(rand.NewPCG(cfg.Seed, uint64(n)))
 				r, err := ring.Generate(rng, n)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				params, err := core.DeriveParams(float64(n), 1, 6)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				a, err := core.Analyze(r, params.Lambda, params.MaxSteps)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				o := dht.NewOracle(r)
 				s, err := core.NewWithParams(o, rng, params, core.Config{})
 				if err != nil {
-					return nil, err
+					return err
 				}
-				counts := make([]int64, n)
-				for i := 0; i < samplesPerPeer*n; i++ {
-					p, err := s.Sample()
-					if err != nil {
-						return nil, err
-					}
-					counts[p.Owner]++
-				}
-				_, pvalue, err := stats.ChiSquareUniform(counts)
+				res, err := engine.SampleN(context.Background(), s, samplesPerPeer*n, engine.Config{
+					Workers:   inner,
+					Seed:      cfg.Seed ^ uint64(n),
+					Owners:    o.Owners(),
+					TallyOnly: true,
+				})
 				if err != nil {
-					return nil, err
+					return err
+				}
+				_, pvalue, err := stats.ChiSquareUniform(res.Tally)
+				if err != nil {
+					return err
 				}
 				relDev := float64(a.MaxDeviation) / float64(params.Lambda)
-				if err := t.AddRow(
+				rows[i] = []string{
 					fmtI(n), fmtU(params.Lambda), fmtI(params.MaxSteps),
 					fmtU(a.MaxDeviation), fmtF(relDev), fmtF(a.SuccessProbability), fmtF(pvalue),
-				); err != nil {
+				}
+				return nil
+			}); err != nil {
+				return nil, err
+			}
+			for _, row := range rows {
+				if err := t.AddRow(row...); err != nil {
 					return nil, err
 				}
 			}
@@ -90,26 +110,38 @@ func expE17() Experiment {
 				Columns: []string{"n", "maxSteps", "lambda(units)", "maxDev(units)", "relDev", "unassignedFrac"},
 			}
 			ns := sweep(cfg.Quick, 256, 1024, 4096, 16384, 65536)
-			for _, n := range ns {
+			// Each sweep point seeds its own generator, so the analyzer
+			// runs are spread over cfg workers with deterministic rows.
+			rows := make([][][]string, len(ns))
+			if err := forEach(cfg.workerCount(), len(ns), func(i int) error {
+				n := ns[i]
 				rng := rand.New(rand.NewPCG(cfg.Seed^0x11, uint64(n)))
 				r, err := ring.Generate(rng, n)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				params, err := core.DeriveParams(float64(n), 1, 6)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				for _, steps := range []int{params.MaxSteps, 2 * params.MaxSteps} {
 					a, err := core.Analyze(r, params.Lambda, steps)
 					if err != nil {
-						return nil, err
+						return err
 					}
-					if err := t.AddRow(
+					rows[i] = append(rows[i], []string{
 						fmtI(n), fmtI(steps), fmtU(params.Lambda), fmtU(a.MaxDeviation),
-						fmtF(float64(a.MaxDeviation)/float64(params.Lambda)),
-						fmtF(1-a.SuccessProbability),
-					); err != nil {
+						fmtF(float64(a.MaxDeviation) / float64(params.Lambda)),
+						fmtF(1 - a.SuccessProbability),
+					})
+				}
+				return nil
+			}); err != nil {
+				return nil, err
+			}
+			for _, group := range rows {
+				for _, row := range group {
+					if err := t.AddRow(row...); err != nil {
 						return nil, err
 					}
 				}
@@ -140,11 +172,13 @@ func expE21() Experiment {
 			}
 			ns := sweep(cfg.Quick, 256, 1024, 4096)
 			callers := 8
-			for _, n := range ns {
+			rows := make([][]string, len(ns))
+			if err := forEach(cfg.workerCount(), len(ns), func(i int) error {
+				n := ns[i]
 				rng := rand.New(rand.NewPCG(cfg.Seed^0x2121, uint64(n)))
 				r, err := ring.Generate(rng, n)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				o := dht.NewOracle(r)
 				minRatio, maxRatio := 1e18, 0.0
@@ -153,15 +187,15 @@ func expE21() Experiment {
 				for c := 0; c < callers; c++ {
 					est, err := core.EstimateN(o, o.PeerByIndex(c*(n/callers)), 2)
 					if err != nil {
-						return nil, err
+						return err
 					}
 					params, err := core.DeriveParams(est.NHat, 2.0/7.0, 6)
 					if err != nil {
-						return nil, err
+						return err
 					}
 					a, err := core.Analyze(r, params.Lambda, params.MaxSteps)
 					if err != nil {
-						return nil, err
+						return err
 					}
 					ratio := est.NHat / float64(n)
 					if ratio < minRatio {
@@ -180,10 +214,16 @@ func expE21() Experiment {
 						maxSucc = a.SuccessProbability
 					}
 				}
-				if err := t.AddRow(
+				rows[i] = []string{
 					fmtI(n), fmtI(callers), fmtF(minRatio), fmtF(maxRatio),
 					fmtF(worstRel), fmtF(minSucc), fmtF(maxSucc),
-				); err != nil {
+				}
+				return nil
+			}); err != nil {
+				return nil, err
+			}
+			for _, row := range rows {
+				if err := t.AddRow(row...); err != nil {
 					return nil, err
 				}
 			}

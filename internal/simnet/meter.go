@@ -8,14 +8,46 @@
 // request plus one reply). Meter counts both.
 package simnet
 
-import "sync/atomic"
+import (
+	"math/rand/v2"
+	"sync/atomic"
+)
 
-// Meter accumulates transport costs. All methods are safe for concurrent
-// use. The zero value is ready to use.
-type Meter struct {
+// meterShards is the number of independently updated counter shards in a
+// Meter. It must be a power of two (shard selection masks a random
+// word). 16 shards keep charge contention negligible up to dozens of
+// concurrently sampling goroutines.
+const meterShards = 16
+
+// meterShard is one stripe of counters, padded out to two cache lines so
+// that concurrent writers on different shards never share a line (false
+// sharing is exactly the contention the striping exists to remove).
+type meterShard struct {
 	calls    atomic.Int64 // completed RPC round trips (latency proxy)
 	messages atomic.Int64 // individual messages (request + reply each count 1)
 	failures atomic.Int64 // RPCs that failed (dropped or dead destination)
+	_        [128 - 3*8]byte
+}
+
+// Meter accumulates transport costs. It is the hot-path cost sink of the
+// whole testbed: every h lookup, successor chase and simulated RPC
+// charges it, so under a concurrent sampling engine it is written from
+// many goroutines at once. Counters are striped across meterShards
+// cache-line-padded shards updated with atomics; a charge picks a shard
+// with a cheap per-thread random draw, so concurrent writers almost
+// never contend on a cache line.
+//
+// Concurrency contract: all methods are safe for unsynchronized
+// concurrent use. Snapshot and Reset sum (respectively zero) the shards
+// one atomic word at a time, so a snapshot taken while charges are in
+// flight is a linearizable per-counter reading but not an atomic cut
+// across counters — exactly the guarantee the previous single-counter
+// implementation gave. Measure the cost of a quiesced operation by
+// snapshotting before and after it, as all experiments do.
+//
+// The zero value is ready to use.
+type Meter struct {
+	shards [meterShards]meterShard
 }
 
 // Cost is an immutable snapshot of a Meter.
@@ -25,40 +57,56 @@ type Cost struct {
 	Failures int64
 }
 
+// shard picks a stripe for the calling goroutine. math/rand/v2's global
+// functions draw from a lock-free per-thread generator, so this costs a
+// few nanoseconds and never serializes callers.
+func (m *Meter) shard() *meterShard {
+	return &m.shards[rand.Uint32()&(meterShards-1)]
+}
+
 // Snapshot returns the current counter values.
 func (m *Meter) Snapshot() Cost {
-	return Cost{
-		Calls:    m.calls.Load(),
-		Messages: m.messages.Load(),
-		Failures: m.failures.Load(),
+	var c Cost
+	for i := range m.shards {
+		s := &m.shards[i]
+		c.Calls += s.calls.Load()
+		c.Messages += s.messages.Load()
+		c.Failures += s.failures.Load()
 	}
+	return c
 }
 
 // Charge records an arbitrary cost. It is used by synthetic backends
 // (such as the oracle DHT) that model rather than execute RPCs.
 func (m *Meter) Charge(calls, messages int64) {
-	m.calls.Add(calls)
-	m.messages.Add(messages)
+	s := m.shard()
+	s.calls.Add(calls)
+	s.messages.Add(messages)
 }
 
 // chargeSuccess records one completed RPC: one round trip, two messages.
 func (m *Meter) chargeSuccess() {
-	m.calls.Add(1)
-	m.messages.Add(2)
+	s := m.shard()
+	s.calls.Add(1)
+	s.messages.Add(2)
 }
 
 // chargeFailure records a failed RPC attempt. The request message still
 // crossed the network (or was lost in it), so it is counted.
 func (m *Meter) chargeFailure() {
-	m.failures.Add(1)
-	m.messages.Add(1)
+	s := m.shard()
+	s.failures.Add(1)
+	s.messages.Add(1)
 }
 
 // Reset zeroes all counters.
 func (m *Meter) Reset() {
-	m.calls.Store(0)
-	m.messages.Store(0)
-	m.failures.Store(0)
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.calls.Store(0)
+		s.messages.Store(0)
+		s.failures.Store(0)
+	}
 }
 
 // Sub returns the component-wise difference c - prev, used to measure the
