@@ -27,9 +27,10 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # Key benchmarks as a smoke test (one iteration each): the headline
-# single-sample cost and the batch engine at n=1e6 across worker counts.
+# single-sample cost, the batch engine at n=1e6 across worker counts,
+# and the cross-backend lookup-cost comparison (oracle/chord/kademlia).
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkUniformSample|BenchmarkBatchThroughput' -benchtime=1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkUniformSample|BenchmarkBatchThroughput|BenchmarkLookupCostBackends' -benchtime=1x .
 
 # Full throughput measurement, recorded into the committed perf
 # trajectory (BENCH_$(PR).json). Override PR for later snapshots.

@@ -76,42 +76,57 @@ func TestSampleNFacadeTallyAndCost(t *testing.T) {
 
 // TestSampleNFacadeStress hammers one testbed from concurrent batch
 // runs and raw Sample calls at once — the facade-level -race gate.
+// It runs on every backend: the protocol backends drive concurrent
+// lookups through their own locking (Chord's node state, Kademlia's
+// routing tables and ring pointers), which no single-goroutine
+// conformance test exercises.
 func TestSampleNFacadeStress(t *testing.T) {
-	tb, err := New(WithPeers(256), WithSeed(8))
-	if err != nil {
-		t.Fatal(err)
-	}
-	s, err := tb.UniformSampler(2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	var wg sync.WaitGroup
-	errs := make(chan error, 8)
-	for g := 0; g < 3; g++ {
-		wg.Add(1)
-		go func(g int) {
-			defer wg.Done()
-			if _, err := tb.SampleN(context.Background(), s, 1000, WithWorkers(4), WithBatchSeed(uint64(g))); err != nil {
-				errs <- err
+	t.Parallel()
+	for _, backend := range Backends() {
+		backend := backend
+		t.Run(backend.String(), func(t *testing.T) {
+			t.Parallel()
+			n, batch, raw := 256, 1000, 200
+			if backend != OracleBackend {
+				n, batch, raw = 64, 300, 60 // real lookups are pricier
 			}
-		}(g)
-	}
-	for g := 0; g < 3; g++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := 0; i < 200; i++ {
-				if _, err := s.Sample(); err != nil {
-					errs <- err
-					return
-				}
+			tb, err := New(WithPeers(n), WithSeed(8), WithBackend(backend))
+			if err != nil {
+				t.Fatal(err)
 			}
-		}()
-	}
-	wg.Wait()
-	close(errs)
-	for err := range errs {
-		t.Error(err)
+			s, err := tb.UniformSampler(2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			errs := make(chan error, 8)
+			for g := 0; g < 3; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					if _, err := tb.SampleN(context.Background(), s, batch, WithWorkers(4), WithBatchSeed(uint64(g))); err != nil {
+						errs <- err
+					}
+				}(g)
+			}
+			for g := 0; g < 3; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < raw; i++ {
+						if _, err := s.Sample(); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Error(err)
+			}
+		})
 	}
 }
 

@@ -29,6 +29,7 @@ import (
 	"github.com/dht-sampling/randompeer/internal/core"
 	"github.com/dht-sampling/randompeer/internal/dht"
 	"github.com/dht-sampling/randompeer/internal/engine"
+	"github.com/dht-sampling/randompeer/internal/kademlia"
 	"github.com/dht-sampling/randompeer/internal/loadbalance"
 	"github.com/dht-sampling/randompeer/internal/randgraph"
 	"github.com/dht-sampling/randompeer/internal/ring"
@@ -160,6 +161,88 @@ func BenchmarkSampleCostChord(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkSampleCostKademlia (E24): one uniform sample over a real
+// Kademlia overlay, paying genuine iterative FIND_NODE lookups.
+func BenchmarkSampleCostKademlia(b *testing.B) {
+	for _, n := range []int{256, 1024, 4096} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			r := benchRing(b, n)
+			net, err := kademlia.BuildStatic(kademlia.Config{}, simnet.NewDirect(), r.Points())
+			if err != nil {
+				b.Fatal(err)
+			}
+			d, err := net.AsDHT(r.At(0))
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewPCG(2, uint64(n)))
+			s, err := core.New(d, d.Self(), rng, core.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Sample(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkKademliaLookup: the h primitive on the Kademlia overlay —
+// an alpha-parallel iterative FIND_NODE plus the O(1) clockwise-owner
+// verification.
+func BenchmarkKademliaLookup(b *testing.B) {
+	for _, n := range []int{1024, 4096} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			r := benchRing(b, n)
+			net, err := kademlia.BuildStatic(kademlia.Config{}, simnet.NewDirect(), r.Points())
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewPCG(10, uint64(n)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := net.ResolveOwner(r.At(0), ring.Point(rng.Uint64())); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLookupCostBackends (E24): the per-lookup t_h/m_h comparison
+// across all three substrates at n=16384, reported as rpcs/lookup and
+// msgs/lookup metrics next to wall-clock time. This is the committed
+// cross-backend cost benchmark: the oracle charges the synthetic
+// textbook cost, Chord pays finger hops, Kademlia pays k-close
+// alpha-parallel FIND_NODE waves plus an O(1) ring verification.
+func BenchmarkLookupCostBackends(b *testing.B) {
+	const n = 16384
+	for _, backend := range Backends() {
+		b.Run(backend.String(), func(b *testing.B) {
+			tb, err := New(WithPeers(n), WithSeed(15), WithBackend(backend))
+			if err != nil {
+				b.Fatal(err)
+			}
+			d := tb.DHT()
+			rng := rand.New(rand.NewPCG(16, uint64(n)))
+			before := d.Meter().Snapshot()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := d.H(ring.Point(rng.Uint64())); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			cost := d.Meter().Snapshot().Sub(before)
+			b.ReportMetric(float64(cost.Calls)/float64(b.N), "rpcs/lookup")
+			b.ReportMetric(float64(cost.Messages)/float64(b.N), "msgs/lookup")
 		})
 	}
 }

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	randpeer sample   [-n N] [-seed S] [-k K] [-workers W] [-sampler king-saia|naive] [-backend oracle|chord]
+//	randpeer sample   [-n N] [-seed S] [-k K] [-workers W] [-sampler king-saia|naive] [-backend oracle|chord|kademlia]
 //	randpeer estimate [-n N] [-seed S] [-c1 C] [-callers K]
 //	randpeer verify   [-n N] [-seed S]
 //	randpeer arcs     [-n N] [-seed S]
@@ -75,13 +75,9 @@ commands:
 }
 
 func newTestbed(n int, seed uint64, backend string) (*randompeer.Testbed, error) {
-	b := randompeer.OracleBackend
-	switch backend {
-	case "", "oracle":
-	case "chord":
-		b = randompeer.ChordBackend
-	default:
-		return nil, fmt.Errorf("unknown backend %q (want oracle or chord)", backend)
+	b, err := randompeer.ParseBackend(backend)
+	if err != nil {
+		return nil, err
 	}
 	return randompeer.New(
 		randompeer.WithPeers(n),
@@ -98,7 +94,7 @@ func cmdSample(args []string) error {
 		k       = fs.Int("k", 10000, "samples to draw")
 		workers = fs.Int("workers", runtime.GOMAXPROCS(0), "parallel sampling workers")
 		sampler = fs.String("sampler", "king-saia", "king-saia or naive")
-		backend = fs.String("backend", "oracle", "oracle or chord")
+		backend = fs.String("backend", "oracle", "DHT substrate: "+randompeer.BackendNames())
 	)
 	if err := fs.Parse(args); err != nil {
 		return err

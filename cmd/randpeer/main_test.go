@@ -14,6 +14,7 @@ func TestRunCommands(t *testing.T) {
 		{name: "sample small", args: []string{"sample", "-n", "64", "-k", "500"}, want: 0},
 		{name: "sample naive", args: []string{"sample", "-n", "64", "-k", "500", "-sampler", "naive"}, want: 0},
 		{name: "sample chord backend", args: []string{"sample", "-n", "32", "-k", "100", "-backend", "chord"}, want: 0},
+		{name: "sample kademlia backend", args: []string{"sample", "-n", "32", "-k", "100", "-backend", "kademlia"}, want: 0},
 		{name: "sample bad sampler", args: []string{"sample", "-sampler", "bogus", "-n", "16", "-k", "1"}, want: 1},
 		{name: "sample bad backend", args: []string{"sample", "-backend", "bogus"}, want: 1},
 		{name: "estimate", args: []string{"estimate", "-n", "256", "-callers", "4"}, want: 0},

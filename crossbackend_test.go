@@ -1,0 +1,98 @@
+package randompeer
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/dht-sampling/randompeer/internal/stats"
+)
+
+// TestCrossBackendDeterminism is the substrate-independence claim made
+// executable at the sequence level: the King–Saia sampler consults the
+// DHT only through H and Next, and every backend resolves both to the
+// identical peers over the same ring, so the same seeds must yield the
+// exact same sequence of sampled owners on the oracle, on Chord, and
+// on Kademlia. Any backend peeking past the dht.DHT interface — or any
+// backend resolving ownership differently — breaks the equality.
+func TestCrossBackendDeterminism(t *testing.T) {
+	t.Parallel()
+	const (
+		n       = 64
+		seed    = 17
+		samples = 400
+	)
+	sequences := make(map[Backend][]int, 3)
+	for _, backend := range Backends() {
+		tb, err := New(WithPeers(n), WithSeed(seed), WithBackend(backend))
+		if err != nil {
+			t.Fatalf("%v: %v", backend, err)
+		}
+		s, err := tb.UniformSampler(seed + 1)
+		if err != nil {
+			t.Fatalf("%v: %v", backend, err)
+		}
+		seq := make([]int, samples)
+		for i := range seq {
+			p, err := s.Sample()
+			if err != nil {
+				t.Fatalf("%v: sample %d: %v", backend, i, err)
+			}
+			seq[i] = p.Owner
+		}
+		sequences[backend] = seq
+	}
+	want := sequences[OracleBackend]
+	for _, backend := range Backends() {
+		got := sequences[backend]
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("backend %v diverges from oracle at sample %d: owner %d vs %d",
+					backend, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestCrossBackendUniformity runs the chi-square goodness-of-fit test
+// on every backend with the same seeds: the sampler's uniformity
+// guarantee (Theorem 6) must not depend on the routing geometry
+// beneath it.
+func TestCrossBackendUniformity(t *testing.T) {
+	t.Parallel()
+	const (
+		n       = 32
+		samples = 3200
+	)
+	for _, backend := range Backends() {
+		backend := backend
+		t.Run(fmt.Sprint(backend), func(t *testing.T) {
+			t.Parallel()
+			tb, err := New(WithPeers(n), WithSeed(5), WithBackend(backend))
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := tb.UniformSampler(9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tally := make([]int64, n)
+			for i := 0; i < samples; i++ {
+				p, err := s.Sample()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if p.Owner < 0 || p.Owner >= n {
+					t.Fatalf("owner %d outside [0, %d)", p.Owner, n)
+				}
+				tally[p.Owner]++
+			}
+			_, pvalue, err := stats.ChiSquareUniform(tally)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pvalue < 0.001 {
+				t.Fatalf("uniformity rejected on %v (p = %v)", backend, pvalue)
+			}
+		})
+	}
+}

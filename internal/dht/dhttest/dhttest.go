@@ -27,6 +27,9 @@ func Run(t *testing.T, name string, mk Factory) {
 	t.Run(name+"/OwnersInRange", func(t *testing.T) { checkOwners(t, mk) })
 	t.Run(name+"/MeterMonotone", func(t *testing.T) { checkMeter(t, mk) })
 	t.Run(name+"/SizeConsistent", func(t *testing.T) { checkSize(t, mk) })
+	t.Run(name+"/NextCostO1", func(t *testing.T) { checkNextCostO1(t, mk) })
+	t.Run(name+"/HChargesLookupCost", func(t *testing.T) { checkHCost(t, mk) })
+	t.Run(name+"/OwnerStability", func(t *testing.T) { checkOwnerStability(t, mk) })
 }
 
 // build creates a DHT over n random points and returns it with the
@@ -151,6 +154,118 @@ func checkMeter(t *testing.T, mk Factory) {
 	nextCost := afterNext.Calls - afterH.Calls
 	if hCost < nextCost {
 		t.Fatalf("H cost %d below Next cost %d", hCost, nextCost)
+	}
+}
+
+// measureNextCost walks the ring with Next for the given number of
+// steps and returns the total metered cost of those steps.
+func measureNextCost(t *testing.T, d dht.DHT, r *ring.Ring, steps int) (calls, messages int64) {
+	t.Helper()
+	cur, err := d.H(r.At(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := d.Meter().Snapshot()
+	for i := 0; i < steps; i++ {
+		cur, err = d.Next(cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	cost := d.Meter().Snapshot().Sub(before)
+	return cost.Calls, cost.Messages
+}
+
+// checkNextCostO1 is the paper's next(p) cost model made executable:
+// one pointer chase must cost O(1) RPCs — a small constant that does
+// not grow with the network. The per-step cost is measured at two
+// sizes an order of magnitude apart and must be identical and tiny,
+// while h pays the (size-dependent) routed-lookup cost.
+func checkNextCostO1(t *testing.T, mk Factory) {
+	const steps = 16
+	perStep := func(n int) (float64, float64) {
+		d, r := build(t, mk, 1013, n)
+		calls, messages := measureNextCost(t, d, r, steps)
+		return float64(calls) / steps, float64(messages) / steps
+	}
+	smallCalls, smallMsgs := perStep(24)
+	bigCalls, bigMsgs := perStep(240)
+	if smallCalls != bigCalls || smallMsgs != bigMsgs {
+		t.Fatalf("Next cost grew with n: %v calls/%v msgs at n=24, %v calls/%v msgs at n=240",
+			smallCalls, smallMsgs, bigCalls, bigMsgs)
+	}
+	if smallCalls < 1 || smallCalls > 2 {
+		t.Fatalf("Next costs %v calls per step; one pointer chase should cost 1 (at most 2) RPCs", smallCalls)
+	}
+	if smallMsgs < smallCalls {
+		t.Fatalf("Next charged %v messages for %v calls", smallMsgs, smallCalls)
+	}
+}
+
+// checkHCost verifies that H charges genuine lookup costs on the
+// meter: every call pays at least one RPC (two messages), and the mean
+// lookup strictly exceeds the mean pointer chase — h is a routed
+// lookup, not a free oracle read.
+func checkHCost(t *testing.T, mk Factory) {
+	d, r := build(t, mk, 1015, 128)
+	rng := rand.New(rand.NewPCG(15, 15))
+	const trials = 40
+	var hCalls, hMessages int64
+	for i := 0; i < trials; i++ {
+		before := d.Meter().Snapshot()
+		if _, err := d.H(ring.Point(rng.Uint64())); err != nil {
+			t.Fatal(err)
+		}
+		cost := d.Meter().Snapshot().Sub(before)
+		if cost.Calls < 1 || cost.Messages < 2 {
+			t.Fatalf("H charged %+v; every lookup must pay at least one RPC", cost)
+		}
+		hCalls += cost.Calls
+		hMessages += cost.Messages
+	}
+	nextCalls, _ := measureNextCost(t, d, r, 16)
+	meanH := float64(hCalls) / trials
+	meanNext := float64(nextCalls) / 16
+	if meanH <= meanNext {
+		t.Fatalf("mean H cost %.2f calls does not exceed mean Next cost %.2f", meanH, meanNext)
+	}
+}
+
+// checkOwnerStability verifies that Owner is a stable identity:
+// repeated lookups of the same point resolve to the identical peer,
+// peer points map to distinct owners, and Next reports the same owner
+// for a peer as H does — the tally bookkeeping samplers rely on.
+func checkOwnerStability(t *testing.T, mk Factory) {
+	d, r := build(t, mk, 1017, 40)
+	ownerOf := make(map[int]ring.Point, r.Len())
+	peers := make([]dht.Peer, r.Len())
+	for i := 0; i < r.Len(); i++ {
+		p1, err := d.H(r.At(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := d.H(r.At(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p1 != p2 {
+			t.Fatalf("H(%v) unstable: %+v then %+v", r.At(i), p1, p2)
+		}
+		if prev, dup := ownerOf[p1.Owner]; dup {
+			t.Fatalf("owner %d claimed by both %v and %v", p1.Owner, prev, p1.Point)
+		}
+		ownerOf[p1.Owner] = p1.Point
+		peers[i] = p1
+	}
+	for i, p := range peers {
+		next, err := d.Next(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := peers[r.NextIndex(i)]
+		if next != want {
+			t.Fatalf("Next(%v) = %+v; H resolved the successor as %+v", p.Point, next, want)
+		}
 	}
 }
 

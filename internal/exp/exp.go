@@ -1,6 +1,6 @@
 // Package exp is the experiment harness that regenerates every
 // quantitative claim of King & Saia's paper as a table or figure-series.
-// DESIGN.md carries the experiment index (E1-E20); EXPERIMENTS.md records
+// DESIGN.md carries the experiment index (E1-E24); EXPERIMENTS.md records
 // paper-claim versus measured output for each. Each experiment supports
 // a Quick mode (small sweeps, used by tests and smoke runs) and a Full
 // mode (the sweeps recorded in EXPERIMENTS.md).
@@ -247,6 +247,7 @@ func All() []Experiment {
 		expE21(),
 		expE22(),
 		expE23(),
+		expE24(),
 	}
 	sort.Slice(exps, func(i, j int) bool { return idOrder(exps[i].ID) < idOrder(exps[j].ID) })
 	return exps

@@ -10,8 +10,8 @@ import (
 func TestAllRegistered(t *testing.T) {
 	t.Parallel()
 	exps := All()
-	if len(exps) != 23 {
-		t.Fatalf("registered %d experiments, want 23", len(exps))
+	if len(exps) != 24 {
+		t.Fatalf("registered %d experiments, want 24", len(exps))
 	}
 	seen := make(map[string]bool, len(exps))
 	for _, e := range exps {

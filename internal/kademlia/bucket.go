@@ -1,0 +1,214 @@
+package kademlia
+
+import (
+	"sort"
+	"sync"
+
+	"github.com/dht-sampling/randompeer/internal/ring"
+)
+
+// bucket is one k-bucket: up to k contacts ordered least-recently-seen
+// first (index 0 is the eviction candidate, the tail is the freshest),
+// plus a small replacement cache of contacts observed while the bucket
+// was full. Kademlia's eviction rule — ping the least-recently-seen
+// entry and keep it if it answers — requires an RPC, so it runs in the
+// maintenance path (Network.RefreshNode), never while handling an
+// incoming message.
+type bucket struct {
+	entries []ring.Point
+	cache   []ring.Point
+}
+
+// replacementCacheLen bounds each bucket's replacement cache.
+const replacementCacheLen = 4
+
+// touch records a live contact: an existing entry moves to the tail
+// (most recently seen), a new one is appended if the bucket has room
+// under capacity k, and otherwise it is remembered in the replacement
+// cache for the next maintenance round.
+func (b *bucket) touch(id ring.Point, k int) {
+	for i, e := range b.entries {
+		if e == id {
+			copy(b.entries[i:], b.entries[i+1:])
+			b.entries[len(b.entries)-1] = id
+			return
+		}
+	}
+	if len(b.entries) < k {
+		b.entries = append(b.entries, id)
+		return
+	}
+	for _, c := range b.cache {
+		if c == id {
+			return
+		}
+	}
+	if len(b.cache) >= replacementCacheLen {
+		// Drop the oldest cached contact to make room.
+		copy(b.cache, b.cache[1:])
+		b.cache = b.cache[:len(b.cache)-1]
+	}
+	b.cache = append(b.cache, id)
+}
+
+// remove drops a contact (observed dead) from the entries and cache.
+func (b *bucket) remove(id ring.Point) {
+	for i, e := range b.entries {
+		if e == id {
+			b.entries = append(b.entries[:i], b.entries[i+1:]...)
+			break
+		}
+	}
+	for i, c := range b.cache {
+		if c == id {
+			b.cache = append(b.cache[:i], b.cache[i+1:]...)
+			break
+		}
+	}
+}
+
+// promote moves up to free replacement-cache entries into the bucket
+// (freshest cache entries first), used by maintenance after dead
+// entries have been removed.
+func (b *bucket) promote(k int) {
+	for len(b.entries) < k && len(b.cache) > 0 {
+		id := b.cache[len(b.cache)-1]
+		b.cache = b.cache[:len(b.cache)-1]
+		b.entries = append(b.entries, id)
+	}
+}
+
+// table is a node's routing table: one bucket per XOR-distance octave
+// from the owner, guarded by a mutex because lookups read it while
+// incoming RPCs update it.
+type table struct {
+	self ring.Point
+	k    int
+
+	mu      sync.Mutex
+	buckets [idBits]bucket
+}
+
+func newTable(self ring.Point, k int) *table {
+	return &table{self: self, k: k}
+}
+
+// bucketFor returns the bucket index of id relative to the owner, or
+// -1 for the owner itself.
+func (t *table) bucketFor(id ring.Point) int {
+	d := xorDist(t.self, id)
+	if d == 0 {
+		return -1
+	}
+	return bucketIndex(d)
+}
+
+// touch records a live contact in its bucket.
+func (t *table) touch(id ring.Point) {
+	i := t.bucketFor(id)
+	if i < 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.buckets[i].touch(id, t.k)
+}
+
+// remove drops a dead contact.
+func (t *table) remove(id ring.Point) {
+	i := t.bucketFor(id)
+	if i < 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.buckets[i].remove(id)
+}
+
+// closest returns up to count known contacts sorted by XOR distance to
+// target, optionally including the owner itself. It keeps a bounded
+// best-list instead of sorting the whole table: FIND_NODE handlers
+// call it on every hop of every lookup, so it is the subsystem's
+// hottest function.
+func (t *table) closest(target ring.Point, count int, includeSelf bool) []ring.Point {
+	if count <= 0 {
+		return nil
+	}
+	best := make([]ring.Point, 0, count)
+	// insert places id into the sorted best-list (by XOR distance to
+	// target, ties by id) if it beats the current worst.
+	insert := func(id ring.Point) {
+		d := xorDist(target, id)
+		if len(best) == count {
+			wd := xorDist(target, best[len(best)-1])
+			if d > wd || (d == wd && id >= best[len(best)-1]) {
+				return
+			}
+			best = best[:len(best)-1]
+		}
+		i := sort.Search(len(best), func(i int) bool {
+			bd := xorDist(target, best[i])
+			return bd > d || (bd == d && best[i] > id)
+		})
+		best = append(best, 0)
+		copy(best[i+1:], best[i:])
+		best[i] = id
+	}
+	t.mu.Lock()
+	for b := range t.buckets {
+		for _, id := range t.buckets[b].entries {
+			insert(id)
+		}
+	}
+	t.mu.Unlock()
+	if includeSelf {
+		insert(t.self)
+	}
+	return best
+}
+
+// entriesOf returns a copy of bucket i's live entries.
+func (t *table) entriesOf(i int) []ring.Point {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]ring.Point, len(t.buckets[i].entries))
+	copy(out, t.buckets[i].entries)
+	return out
+}
+
+// markAlive confirms bucket i's entry id answered a ping: it moves to
+// the tail, deferring its eviction.
+func (t *table) markAlive(i int, id ring.Point) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.buckets[i].touch(id, t.k)
+}
+
+// promote fills bucket i from its replacement cache.
+func (t *table) promote(i int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.buckets[i].promote(t.k)
+}
+
+// size returns the total number of live entries across all buckets.
+func (t *table) size() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for i := range t.buckets {
+		n += len(t.buckets[i].entries)
+	}
+	return n
+}
+
+// contacts returns every live entry across all buckets.
+func (t *table) contacts() []ring.Point {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]ring.Point, 0, idBits)
+	for i := range t.buckets {
+		out = append(out, t.buckets[i].entries...)
+	}
+	return out
+}

@@ -1,0 +1,717 @@
+package kademlia
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/dht-sampling/randompeer/internal/ring"
+	"github.com/dht-sampling/randompeer/internal/simnet"
+)
+
+// Config parameterizes a Kademlia network.
+type Config struct {
+	// BucketSize is Kademlia's k: the capacity of each k-bucket and the
+	// closeness of FIND_NODE results. Default 16.
+	BucketSize int
+	// Alpha is the lookup parallelism: the number of candidates queried
+	// per lookup round. Default 3.
+	Alpha int
+	// MaxLookupRounds aborts iterative lookups that fail to converge
+	// (possible only with badly damaged routing tables). Default 128.
+	MaxLookupRounds int
+	// MaxChaseSteps caps the ring-pointer walk that turns an XOR-routed
+	// lookup into the clockwise owner (see ResolveOwner). Zero means
+	// "number of live nodes plus slack", the tight correctness bound.
+	MaxChaseSteps int
+}
+
+func (c Config) withDefaults() Config {
+	if c.BucketSize <= 0 {
+		c.BucketSize = 16
+	}
+	if c.Alpha <= 0 {
+		c.Alpha = 3
+	}
+	if c.MaxLookupRounds <= 0 {
+		c.MaxLookupRounds = 128
+	}
+	return c
+}
+
+// Network is a collection of Kademlia nodes sharing one simulated
+// transport.
+type Network struct {
+	cfg Config
+	tr  simnet.Transport
+
+	mu    sync.RWMutex
+	nodes map[ring.Point]*Node
+}
+
+// Kademlia error conditions.
+var (
+	ErrNodeExists    = errors.New("kademlia: node already exists")
+	ErrNodeNotFound  = errors.New("kademlia: node not found")
+	ErrLookupAborted = errors.New("kademlia: lookup aborted")
+	ErrEmptyNetwork  = errors.New("kademlia: network has no live nodes")
+)
+
+// NewNetwork creates an empty Kademlia network over the given transport.
+func NewNetwork(cfg Config, tr simnet.Transport) *Network {
+	return &Network{
+		cfg:   cfg.withDefaults(),
+		tr:    tr,
+		nodes: make(map[ring.Point]*Node),
+	}
+}
+
+// Config returns the network's effective (defaulted) configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Transport returns the underlying transport (for meters and faults).
+func (n *Network) Transport() simnet.Transport { return n.tr }
+
+// Meter returns the transport's cost meter.
+func (n *Network) Meter() *simnet.Meter { return n.tr.Meter() }
+
+// Node returns the node with the given id.
+func (n *Network) Node(id ring.Point) (*Node, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	nd, ok := n.nodes[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrNodeNotFound, id)
+	}
+	return nd, nil
+}
+
+// Members returns the ids of all live nodes in sorted order.
+func (n *Network) Members() []ring.Point {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]ring.Point, 0, len(n.nodes))
+	for id, nd := range n.nodes {
+		if nd.Alive() {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NumAlive returns the number of live nodes.
+func (n *Network) NumAlive() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	count := 0
+	for _, nd := range n.nodes {
+		if nd.Alive() {
+			count++
+		}
+	}
+	return count
+}
+
+// addNode constructs, registers and records a node.
+func (n *Network) addNode(id ring.Point) (*Node, error) {
+	nd := &Node{id: id, net: n, table: newTable(id, n.cfg.BucketSize), succ: id, pred: id, alive: true}
+	if err := n.tr.Register(simnet.NodeID(id), nd.handle); err != nil {
+		return nil, fmt.Errorf("kademlia: registering node %v: %w", id, err)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, exists := n.nodes[id]; exists {
+		n.tr.Deregister(simnet.NodeID(id))
+		return nil, fmt.Errorf("%w: %v", ErrNodeExists, id)
+	}
+	n.nodes[id] = nd
+	return nd, nil
+}
+
+// call performs one RPC through the transport.
+func (n *Network) call(from, to ring.Point, msg simnet.Message) (simnet.Message, error) {
+	return n.tr.Call(simnet.NodeID(from), simnet.NodeID(to), msg)
+}
+
+// Create starts the first node of a fresh network.
+func (n *Network) Create(id ring.Point) (*Node, error) {
+	return n.addNode(id)
+}
+
+// Join adds a node through the existing node via, per the Kademlia join
+// protocol: seed the routing table with the bootstrap contact, perform
+// an iterative lookup of the node's own identifier (which both fills
+// its buckets with the contacts it learns and announces it to every
+// node it queries), then splice the node into the ownership ring
+// between its successor and predecessor.
+func (n *Network) Join(id, via ring.Point) (*Node, error) {
+	if _, err := n.Node(via); err != nil {
+		return nil, fmt.Errorf("kademlia: join of %v: bootstrap %v: %w", id, via, err)
+	}
+	n.mu.RLock()
+	_, exists := n.nodes[id]
+	n.mu.RUnlock()
+	if exists {
+		return nil, fmt.Errorf("%w: %v", ErrNodeExists, id)
+	}
+	nd, err := n.addNode(id)
+	if err != nil {
+		return nil, err
+	}
+	// Any failure past this point must withdraw the half-joined node:
+	// the self-lookup announces id into other tables, and a registered
+	// node with self-looping ring pointers would otherwise be reported
+	// as the owner of arbitrary keys by later resolutions.
+	fail := func(step string, err error) (*Node, error) {
+		_ = n.Crash(id)
+		return nil, fmt.Errorf("kademlia: join of %v: %s: %w", id, step, err)
+	}
+	nd.table.touch(via)
+	if _, err := n.FindClosest(id, id); err != nil {
+		return fail("self-lookup", err)
+	}
+	// Resolve the clockwise successor among the EXISTING nodes (the
+	// joiner excludes itself) and splice the ring pointers.
+	succ, _, err := n.resolveOwner(id, id, id, true)
+	if err != nil {
+		return fail("resolving successor", err)
+	}
+	raw, err := n.call(id, succ, getPredecessorReq{})
+	if err != nil {
+		return fail(fmt.Sprintf("predecessor of %v", succ), err)
+	}
+	pred := raw.(pointResp).P
+	if _, err := n.call(id, succ, spliceReq{Pred: id, HasPred: true}); err != nil {
+		return fail(fmt.Sprintf("splicing %v", succ), err)
+	}
+	if pred != succ {
+		if _, err := n.call(id, pred, spliceReq{Succ: id, HasSucc: true}); err != nil {
+			return fail(fmt.Sprintf("splicing %v", pred), err)
+		}
+	} else {
+		// Two-node ring: the single existing node is both successor and
+		// predecessor; its succ pointer must also come to the joiner.
+		if _, err := n.call(id, succ, spliceReq{Succ: id, HasSucc: true}); err != nil {
+			return fail(fmt.Sprintf("splicing %v", succ), err)
+		}
+	}
+	nd.setRing(succ, pred)
+	return nd, nil
+}
+
+// Crash removes a node abruptly: its handler is deregistered and every
+// RPC to it fails until maintenance routes around it.
+func (n *Network) Crash(id ring.Point) error {
+	n.mu.Lock()
+	nd, ok := n.nodes[id]
+	if ok {
+		delete(n.nodes, id)
+	}
+	n.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrNodeNotFound, id)
+	}
+	nd.mu.Lock()
+	nd.alive = false
+	nd.mu.Unlock()
+	n.tr.Deregister(simnet.NodeID(id))
+	return nil
+}
+
+// LookupResult reports one iterative FIND_NODE lookup.
+type LookupResult struct {
+	// Closest holds up to k live contacts sorted by XOR distance to the
+	// target, every one of them queried (or the initiator itself).
+	Closest []ring.Point
+	// Seen holds every identifier learned during the lookup, including
+	// the initiator. Entries that were never queried may be stale.
+	Seen []ring.Point
+	// Rounds is the number of sequential query waves: with alpha
+	// queries in flight per wave, it is the lookup's latency in the
+	// paper's t_h model.
+	Rounds int
+	// RPCs is the number of FIND_NODE calls issued (half the messages).
+	RPCs int
+}
+
+// lookup candidate states.
+const (
+	stateCandidate = iota
+	stateQueried
+	stateFailed
+)
+
+// FindClosest performs an iterative Kademlia lookup from node "from"
+// toward target: each round queries the alpha XOR-closest unqueried
+// candidates with FIND_NODE and merges their answers, until the k
+// closest known contacts have all been queried. Every successfully
+// queried contact is recorded in the initiator's routing table; dead
+// candidates are evicted from it.
+func (n *Network) FindClosest(from, target ring.Point) (LookupResult, error) {
+	initiator, err := n.Node(from)
+	if err != nil {
+		return LookupResult{}, err
+	}
+	k, alpha := n.cfg.BucketSize, n.cfg.Alpha
+	state := map[ring.Point]int{from: stateQueried}
+	for _, c := range initiator.table.closest(target, k, false) {
+		state[c] = stateCandidate
+	}
+	var res LookupResult
+
+	// byDist returns known non-failed ids sorted by XOR distance.
+	byDist := func() []ring.Point {
+		out := make([]ring.Point, 0, len(state))
+		for id, st := range state {
+			if st != stateFailed {
+				out = append(out, id)
+			}
+		}
+		sort.Slice(out, func(a, b int) bool {
+			da, db := xorDist(target, out[a]), xorDist(target, out[b])
+			if da != db {
+				return da < db
+			}
+			return out[a] < out[b]
+		})
+		return out
+	}
+
+	for round := 0; ; round++ {
+		if round >= n.cfg.MaxLookupRounds {
+			return res, fmt.Errorf("%w: exceeded %d rounds toward %v", ErrLookupAborted, n.cfg.MaxLookupRounds, target)
+		}
+		known := byDist()
+		kClosest := known
+		if len(kClosest) > k {
+			kClosest = kClosest[:k]
+		}
+		wave := make([]ring.Point, 0, alpha)
+		for _, id := range kClosest {
+			if state[id] == stateCandidate {
+				wave = append(wave, id)
+				if len(wave) >= alpha {
+					break
+				}
+			}
+		}
+		if len(wave) == 0 {
+			// Every one of the k closest known contacts has been
+			// queried: the lookup has converged.
+			break
+		}
+		res.Rounds++
+		for _, id := range wave {
+			raw, err := n.call(from, id, findNodeReq{Target: target, K: k})
+			res.RPCs++
+			if err != nil {
+				state[id] = stateFailed
+				initiator.table.remove(id)
+				continue
+			}
+			state[id] = stateQueried
+			initiator.table.touch(id)
+			for _, c := range raw.(findNodeResp).Closest {
+				if _, known := state[c]; !known {
+					state[c] = stateCandidate
+				}
+			}
+		}
+	}
+
+	for id, st := range state {
+		if st != stateFailed {
+			res.Seen = append(res.Seen, id)
+		}
+	}
+	sort.Slice(res.Seen, func(a, b int) bool { return res.Seen[a] < res.Seen[b] })
+	for _, id := range byDist() {
+		if state[id] == stateQueried {
+			res.Closest = append(res.Closest, id)
+			if len(res.Closest) >= k {
+				break
+			}
+		}
+	}
+	return res, nil
+}
+
+// Successor asks node "of" for its ring successor pointer (one RPC):
+// the paper's next(p) primitive.
+func (n *Network) Successor(from, of ring.Point) (ring.Point, error) {
+	raw, err := n.call(from, of, getSuccessorReq{})
+	if err != nil {
+		return 0, fmt.Errorf("kademlia: successor of %v: %w", of, err)
+	}
+	return raw.(pointResp).P, nil
+}
+
+// Predecessor asks node "of" for its ring predecessor pointer.
+func (n *Network) Predecessor(from, of ring.Point) (ring.Point, error) {
+	raw, err := n.call(from, of, getPredecessorReq{})
+	if err != nil {
+		return 0, fmt.Errorf("kademlia: predecessor of %v: %w", of, err)
+	}
+	return raw.(pointResp).P, nil
+}
+
+// OwnerStats reports the cost split of one ResolveOwner call.
+type OwnerStats struct {
+	// Lookup is the iterative XOR lookup's result.
+	Lookup LookupResult
+	// ChaseRPCs counts the ring-pointer RPCs spent turning the XOR
+	// result into the clockwise owner (successor/predecessor chases).
+	ChaseRPCs int
+}
+
+// ResolveOwner resolves h(x) from node "from": the peer whose point is
+// clockwise-closest to x. Kademlia routes by XOR, not by clockwise
+// distance, so the resolution has two phases:
+//
+//  1. An iterative FIND_NODE toward x. The XOR-closest node to x
+//     shares x's longest common prefix b, so every node inside x's
+//     deepest non-empty aligned 2^(64-b) block is within the lookup's
+//     k-closest result (blocks nest in the XOR metric: in-block
+//     distances are below 2^(64-b), out-of-block distances above).
+//  2. A ring-pointer verification. Let m be the learned node closest
+//     counterclockwise-at-or-below x and c the closest clockwise-at-
+//     or-above. If the block holds a node below x, m is x's exact
+//     predecessor (any closer node would sit inside the block and have
+//     been learned), so one successor RPC finishes; if the block only
+//     holds nodes at or above x, c is the exact owner, confirmed by
+//     one predecessor RPC. Either way the expected overhead is O(1)
+//     RPCs; with damaged tables the chase walks pointer by pointer,
+//     still converging because ring pointers are ground truth.
+func (n *Network) ResolveOwner(from, x ring.Point) (ring.Point, OwnerStats, error) {
+	return n.resolveOwner(from, x, 0, false)
+}
+
+func (n *Network) resolveOwner(from, x ring.Point, exclude ring.Point, hasExclude bool) (ring.Point, OwnerStats, error) {
+	var stats OwnerStats
+	res, err := n.FindClosest(from, x)
+	if err != nil {
+		return 0, stats, err
+	}
+	stats.Lookup = res
+	seen := make([]ring.Point, 0, len(res.Seen))
+	for _, id := range res.Seen {
+		if hasExclude && id == exclude {
+			continue
+		}
+		seen = append(seen, id)
+	}
+	if len(seen) == 0 {
+		return 0, stats, fmt.Errorf("%w: no live contacts toward %v", ErrLookupAborted, x)
+	}
+	// m: closest at-or-below x (counterclockwise); c: closest at-or-
+	// above x (clockwise). A node exactly at x is both and owns x.
+	m, c := seen[0], seen[0]
+	for _, id := range seen[1:] {
+		if cwDist(id, x) < cwDist(m, x) { // distance from id clockwise to x
+			m = id
+		}
+		if cwDist(x, id) < cwDist(x, c) { // distance from x clockwise to id
+			c = id
+		}
+	}
+	if c == x {
+		return c, stats, nil
+	}
+	// Below side: if m is x's exact predecessor, its successor pointer
+	// is the answer.
+	s, err := n.Successor(from, m)
+	if err != nil {
+		return 0, stats, err
+	}
+	stats.ChaseRPCs++
+	if (!hasExclude || s != exclude) && betweenIncl(m, s, x) {
+		return s, stats, nil
+	}
+	// Above side: if c is the exact owner, its predecessor confirms it.
+	p, err := n.Predecessor(from, c)
+	if err != nil {
+		return 0, stats, err
+	}
+	stats.ChaseRPCs++
+	if (!hasExclude || p != exclude) && betweenIncl(p, c, x) {
+		return c, stats, nil
+	}
+	// Fallback (imperfect routing tables): walk successor pointers
+	// clockwise from m. Ring pointers are ground truth, so the walk
+	// terminates at the true owner. An excluded node (a joiner running
+	// this resolution) is never the target of live ring pointers, so no
+	// exclusion check is needed here. The O(n) alive-count cap is only
+	// computed on this rare path, keeping the common case O(1).
+	maxChase := n.cfg.MaxChaseSteps
+	if maxChase <= 0 {
+		maxChase = n.NumAlive() + 8
+	}
+	cur := m
+	for step := 0; step < maxChase; step++ {
+		next, err := n.Successor(from, cur)
+		if err != nil {
+			return 0, stats, err
+		}
+		stats.ChaseRPCs++
+		if betweenIncl(cur, next, x) {
+			return next, stats, nil
+		}
+		cur = next
+	}
+	return 0, stats, fmt.Errorf("%w: owner chase for %v exceeded %d steps", ErrLookupAborted, x, maxChase)
+}
+
+// RefreshNode runs one maintenance round for node id:
+//
+//  1. k-bucket upkeep: probe every entry of each non-empty bucket in
+//     least-recently-seen-first order, evicting dead contacts and
+//     promoting replacement-cache contacts into freed slots (a full
+//     liveness sweep; Kademlia's on-insert rule pings only the LRU
+//     entry, but insert-time pings would nest RPCs inside handlers,
+//     so all probing is concentrated here).
+//  2. Bucket refresh: an iterative lookup toward a point in bucket
+//     "refreshBucket"'s distance range, repopulating it with live
+//     contacts.
+//  3. Ring repair: if the successor pointer is dead, re-resolve it
+//     from the surviving contacts and re-splice the ring.
+func (n *Network) RefreshNode(id ring.Point, refreshBucket int) error {
+	nd, err := n.Node(id)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < idBits; i++ {
+		entries := nd.table.entriesOf(i)
+		if len(entries) == 0 {
+			continue
+		}
+		// Probe least-recently-seen first, the Kademlia eviction order:
+		// dead entries are dropped, live ones move to the fresh end, and
+		// replacement-cache contacts are promoted into freed slots.
+		for _, e := range entries {
+			if _, err := n.call(id, e, pingReq{}); err != nil {
+				nd.table.remove(e)
+			} else {
+				nd.table.markAlive(i, e)
+			}
+		}
+		nd.table.promote(i)
+	}
+	if refreshBucket >= 0 && refreshBucket < idBits {
+		// A target with bit "refreshBucket" flipped lands in that
+		// bucket's distance octave. A failed refresh (badly damaged
+		// tables) is ignored: ring repair below matters more after
+		// churn, and later rounds keep repairing the buckets.
+		target := ring.Point(uint64(id) ^ (uint64(1) << uint(refreshBucket)))
+		_, _ = n.FindClosest(id, target)
+	}
+	return n.repairRing(nd)
+}
+
+// repairRing checks the node's successor pointer and re-splices the
+// ring around dead neighbors.
+func (n *Network) repairRing(nd *Node) error {
+	id := nd.ID()
+	succ := nd.Successor()
+	if succ != id {
+		if _, err := n.call(id, succ, pingReq{}); err == nil {
+			// Successor alive; make sure it still agrees we are its
+			// predecessor (its old predecessor may have crashed).
+			p, err := n.Predecessor(id, succ)
+			if err == nil && p != id {
+				if _, err := n.call(id, p, pingReq{}); err != nil || !betweenIncl(id, succ, p) {
+					_, _ = n.call(id, succ, spliceReq{Pred: id, HasPred: true})
+				}
+			}
+			return nil
+		}
+		nd.table.remove(succ)
+	}
+	// Successor dead (or self while others exist): pick the best live
+	// candidate and tighten it by walking predecessor pointers.
+	best, ok := n.bestLiveSuccessorCandidate(nd)
+	if !ok {
+		return nil // nothing else alive; ring is just this node
+	}
+	maxChase := n.cfg.MaxChaseSteps
+	if maxChase <= 0 {
+		maxChase = n.NumAlive() + 8
+	}
+	for step := 0; step < maxChase; step++ {
+		p, err := n.Predecessor(id, best)
+		if err != nil || p == best {
+			break
+		}
+		if _, err := n.call(id, p, pingReq{}); err != nil {
+			break // dead predecessor: best is the boundary
+		}
+		if !betweenIncl(id, best, p) || p == id {
+			break
+		}
+		best = p
+	}
+	nd.mu.Lock()
+	nd.succ = best
+	nd.mu.Unlock()
+	_, _ = n.call(id, best, spliceReq{Pred: id, HasPred: true})
+	return nil
+}
+
+// bestLiveSuccessorCandidate returns the live contact clockwise-
+// closest after id, gathered from the node's table plus a lookup.
+func (n *Network) bestLiveSuccessorCandidate(nd *Node) (ring.Point, bool) {
+	id := nd.ID()
+	cands := nd.table.contacts()
+	if res, err := n.FindClosest(id, ring.Point(uint64(id)+1)); err == nil {
+		cands = append(cands, res.Closest...)
+	}
+	var best ring.Point
+	found := false
+	for _, c := range cands {
+		if c == id {
+			continue
+		}
+		if found && cwDist(id, c) >= cwDist(id, best) {
+			continue
+		}
+		if _, err := n.call(id, c, pingReq{}); err != nil {
+			nd.table.remove(c)
+			continue
+		}
+		best, found = c, true
+	}
+	return best, found
+}
+
+// RunMaintenance executes the given number of synchronous maintenance
+// rounds: in each round every live node (in sorted order, for
+// determinism) runs RefreshNode with a rotating bucket-refresh index.
+// Enough rounds after churn restore correct buckets and a perfect
+// ring; tests assert this via VerifyRing and VerifyTables.
+func (n *Network) RunMaintenance(rounds int) {
+	for r := 0; r < rounds; r++ {
+		for _, id := range n.Members() {
+			// Ignore per-node errors: nodes may crash mid-round; the
+			// survivors keep repairing.
+			_ = n.RefreshNode(id, r%idBits)
+		}
+	}
+}
+
+// VerifyRing checks global ring consistency: every live node's succ
+// and pred pointers must match the sorted membership exactly.
+func (n *Network) VerifyRing() error {
+	members := n.Members()
+	if len(members) == 0 {
+		return ErrEmptyNetwork
+	}
+	for i, id := range members {
+		nd, err := n.Node(id)
+		if err != nil {
+			return err
+		}
+		wantSucc := members[(i+1)%len(members)]
+		wantPred := members[(i-1+len(members))%len(members)]
+		if got := nd.Successor(); got != wantSucc {
+			return fmt.Errorf("kademlia: node %v successor = %v, want %v", id, got, wantSucc)
+		}
+		if got := nd.Predecessor(); got != wantPred {
+			return fmt.Errorf("kademlia: node %v predecessor = %v, want %v", id, got, wantPred)
+		}
+	}
+	return nil
+}
+
+// VerifyTables checks structural routing-table invariants for every
+// live node: entries are live members, sit in the bucket matching
+// their XOR distance, contain no duplicates, and never exceed k.
+func (n *Network) VerifyTables() error {
+	members := make(map[ring.Point]bool)
+	for _, id := range n.Members() {
+		members[id] = true
+	}
+	if len(members) == 0 {
+		return ErrEmptyNetwork
+	}
+	for id := range members {
+		nd, err := n.Node(id)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < idBits; i++ {
+			entries := nd.table.entriesOf(i)
+			if len(entries) > n.cfg.BucketSize {
+				return fmt.Errorf("kademlia: node %v bucket %d has %d entries (k=%d)", id, i, len(entries), n.cfg.BucketSize)
+			}
+			seen := make(map[ring.Point]bool, len(entries))
+			for _, e := range entries {
+				if seen[e] {
+					return fmt.Errorf("kademlia: node %v bucket %d duplicate entry %v", id, i, e)
+				}
+				seen[e] = true
+				if !members[e] {
+					return fmt.Errorf("kademlia: node %v bucket %d holds dead contact %v", id, i, e)
+				}
+				if got := bucketIndex(xorDist(id, e)); got != i {
+					return fmt.Errorf("kademlia: node %v contact %v in bucket %d, belongs in %d", id, e, i, got)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// BuildStatic constructs a fully populated Kademlia network over the
+// given points in one step: every node's k-buckets hold the k XOR-
+// closest members of each distance octave and the ring pointers are
+// exact. It is the starting state for experiments that study the
+// sampler rather than overlay convergence.
+func BuildStatic(cfg Config, tr simnet.Transport, points []ring.Point) (*Network, error) {
+	r, err := ring.New(points)
+	if err != nil {
+		return nil, fmt.Errorf("kademlia: building static network: %w", err)
+	}
+	n := NewNetwork(cfg, tr)
+	nodes := make([]*Node, r.Len())
+	for i := 0; i < r.Len(); i++ {
+		nd, err := n.addNode(r.At(i))
+		if err != nil {
+			return nil, err
+		}
+		nodes[i] = nd
+	}
+	sorted := r.Points()
+	for i, nd := range nodes {
+		fillStaticTable(nd, sorted, n.cfg.BucketSize)
+		nd.setRing(r.At(r.NextIndex(i)), r.At(r.PrevIndex(i)))
+		if r.Len() == 1 {
+			nd.setRing(nd.id, nd.id)
+		}
+	}
+	return n, nil
+}
+
+// fillStaticTable populates a node's buckets with the k XOR-closest
+// members of each distance octave, farthest first so the closest
+// contacts sit at the most-recently-seen end.
+func fillStaticTable(nd *Node, members []ring.Point, k int) {
+	var byBucket [idBits][]ring.Point
+	for _, m := range members {
+		d := xorDist(nd.id, m)
+		if d == 0 {
+			continue
+		}
+		byBucket[bucketIndex(d)] = append(byBucket[bucketIndex(d)], m)
+	}
+	for i := range byBucket {
+		b := byBucket[i]
+		sort.Slice(b, func(a, c int) bool { return xorDist(nd.id, b[a]) < xorDist(nd.id, b[c]) })
+		if len(b) > k {
+			b = b[:k]
+		}
+		for j := len(b) - 1; j >= 0; j-- {
+			nd.table.touch(b[j])
+		}
+	}
+}

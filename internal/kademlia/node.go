@@ -1,0 +1,99 @@
+package kademlia
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/dht-sampling/randompeer/internal/ring"
+	"github.com/dht-sampling/randompeer/internal/simnet"
+)
+
+// Node is one Kademlia peer: a routing table of k-buckets for XOR
+// routing, plus ring successor/predecessor pointers that carry the
+// paper's next(p) primitive and decide key ownership. All exported
+// accessors and the RPC handler are safe for concurrent use; no lock
+// is ever held across an RPC.
+type Node struct {
+	id    ring.Point
+	net   *Network
+	table *table
+
+	mu    sync.RWMutex
+	succ  ring.Point
+	pred  ring.Point
+	alive bool
+}
+
+// ID returns the node's identifier.
+func (nd *Node) ID() ring.Point { return nd.id }
+
+// Successor returns the node's ring successor pointer.
+func (nd *Node) Successor() ring.Point {
+	nd.mu.RLock()
+	defer nd.mu.RUnlock()
+	return nd.succ
+}
+
+// Predecessor returns the node's ring predecessor pointer.
+func (nd *Node) Predecessor() ring.Point {
+	nd.mu.RLock()
+	defer nd.mu.RUnlock()
+	return nd.pred
+}
+
+// Alive reports whether the node is participating in the network.
+func (nd *Node) Alive() bool {
+	nd.mu.RLock()
+	defer nd.mu.RUnlock()
+	return nd.alive
+}
+
+// Contacts returns every routing-table entry (all buckets), the edges
+// a random-walk sampler would traverse.
+func (nd *Node) Contacts() []ring.Point { return nd.table.contacts() }
+
+// TableSize returns the number of routing-table entries.
+func (nd *Node) TableSize() int { return nd.table.size() }
+
+// BucketEntries returns a copy of bucket i's entries (LRU first).
+func (nd *Node) BucketEntries(i int) []ring.Point { return nd.table.entriesOf(i) }
+
+// setRing installs the node's ring pointers.
+func (nd *Node) setRing(succ, pred ring.Point) {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	nd.succ = succ
+	nd.pred = pred
+}
+
+// handle dispatches one RPC. It is registered with the transport.
+// Every inbound message is evidence the sender is alive, so the sender
+// is recorded in the routing table first (Kademlia's passive table
+// maintenance).
+func (nd *Node) handle(from simnet.NodeID, msg simnet.Message) (simnet.Message, error) {
+	if p := ring.Point(from); p != nd.id {
+		nd.table.touch(p)
+	}
+	switch m := msg.(type) {
+	case findNodeReq:
+		return findNodeResp{Closest: nd.table.closest(m.Target, m.K, true)}, nil
+	case getSuccessorReq:
+		return pointResp{P: nd.Successor()}, nil
+	case getPredecessorReq:
+		return pointResp{P: nd.Predecessor()}, nil
+	case spliceReq:
+		nd.mu.Lock()
+		if m.HasSucc {
+			nd.succ = m.Succ
+		}
+		if m.HasPred {
+			nd.pred = m.Pred
+		}
+		nd.mu.Unlock()
+		return ackResp{}, nil
+	case pingReq:
+		return ackResp{}, nil
+	default:
+		return nil, fmt.Errorf("kademlia: node %v: unknown message %T from %d", nd.id, msg, from)
+	}
+}

@@ -1,0 +1,104 @@
+// Package kademlia is a Kademlia-style DHT (Maymounkov & Mazières,
+// IPTPS 2002) over the simulated network in internal/simnet: 64-bit
+// identifiers under the XOR metric, k-buckets with least-recently-seen
+// eviction and replacement caches, and iterative FIND_NODE lookups with
+// configurable parallelism (alpha) and closeness (k).
+//
+// It is the second real routing geometry of the repo (after
+// internal/chord) and exists to prove King & Saia's substrate-
+// independence claim: the paper's sampler needs only h (a routed
+// lookup) and next (one successor chase), so it must run unmodified
+// over a prefix-routing overlay whose metric is not the clockwise
+// circle. The dht.DHT adapter in this package resolves h by combining
+// an iterative XOR lookup with each node's maintained ring pointers —
+// see adapter.go for the owner-resolution argument — and serves next
+// from the successor pointer in one RPC, with all costs charged on the
+// transport meter.
+package kademlia
+
+import (
+	"math/bits"
+
+	"github.com/dht-sampling/randompeer/internal/ring"
+)
+
+// idBits is the identifier width; XOR distances span [0, 2^64).
+const idBits = 64
+
+// xorDist returns the XOR distance between two identifiers. It is the
+// Kademlia metric: symmetric, and unidirectional (for any target and
+// distance there is exactly one identifier at that distance).
+func xorDist(a, b ring.Point) uint64 {
+	return uint64(a) ^ uint64(b)
+}
+
+// bucketIndex returns the k-bucket an identifier at XOR distance d
+// belongs to: bucket i covers distances [2^i, 2^(i+1)). Distance zero
+// (the node itself) has no bucket; callers must not pass it.
+func bucketIndex(d uint64) int {
+	return bits.Len64(d) - 1
+}
+
+// cwDist returns the clockwise ring distance from x to p (zero when
+// they coincide). The ring metric decides key ownership — h(x) is the
+// clockwise-closest peer — while the XOR metric only routes.
+func cwDist(x, p ring.Point) uint64 {
+	return ring.Distance(x, p)
+}
+
+// betweenIncl reports whether x lies in the clockwise interval (a, b].
+// When a == b the interval spans the full circle (the single-node
+// case), so every x qualifies.
+func betweenIncl(a, b, x ring.Point) bool {
+	if a == b {
+		return true
+	}
+	d := ring.Distance(a, x)
+	return d != 0 && d <= ring.Distance(a, b)
+}
+
+// RPC request and response payloads. Handlers are strictly local: they
+// read or mutate the destination node's state and never issue nested
+// RPCs, which keeps every transport deadlock-free. Liveness probes and
+// bucket refreshes happen in the maintenance path, never in handlers.
+
+// findNodeReq asks a node for the K contacts it knows closest (by XOR)
+// to Target.
+type findNodeReq struct {
+	Target ring.Point
+	K      int
+}
+
+// findNodeResp carries the responder's closest known contacts, best
+// (XOR-closest) first, including the responder itself.
+type findNodeResp struct {
+	Closest []ring.Point
+}
+
+// getSuccessorReq asks a node for its ring successor pointer. This is
+// the paper's next(p): one pointer chase, one RPC.
+type getSuccessorReq struct{}
+
+// getPredecessorReq asks a node for its ring predecessor pointer.
+type getPredecessorReq struct{}
+
+// pointResp carries one identifier.
+type pointResp struct {
+	P ring.Point
+}
+
+// spliceReq rewires a node's ring pointers during a join: the receiver
+// adopts Succ and/or Pred when the corresponding Has flag is set.
+type spliceReq struct {
+	Succ    ring.Point
+	HasSucc bool
+	Pred    ring.Point
+	HasPred bool
+}
+
+// pingReq checks liveness (used by maintenance to validate
+// least-recently-seen bucket entries before eviction decisions).
+type pingReq struct{}
+
+// ackResp acknowledges splice and ping.
+type ackResp struct{}

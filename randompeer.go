@@ -10,13 +10,15 @@
 //   - internal/core: the paper's algorithms (Estimate n, Choose Random
 //     Peer) and the exact assignment analyzer behind Theorem 6.
 //   - internal/chord: a full Chord DHT over a simulated network.
+//   - internal/kademlia: a full Kademlia DHT (XOR metric, k-buckets,
+//     iterative FIND_NODE) proving the sampler's substrate independence.
 //   - internal/dht: the abstract (h, next) DHT model and an oracle
 //     backend for million-peer experiments.
 //   - internal/baseline: the naive, random-walk and virtual-node
 //     samplers the algorithm is evaluated against.
 //   - internal/{collect,randgraph,loadbalance,agreement}: the paper's
 //     motivating applications.
-//   - internal/exp: the experiment harness (E1-E17, see DESIGN.md).
+//   - internal/exp: the experiment harness (E1-E24, see DESIGN.md).
 //
 // # Quick start
 //
@@ -30,12 +32,14 @@ package randompeer
 import (
 	"fmt"
 	"math/rand/v2"
+	"strings"
 
 	"github.com/dht-sampling/randompeer/internal/baseline"
 	"github.com/dht-sampling/randompeer/internal/biased"
 	"github.com/dht-sampling/randompeer/internal/chord"
 	"github.com/dht-sampling/randompeer/internal/core"
 	"github.com/dht-sampling/randompeer/internal/dht"
+	"github.com/dht-sampling/randompeer/internal/kademlia"
 	"github.com/dht-sampling/randompeer/internal/ring"
 	"github.com/dht-sampling/randompeer/internal/simnet"
 )
@@ -75,7 +79,56 @@ const (
 	// ChordBackend runs a real Chord ring: every h is an iterative
 	// finger-table lookup over the simulated network.
 	ChordBackend
+	// KademliaBackend runs a real Kademlia overlay: every h is an
+	// iterative XOR-metric FIND_NODE lookup (alpha-parallel, k-close)
+	// plus an O(1) ring-pointer verification; next is one successor RPC.
+	KademliaBackend
 )
+
+// String implements fmt.Stringer; the names round-trip through
+// ParseBackend and are the values commands accept for -backend flags.
+func (b Backend) String() string {
+	switch b {
+	case OracleBackend:
+		return "oracle"
+	case ChordBackend:
+		return "chord"
+	case KademliaBackend:
+		return "kademlia"
+	default:
+		return fmt.Sprintf("backend(%d)", int(b))
+	}
+}
+
+// Backends returns every available backend. Commands and experiments
+// iterate it so new substrates appear in help strings, flag parsing
+// and comparison tables automatically.
+func Backends() []Backend {
+	return []Backend{OracleBackend, ChordBackend, KademliaBackend}
+}
+
+// BackendNames returns the accepted -backend flag values, in order.
+func BackendNames() string {
+	names := make([]string, 0, 3)
+	for _, b := range Backends() {
+		names = append(names, b.String())
+	}
+	return strings.Join(names, ", ")
+}
+
+// ParseBackend resolves a backend name (as printed by Backend.String)
+// to its constant. It is the single parser all commands share.
+func ParseBackend(name string) (Backend, error) {
+	for _, b := range Backends() {
+		if name == b.String() {
+			return b, nil
+		}
+	}
+	if name == "" {
+		return OracleBackend, nil
+	}
+	return 0, fmt.Errorf("randompeer: unknown backend %q (want %s)", name, BackendNames())
+}
 
 // Testbed is a simulated DHT populated with uniformly placed peers,
 // ready for sampling and measurement.
@@ -87,6 +140,8 @@ type Testbed struct {
 	oracle *dht.Oracle
 	net    *chord.Network
 	view   *chord.DHT
+	knet   *kademlia.Network
+	kview  *kademlia.DHT
 	r      *ring.Ring
 }
 
@@ -94,9 +149,11 @@ type Testbed struct {
 type Option func(*options)
 
 type options struct {
-	n       int
-	seed    uint64
-	backend Backend
+	n          int
+	seed       uint64
+	backend    Backend
+	bucketSize int
+	alpha      int
 }
 
 // WithPeers sets the network size (default 128).
@@ -108,6 +165,14 @@ func WithSeed(seed uint64) Option { return func(o *options) { o.seed = seed } }
 
 // WithBackend selects the substrate (default OracleBackend).
 func WithBackend(b Backend) Option { return func(o *options) { o.backend = b } }
+
+// WithBucketSize sets Kademlia's k — the k-bucket capacity and lookup
+// closeness (default 16). It applies only to KademliaBackend.
+func WithBucketSize(k int) Option { return func(o *options) { o.bucketSize = k } }
+
+// WithAlpha sets Kademlia's lookup parallelism (default 3). It applies
+// only to KademliaBackend.
+func WithAlpha(a int) Option { return func(o *options) { o.alpha = a } }
 
 // New builds a Testbed.
 func New(opts ...Option) (*Testbed, error) {
@@ -138,6 +203,20 @@ func New(opts ...Option) (*Testbed, error) {
 		}
 		tb.net = net
 		tb.view = view
+	case KademliaBackend:
+		net, err := kademlia.BuildStatic(kademlia.Config{
+			BucketSize: cfg.bucketSize,
+			Alpha:      cfg.alpha,
+		}, simnet.NewDirect(), r.Points())
+		if err != nil {
+			return nil, fmt.Errorf("randompeer: building kademlia overlay: %w", err)
+		}
+		view, err := net.AsDHT(r.At(0))
+		if err != nil {
+			return nil, err
+		}
+		tb.knet = net
+		tb.kview = view
 	default:
 		return nil, fmt.Errorf("randompeer: unknown backend %d", cfg.backend)
 	}
@@ -147,13 +226,20 @@ func New(opts ...Option) (*Testbed, error) {
 // Size returns the number of peers.
 func (tb *Testbed) Size() int { return tb.n }
 
-// DHT returns the testbed's DHT view (from peer 0 for the Chord
-// backend, which initiates all lookups).
+// Backend returns the substrate the testbed was built on.
+func (tb *Testbed) Backend() Backend { return tb.backend }
+
+// DHT returns the testbed's DHT view (from peer 0 for the Chord and
+// Kademlia backends, which initiates all lookups).
 func (tb *Testbed) DHT() DHT {
-	if tb.backend == OracleBackend {
+	switch tb.backend {
+	case ChordBackend:
+		return tb.view
+	case KademliaBackend:
+		return tb.kview
+	default:
 		return tb.oracle
 	}
-	return tb.view
 }
 
 // Peer returns the peer with the given owner index.
@@ -237,8 +323,12 @@ func (tb *Testbed) VerifyUniformity(nHat float64) (*Assignment, error) {
 }
 
 // ChordNetwork exposes the underlying Chord network for protocol-level
-// experiments (nil for the oracle backend).
+// experiments (nil for other backends).
 func (tb *Testbed) ChordNetwork() *chord.Network { return tb.net }
+
+// KademliaNetwork exposes the underlying Kademlia network for
+// protocol-level experiments (nil for other backends).
+func (tb *Testbed) KademliaNetwork() *kademlia.Network { return tb.knet }
 
 // BiasedSampler builds a sampler choosing peers with probability
 // proportional to weight(p), by rejection over the uniform sampler —
