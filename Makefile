@@ -28,9 +28,10 @@ fmt-check:
 
 # Key benchmarks as a smoke test (one iteration each): the headline
 # single-sample cost, the batch engine at n=1e6 across worker counts,
-# and the cross-backend lookup-cost comparison (oracle/chord/kademlia).
+# the cross-backend lookup-cost comparison (oracle/chord/kademlia), and
+# the virtual-clock transport overhead on the sampling hot path.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkUniformSample|BenchmarkBatchThroughput|BenchmarkLookupCostBackends' -benchtime=1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkUniformSample|BenchmarkBatchThroughput|BenchmarkLookupCostBackends|BenchmarkSimTransportOverhead|BenchmarkKernelEventLoop' -benchtime=1x .
 
 # Full throughput measurement, recorded into the committed perf
 # trajectory (BENCH_$(PR).json). Override PR for later snapshots.

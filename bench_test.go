@@ -33,6 +33,7 @@ import (
 	"github.com/dht-sampling/randompeer/internal/loadbalance"
 	"github.com/dht-sampling/randompeer/internal/randgraph"
 	"github.com/dht-sampling/randompeer/internal/ring"
+	"github.com/dht-sampling/randompeer/internal/sim"
 	"github.com/dht-sampling/randompeer/internal/simnet"
 )
 
@@ -445,7 +446,7 @@ func BenchmarkChurnEvent(b *testing.B) {
 		b.Fatal(err)
 	}
 	rng := rand.New(rand.NewPCG(9, 9))
-	d, err := churn.NewDriver(net, rng, churn.Config{Events: 1 << 30, RoundsPerEvent: 2})
+	d, err := churn.NewDriver(churn.Chord(net), rng, churn.Config{Events: 1 << 30, RoundsPerEvent: 2})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -454,7 +455,7 @@ func BenchmarkChurnEvent(b *testing.B) {
 	// Drive single events by constructing one-event drivers repeatedly
 	// over the same network (the network keeps evolving).
 	for i := 0; i < b.N; i++ {
-		one, err := churn.NewDriver(net, rng, churn.Config{Events: 1, RoundsPerEvent: 2})
+		one, err := churn.NewDriver(churn.Chord(net), rng, churn.Config{Events: 1, RoundsPerEvent: 2})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -607,4 +608,62 @@ func BenchmarkChordLookup(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkSimTransportOverhead (E25): the cost of the virtual-clock
+// transport on the sampling hot path. Each sub-benchmark draws uniform
+// samples over the same static Chord ring; "direct" uses the plain
+// synchronous transport, "sim" the discrete-event transport in
+// free-running mode (latency draw + clock advance + histogram record
+// per RPC). The acceptance bound is <= 10% overhead; benchsnap records
+// the measured ratio in BENCH_3.json.
+func BenchmarkSimTransportOverhead(b *testing.B) {
+	const n = 1024
+	transports := map[string]func() simnet.Transport{
+		"direct": func() simnet.Transport { return simnet.NewDirect() },
+		"sim": func() simnet.Transport {
+			return sim.NewTransport(sim.WithModel(sim.Constant{RTT: time.Millisecond}))
+		},
+	}
+	for _, name := range []string{"direct", "sim"} {
+		b.Run(name, func(b *testing.B) {
+			r := benchRing(b, n)
+			net, err := chord.BuildStatic(chord.Config{}, transports[name](), r.Points())
+			if err != nil {
+				b.Fatal(err)
+			}
+			d, err := net.AsDHT(r.At(0))
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewPCG(2, n))
+			s, err := core.New(d, d.Self(), rng, core.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Sample(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkKernelEventLoop: the raw discrete-event scheduling cost —
+// one process sleeping through b.N events — the floor under every
+// kernel-mode simulation (two channel handoffs plus a heap operation
+// per event).
+func BenchmarkKernelEventLoop(b *testing.B) {
+	k := sim.NewKernel(1)
+	k.Go("sleeper", func() {
+		for i := 0; i < b.N; i++ {
+			if k.Sleep(time.Microsecond) != nil {
+				return
+			}
+		}
+	})
+	b.ResetTimer()
+	k.Run()
 }

@@ -1,15 +1,19 @@
 // Command benchsnap records the batch-throughput perf trajectory: it
 // runs the concurrent sampling engine over a million-peer oracle DHT at
-// a sweep of worker counts and writes a JSON snapshot (committed as
-// BENCH_<pr>.json at the repo root) so regressions and speedups are
-// visible PR over PR.
+// a sweep of worker counts, measures the virtual-clock transport's
+// overhead against Direct on the Chord sampling hot path, and writes a
+// JSON snapshot (committed as BENCH_<pr>.json at the repo root) so
+// regressions and speedups are visible PR over PR.
 //
 // Usage:
 //
 //	benchsnap [-n 1000000] [-k 100000] [-workers 1,2,4,8] [-seed 1] [-o BENCH_1.json]
+//	          [-overhead-n 1024] [-overhead-k 4000] [-overhead-reps 4]
 //
 // The drawn multiset is identical at every worker count (the engine
 // forks per-block PCG streams), so every run measures the same work.
+// The overhead measurement alternates direct/sim repetitions and keeps
+// each side's minimum, which is robust to background noise.
 package main
 
 import (
@@ -34,18 +38,32 @@ type Run struct {
 	SpeedupVs1    float64 `json:"speedup_vs_1"`
 }
 
+// TransportOverhead compares the virtual-clock transport against
+// Direct on the single-threaded Chord sampling hot path (the E25
+// acceptance bound is <= 10% overhead).
+type TransportOverhead struct {
+	Peers             int     `json:"peers"`
+	Samples           int     `json:"samples_per_rep"`
+	Reps              int     `json:"reps"`
+	Model             string  `json:"latency_model"`
+	DirectNsPerSample float64 `json:"direct_ns_per_sample"`
+	SimNsPerSample    float64 `json:"sim_ns_per_sample"`
+	OverheadPct       float64 `json:"overhead_pct"`
+}
+
 // Snapshot is the committed benchmark record.
 type Snapshot struct {
-	Benchmark  string    `json:"benchmark"`
-	Date       time.Time `json:"date"`
-	GoVersion  string    `json:"go_version"`
-	NumCPU     int       `json:"num_cpu"`
-	GOMAXPROCS int       `json:"gomaxprocs"`
-	Peers      int       `json:"peers"`
-	Samples    int       `json:"samples_per_run"`
-	Seed       uint64    `json:"seed"`
-	Runs       []Run     `json:"runs"`
-	Note       string    `json:"note,omitempty"`
+	Benchmark  string             `json:"benchmark"`
+	Date       time.Time          `json:"date"`
+	GoVersion  string             `json:"go_version"`
+	NumCPU     int                `json:"num_cpu"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Peers      int                `json:"peers"`
+	Samples    int                `json:"samples_per_run"`
+	Seed       uint64             `json:"seed"`
+	Runs       []Run              `json:"runs"`
+	Transport  *TransportOverhead `json:"transport_overhead,omitempty"`
+	Note       string             `json:"note,omitempty"`
 }
 
 func main() {
@@ -55,11 +73,14 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("benchsnap", flag.ContinueOnError)
 	var (
-		n       = fs.Int("n", 1_000_000, "network size")
-		k       = fs.Int("k", 100_000, "samples per timed run")
-		workers = fs.String("workers", "1,2,4,8", "comma-separated worker counts")
-		seed    = fs.Uint64("seed", 1, "placement and batch seed")
-		out     = fs.String("o", "", "output path (default stdout)")
+		n        = fs.Int("n", 1_000_000, "network size")
+		k        = fs.Int("k", 100_000, "samples per timed run")
+		workers  = fs.String("workers", "1,2,4,8", "comma-separated worker counts")
+		seed     = fs.Uint64("seed", 1, "placement and batch seed")
+		out      = fs.String("o", "", "output path (default stdout)")
+		overN    = fs.Int("overhead-n", 1024, "chord ring size for the transport-overhead measurement")
+		overK    = fs.Int("overhead-k", 4000, "samples per transport-overhead repetition")
+		overReps = fs.Int("overhead-reps", 4, "alternating repetitions per transport")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -70,6 +91,11 @@ func run(args []string) int {
 		return 2
 	}
 	snap, err := measure(*n, *k, *seed, ws)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		return 1
+	}
+	snap.Transport, err = measureOverhead(*overN, *overK, *overReps, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchsnap:", err)
 		return 1
@@ -159,4 +185,73 @@ func measure(n, k int, seed uint64, ws []int) (*Snapshot, error) {
 		snap.Note = fmt.Sprintf("machine exposes only %d CPU(s); worker counts beyond that cannot speed up this CPU-bound workload", snap.GOMAXPROCS)
 	}
 	return snap, nil
+}
+
+// measureOverhead times single-threaded Chord sampling over Direct and
+// over the virtual-clock transport (constant 1ms model, the E25
+// default), alternating repetitions and keeping each side's minimum.
+func measureOverhead(n, k, reps int, seed uint64) (*TransportOverhead, error) {
+	const modelSpec = "constant:1ms"
+	model, err := randompeer.ParseLatencyModel(modelSpec)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "benchsnap: measuring sim-transport overhead on a %d-peer chord ring...\n", n)
+	timeOne := func(simTime bool) (float64, error) {
+		opts := []randompeer.Option{
+			randompeer.WithPeers(n),
+			randompeer.WithSeed(seed),
+			randompeer.WithBackend(randompeer.ChordBackend),
+		}
+		if simTime {
+			opts = append(opts, randompeer.WithLatencyModel(model))
+		}
+		tb, err := randompeer.New(opts...)
+		if err != nil {
+			return 0, err
+		}
+		s, err := tb.UniformSampler(seed + 1)
+		if err != nil {
+			return 0, err
+		}
+		// Warm up before timing.
+		for i := 0; i < k/10; i++ {
+			if _, err := s.Sample(); err != nil {
+				return 0, err
+			}
+		}
+		start := time.Now()
+		for i := 0; i < k; i++ {
+			if _, err := s.Sample(); err != nil {
+				return 0, err
+			}
+		}
+		return float64(time.Since(start).Nanoseconds()) / float64(k), nil
+	}
+	minDirect, minSim := 0.0, 0.0
+	for rep := 0; rep < reps; rep++ {
+		d, err := timeOne(false)
+		if err != nil {
+			return nil, err
+		}
+		s, err := timeOne(true)
+		if err != nil {
+			return nil, err
+		}
+		if minDirect == 0 || d < minDirect {
+			minDirect = d
+		}
+		if minSim == 0 || s < minSim {
+			minSim = s
+		}
+	}
+	o := &TransportOverhead{
+		Peers: n, Samples: k, Reps: reps, Model: modelSpec,
+		DirectNsPerSample: minDirect,
+		SimNsPerSample:    minSim,
+		OverheadPct:       (minSim/minDirect - 1) * 100,
+	}
+	fmt.Fprintf(os.Stderr, "benchsnap: direct %.0f ns/sample, sim %.0f ns/sample (%.2f%% overhead)\n",
+		minDirect, minSim, o.OverheadPct)
+	return o, nil
 }

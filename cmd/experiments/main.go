@@ -1,11 +1,16 @@
 // Command experiments regenerates every table and figure-series of the
-// King–Saia reproduction (experiments E1-E24, indexed in DESIGN.md).
+// King–Saia reproduction (experiments E1-E26, indexed in DESIGN.md).
 // The substrate experiments enumerate randompeer.Backends(), so a new
 // DHT backend shows up in their tables without any change here.
 //
 // Usage:
 //
-//	experiments [-run E1,E2|all] [-seed N] [-quick] [-csv DIR] [-list] [-workers N]
+//	experiments [-run E1,E2|all] [-seed N] [-quick] [-csv DIR] [-list] [-workers N] [-latency MODEL]
+//
+// -latency selects the link-latency model for the simulated-time
+// experiments (E25, E26) — e.g. constant:1ms, uniform:500us-5ms,
+// lognormal:2ms,0.6, straggler:0.1,8,constant:1ms — defaulting to a
+// constant 1ms round trip.
 //
 // Output is a paper-style aligned table per experiment on stdout; with
 // -csv the raw data also lands in DIR/<id>.csv for plotting. Experiments
@@ -40,6 +45,7 @@ func run(args []string) int {
 		csvDir  = fs.String("csv", "", "also write <id>.csv files into this directory")
 		list    = fs.Bool("list", false, "list experiments and exit")
 		workers = fs.Int("workers", runtime.GOMAXPROCS(0), "goroutines for experiments and their sweep points")
+		latency = fs.String("latency", "", "latency model for the simulated-time experiments (default constant:1ms)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -61,7 +67,7 @@ func run(args []string) int {
 			return 1
 		}
 	}
-	cfg := exp.RunConfig{Seed: *seed, Quick: *quick, Workers: *workers}
+	cfg := exp.RunConfig{Seed: *seed, Quick: *quick, Workers: *workers, Latency: *latency}
 	mode := "full"
 	if *quick {
 		mode = "quick"

@@ -3,14 +3,17 @@
 //
 // Usage:
 //
-//	randpeer sample   [-n N] [-seed S] [-k K] [-workers W] [-sampler king-saia|naive] [-backend oracle|chord|kademlia]
+//	randpeer sample   [-n N] [-seed S] [-k K] [-workers W] [-sampler king-saia|naive] [-backend oracle|chord|kademlia] [-latency MODEL]
 //	randpeer estimate [-n N] [-seed S] [-c1 C] [-callers K]
 //	randpeer verify   [-n N] [-seed S]
 //	randpeer arcs     [-n N] [-seed S]
 //
 // sample draws K peers across W workers (the batch engine keeps the
 // drawn multiset identical at any worker count) and prints the tally
-// summary; estimate runs the paper's size estimator from K callers;
+// summary; with -latency (e.g. constant:1ms, uniform:500us-5ms,
+// lognormal:2ms,0.6, straggler:0.1,8,constant:1ms) the testbed runs on
+// simulated time and the summary adds per-RPC and per-sample virtual
+// latencies. estimate runs the paper's size estimator from K callers;
 // verify computes the exact Theorem 6 measure partition; arcs prints
 // the structural statistics (Lemmas 1 and 4, Theorem 8).
 package main
@@ -74,16 +77,24 @@ commands:
   arcs      print structural ring statistics (Lemmas 1, 4; Theorem 8)`)
 }
 
-func newTestbed(n int, seed uint64, backend string) (*randompeer.Testbed, error) {
+func newTestbed(n int, seed uint64, backend, latency string) (*randompeer.Testbed, error) {
 	b, err := randompeer.ParseBackend(backend)
 	if err != nil {
 		return nil, err
 	}
-	return randompeer.New(
+	opts := []randompeer.Option{
 		randompeer.WithPeers(n),
 		randompeer.WithSeed(seed),
 		randompeer.WithBackend(b),
-	)
+	}
+	if latency != "" {
+		model, err := randompeer.ParseLatencyModel(latency)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, randompeer.WithLatencyModel(model))
+	}
+	return randompeer.New(opts...)
 }
 
 func cmdSample(args []string) error {
@@ -95,11 +106,12 @@ func cmdSample(args []string) error {
 		workers = fs.Int("workers", runtime.GOMAXPROCS(0), "parallel sampling workers")
 		sampler = fs.String("sampler", "king-saia", "king-saia or naive")
 		backend = fs.String("backend", "oracle", "DHT substrate: "+randompeer.BackendNames())
+		latency = fs.String("latency", "", "latency model for simulated time (e.g. constant:1ms); empty = off")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	tb, err := newTestbed(*n, *seed, *backend)
+	tb, err := newTestbed(*n, *seed, *backend, *latency)
 	if err != nil {
 		return err
 	}
@@ -138,6 +150,15 @@ func cmdSample(args []string) error {
 	fmt.Printf("tvd:       %.4f\n", tvd)
 	fmt.Printf("cost:      %.1f RPCs and %.1f messages per sample\n",
 		float64(res.Cost.Calls)/float64(*k), float64(res.Cost.Messages)/float64(*k))
+	if tb.SimTime() {
+		lat := tb.Latency()
+		fmt.Printf("latency:   model %s; per RPC mean %v p50 %v p99 %v\n",
+			tb.LatencyModel().Name(), lat.Mean().Round(time.Microsecond),
+			lat.Quantile(0.5).Round(time.Microsecond), lat.Quantile(0.99).Round(time.Microsecond))
+		fmt.Printf("vtime:     %v total virtual time (%v per sample, sequential)\n",
+			tb.VirtualTime().Round(time.Millisecond),
+			(tb.VirtualTime() / time.Duration(*k)).Round(time.Microsecond))
+	}
 	fmt.Printf("rate:      %.0f samples/sec (%v elapsed)\n", persec, res.Elapsed.Round(time.Microsecond))
 	return nil
 }
@@ -153,7 +174,7 @@ func cmdEstimate(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	tb, err := newTestbed(*n, *seed, "oracle")
+	tb, err := newTestbed(*n, *seed, "oracle", "")
 	if err != nil {
 		return err
 	}
@@ -185,7 +206,7 @@ func cmdVerify(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	tb, err := newTestbed(*n, *seed, "oracle")
+	tb, err := newTestbed(*n, *seed, "oracle", "")
 	if err != nil {
 		return err
 	}

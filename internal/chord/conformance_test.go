@@ -2,11 +2,13 @@ package chord_test
 
 import (
 	"testing"
+	"time"
 
 	"github.com/dht-sampling/randompeer/internal/chord"
 	"github.com/dht-sampling/randompeer/internal/dht"
 	"github.com/dht-sampling/randompeer/internal/dht/dhttest"
 	"github.com/dht-sampling/randompeer/internal/ring"
+	"github.com/dht-sampling/randompeer/internal/sim"
 	"github.com/dht-sampling/randompeer/internal/simnet"
 )
 
@@ -17,6 +19,21 @@ func TestChordConformance(t *testing.T) {
 	t.Parallel()
 	dhttest.Run(t, "chord", func(points []ring.Point) (dht.DHT, error) {
 		net, err := chord.BuildStatic(chord.Config{}, simnet.NewDirect(), points)
+		if err != nil {
+			return nil, err
+		}
+		return net.AsDHT(points[0])
+	})
+}
+
+// TestChordConformanceSimTransport re-runs the suite over the
+// virtual-clock transport: simulated time must not change any
+// sampler-facing behaviour, only add latency accounting.
+func TestChordConformanceSimTransport(t *testing.T) {
+	t.Parallel()
+	dhttest.Run(t, "chord-sim", func(points []ring.Point) (dht.DHT, error) {
+		tr := sim.NewTransport(sim.WithModel(sim.Constant{RTT: time.Millisecond}))
+		net, err := chord.BuildStatic(chord.Config{}, tr, points)
 		if err != nil {
 			return nil, err
 		}

@@ -339,16 +339,24 @@ func (n *Network) RunMaintenance(rounds, fingersPerRound int) {
 	}
 }
 
-// anyOtherNode returns a live node other than id, if one exists.
+// anyOtherNode returns a live node other than id, if one exists. It
+// picks the smallest id rather than the first map hit so that repair
+// behaviour — and therefore whole simulations — is a deterministic
+// function of network state.
 func (n *Network) anyOtherNode(id ring.Point) (ring.Point, bool) {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
+	var best ring.Point
+	found := false
 	for other, nd := range n.nodes {
-		if other != id && nd.Alive() {
-			return other, true
+		if other == id || !nd.Alive() {
+			continue
+		}
+		if !found || other < best {
+			best, found = other, true
 		}
 	}
-	return 0, false
+	return best, found
 }
 
 // BuildStatic constructs a fully stabilized ring over the given points in

@@ -1,0 +1,122 @@
+package churn
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/dht-sampling/randompeer/internal/sim"
+)
+
+// AsyncConfig parameterizes an asynchronous churn schedule on a
+// discrete-event kernel. Event counts, the join/crash mix, the size
+// floor and protection come from the driver's Config; AsyncConfig adds
+// the timing.
+type AsyncConfig struct {
+	// MeanInterval is the mean of the exponential gap between successive
+	// churn events — the event rate knob (required > 0). Smaller
+	// intervals relative to the link round-trip time mean more topology
+	// changes land inside each in-flight sample.
+	MeanInterval time.Duration
+	// MaintenanceInterval is the period of the background maintenance
+	// sweep; 0 disables the sweep entirely (harshest regime). Each sweep
+	// runs every member's per-node maintenance in parallel kernel
+	// processes — nodes repair concurrently in virtual time, as deployed
+	// DHT nodes do — and the next sweep starts one interval after the
+	// previous one fully completes. Unlike the synchronous driver,
+	// repair is NOT coupled to events: a burst of crashes can outrun
+	// maintenance, exactly as in deployment.
+	MaintenanceInterval time.Duration
+}
+
+// AsyncRun is the live state of a scheduled churn run. Its fields are
+// updated by kernel processes; because the kernel runs one process at a
+// time, reads from other processes (a sampler polling Done) are safe.
+type AsyncRun struct {
+	done bool
+	// Events holds the executed events in order.
+	Events []Event
+	// StepErrors counts events that failed to execute (a join racing
+	// overlay damage, for example). Failed events are tolerated and the
+	// schedule continues — an aborted join attempt is itself a realistic
+	// churn outcome.
+	StepErrors int
+}
+
+// Done reports whether the schedule has executed all its events. Sampler
+// processes use it as their stop condition.
+func (r *AsyncRun) Done() bool { return r.done }
+
+// Schedule registers the churn schedule on the kernel and returns
+// immediately; the events execute during Kernel.Run. One process
+// executes the driver's Events join/crash events at exponential
+// inter-arrival times drawn from the driver's RNG, and, if enabled, a
+// second process runs periodic maintenance sweeps until the last event —
+// both concurrent in virtual time with any sampler or fault processes
+// the caller spawns. Each in-flight sample therefore observes the
+// overlay mid-repair, not the settled snapshots the synchronous Run
+// produces.
+//
+// The onEvent hook, if non-nil, runs after each successful event inside
+// the churn process.
+func (d *Driver) Schedule(k *sim.Kernel, cfg AsyncConfig, onEvent func(Event)) (*AsyncRun, error) {
+	if cfg.MeanInterval <= 0 {
+		return nil, fmt.Errorf("churn: async mean interval must be > 0, got %v", cfg.MeanInterval)
+	}
+	run := &AsyncRun{}
+	k.Go("churn", func() {
+		defer func() { run.done = true }()
+		for i := 0; i < d.cfg.Events; i++ {
+			gap := time.Duration(d.rng.ExpFloat64() * float64(cfg.MeanInterval))
+			if k.Sleep(gap) != nil {
+				return
+			}
+			ev, err := d.step(i)
+			if err != nil {
+				run.StepErrors++
+				continue
+			}
+			run.Events = append(run.Events, ev)
+			if onEvent != nil {
+				onEvent(ev)
+			}
+		}
+	})
+	if cfg.MaintenanceInterval > 0 {
+		k.Go("maintenance", func() {
+			round := 0
+			outstanding := 0
+			for !run.done {
+				if k.Sleep(cfg.MaintenanceInterval) != nil {
+					return
+				}
+				if run.done {
+					return
+				}
+				if outstanding > 0 {
+					// The previous sweep is still repairing: skip this
+					// tick rather than overlap sweeps. The next sweep
+					// starts at the first tick after completion, so the
+					// period is exactly the interval whenever repair
+					// keeps up.
+					continue
+				}
+				// One process per member: the sweep costs the slowest
+				// node's repair time, not the network-wide sum. The
+				// shared counter is safe — kernel processes never run
+				// concurrently.
+				members := d.ov.Members()
+				outstanding = len(members)
+				sweep := round
+				for _, id := range members {
+					id := id
+					k.Go("maintain", func() {
+						d.ov.MaintainNode(id, sweep, d.cfg.FingersPerRound)
+						outstanding--
+					})
+				}
+				round++
+			}
+		})
+	}
+	return run, nil
+}

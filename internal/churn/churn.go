@@ -1,17 +1,106 @@
-// Package churn drives node arrival and departure against a live Chord
-// network with its maintenance protocol running, supporting the
-// experiments that measure sampling correctness while the DHT is being
-// repaired (the paper assumes a stable ring; churn quantifies the
+// Package churn drives node arrival and departure against a live DHT
+// overlay with its maintenance protocol running, supporting the
+// experiments that measure sampling correctness while the overlay is
+// being repaired (the paper assumes a stable ring; churn quantifies the
 // degradation when that assumption is relaxed).
+//
+// The driver is generic over the Overlay interface, so the same
+// schedules run against Chord and Kademlia (wrap a network with Chord or
+// Kademlia). Two execution modes are provided: Run executes events in
+// synchronous lockstep (each event followed by maintenance rounds), and
+// Schedule registers the events on a discrete-event kernel
+// (internal/sim), where arrivals, departures and periodic maintenance
+// execute as timed events concurrent — in virtual time — with whatever
+// sampler processes the caller spawns.
 package churn
 
 import (
+	"errors"
 	"fmt"
 	"math/rand/v2"
 
 	"github.com/dht-sampling/randompeer/internal/chord"
+	"github.com/dht-sampling/randompeer/internal/kademlia"
 	"github.com/dht-sampling/randompeer/internal/ring"
 )
+
+// Overlay is the slice of a DHT network the churn driver needs: live
+// membership, join/crash, and synchronous maintenance. Both real
+// overlays (Chord, Kademlia) satisfy it via the wrappers below.
+type Overlay interface {
+	// Members returns the ids of all live nodes in sorted order.
+	Members() []ring.Point
+	// NumAlive returns the number of live nodes.
+	NumAlive() int
+	// Join adds a node to the overlay through the existing member via.
+	Join(id, via ring.Point) error
+	// Crash removes a node abruptly.
+	Crash(id ring.Point) error
+	// Maintain runs the given number of synchronous maintenance rounds.
+	// fingersPerRound applies to finger-table substrates (Chord) and is
+	// ignored by the others.
+	Maintain(rounds, fingersPerRound int)
+	// MaintainNode runs one maintenance round for a single node,
+	// ignoring transient errors (the node may crash mid-round). round is
+	// a monotone sweep counter substrates may use to rotate refresh
+	// targets. The asynchronous scheduler calls it from one kernel
+	// process per member, so nodes repair concurrently in virtual time —
+	// the deployment behaviour — instead of paying a sequential
+	// whole-network sweep.
+	MaintainNode(id ring.Point, round, fingersPerRound int)
+	// VerifyRing reports whether the overlay's successor/predecessor
+	// structure is globally consistent (nil when perfect) — the
+	// post-churn recovery check.
+	VerifyRing() error
+}
+
+// ErrEmptyOverlay is returned when a driver is built over an overlay
+// with no live nodes.
+var ErrEmptyOverlay = errors.New("churn: overlay has no live nodes")
+
+// chordOverlay adapts *chord.Network to Overlay.
+type chordOverlay struct{ net *chord.Network }
+
+// Chord wraps a Chord network for churn driving.
+func Chord(net *chord.Network) Overlay { return chordOverlay{net} }
+
+func (o chordOverlay) Members() []ring.Point { return o.net.Members() }
+func (o chordOverlay) NumAlive() int         { return o.net.NumAlive() }
+func (o chordOverlay) Join(id, via ring.Point) error {
+	_, err := o.net.Join(id, via)
+	return err
+}
+func (o chordOverlay) Crash(id ring.Point) error { return o.net.Crash(id) }
+func (o chordOverlay) Maintain(rounds, fingersPerRound int) {
+	o.net.RunMaintenance(rounds, fingersPerRound)
+}
+func (o chordOverlay) MaintainNode(id ring.Point, _, fingersPerRound int) {
+	_ = o.net.StabilizeNode(id)
+	_ = o.net.CheckPredecessor(id)
+	for f := 0; f < fingersPerRound; f++ {
+		_ = o.net.FixFinger(id)
+	}
+}
+func (o chordOverlay) VerifyRing() error { return o.net.VerifyRing() }
+
+// kademliaOverlay adapts *kademlia.Network to Overlay.
+type kademliaOverlay struct{ net *kademlia.Network }
+
+// Kademlia wraps a Kademlia network for churn driving.
+func Kademlia(net *kademlia.Network) Overlay { return kademliaOverlay{net} }
+
+func (o kademliaOverlay) Members() []ring.Point { return o.net.Members() }
+func (o kademliaOverlay) NumAlive() int         { return o.net.NumAlive() }
+func (o kademliaOverlay) Join(id, via ring.Point) error {
+	_, err := o.net.Join(id, via)
+	return err
+}
+func (o kademliaOverlay) Crash(id ring.Point) error { return o.net.Crash(id) }
+func (o kademliaOverlay) Maintain(rounds, _ int)    { o.net.RunMaintenance(rounds) }
+func (o kademliaOverlay) MaintainNode(id ring.Point, round, _ int) {
+	_ = o.net.RefreshNode(id, round%64)
+}
+func (o kademliaOverlay) VerifyRing() error { return o.net.VerifyRing() }
 
 // Config parameterizes a churn schedule.
 type Config struct {
@@ -21,10 +110,11 @@ type Config struct {
 	// uniformly chosen node crashes. Default 0.5.
 	JoinFraction float64
 	// RoundsPerEvent is the number of synchronous maintenance rounds run
-	// after each event (lower is harsher churn). Default 2.
+	// after each event (lower is harsher churn). Default 2. In
+	// asynchronous mode maintenance is periodic instead; see AsyncConfig.
 	RoundsPerEvent int
 	// FingersPerRound is the number of fingers each node fixes per
-	// maintenance round. Default 8.
+	// maintenance round on finger-table substrates. Default 8.
 	FingersPerRound int
 	// MinSize floors the network size: crashes are converted to joins at
 	// the floor. Default 2.
@@ -59,32 +149,32 @@ type Event struct {
 
 // Driver executes a churn schedule.
 type Driver struct {
-	net *chord.Network
+	ov  Overlay
 	rng *rand.Rand
 	cfg Config
 }
 
-// NewDriver builds a churn driver over a live network.
-func NewDriver(net *chord.Network, rng *rand.Rand, cfg Config) (*Driver, error) {
-	if net.NumAlive() == 0 {
-		return nil, chord.ErrEmptyNetwork
+// NewDriver builds a churn driver over a live overlay.
+func NewDriver(ov Overlay, rng *rand.Rand, cfg Config) (*Driver, error) {
+	if ov.NumAlive() == 0 {
+		return nil, ErrEmptyOverlay
 	}
 	if cfg.Events < 0 {
 		return nil, fmt.Errorf("churn: events must be >= 0, got %d", cfg.Events)
 	}
-	return &Driver{net: net, rng: rng, cfg: cfg.withDefaults()}, nil
+	return &Driver{ov: ov, rng: rng, cfg: cfg.withDefaults()}, nil
 }
 
-// Run executes the schedule. After each event (and its maintenance
-// rounds) the onEvent hook runs, if non-nil; a hook error aborts the
-// schedule.
+// Run executes the schedule synchronously. After each event (and its
+// maintenance rounds) the onEvent hook runs, if non-nil; a hook error
+// aborts the schedule.
 func (d *Driver) Run(onEvent func(ev Event) error) error {
 	for i := 0; i < d.cfg.Events; i++ {
 		ev, err := d.step(i)
 		if err != nil {
 			return fmt.Errorf("churn: event %d: %w", i, err)
 		}
-		d.net.RunMaintenance(d.cfg.RoundsPerEvent, d.cfg.FingersPerRound)
+		d.ov.Maintain(d.cfg.RoundsPerEvent, d.cfg.FingersPerRound)
 		if onEvent != nil {
 			if err := onEvent(ev); err != nil {
 				return fmt.Errorf("churn: hook after event %d: %w", i, err)
@@ -96,12 +186,12 @@ func (d *Driver) Run(onEvent func(ev Event) error) error {
 
 // step executes one join or crash.
 func (d *Driver) step(index int) (Event, error) {
-	members := d.net.Members()
+	members := d.ov.Members()
 	join := d.rng.Float64() < d.cfg.JoinFraction || len(members) <= d.cfg.MinSize
 	if join {
 		id := ring.Point(d.rng.Uint64())
 		via := members[d.rng.IntN(len(members))]
-		if _, err := d.net.Join(id, via); err != nil {
+		if err := d.ov.Join(id, via); err != nil {
 			return Event{}, fmt.Errorf("join %v via %v: %w", id, via, err)
 		}
 		return Event{Index: index, Join: true, Node: id}, nil
@@ -117,7 +207,7 @@ func (d *Driver) step(index int) (Event, error) {
 		return Event{Index: index, Join: true}, nil // nothing crashable; no-op
 	}
 	victim := candidates[d.rng.IntN(len(candidates))]
-	if err := d.net.Crash(victim); err != nil {
+	if err := d.ov.Crash(victim); err != nil {
 		return Event{}, fmt.Errorf("crash %v: %w", victim, err)
 	}
 	return Event{Index: index, Join: false, Node: victim}, nil

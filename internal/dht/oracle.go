@@ -6,6 +6,7 @@ import (
 	"math/rand/v2"
 
 	"github.com/dht-sampling/randompeer/internal/ring"
+	"github.com/dht-sampling/randompeer/internal/sim"
 	"github.com/dht-sampling/randompeer/internal/simnet"
 )
 
@@ -19,6 +20,13 @@ type Oracle struct {
 	owners []int // owner of point i; nil means owner == index
 	nOwner int
 	meter  simnet.Meter
+
+	// Virtual-time simulation (nil/zero when disabled): each synthetic
+	// hop draws one latency from model and advances clock, mirroring
+	// what the real overlays pay on a sim.Transport.
+	clock  *sim.Clock
+	model  sim.Model
+	stream *sim.Stream
 }
 
 var _ DHT = (*Oracle)(nil)
@@ -65,11 +73,39 @@ func NewVirtualOracle(rng *rand.Rand, nOwners, pointsPerOwner int) (*Oracle, err
 // Ring exposes the underlying ring for analyzers and experiments.
 func (o *Oracle) Ring() *ring.Ring { return o.ring }
 
+// SimulateLatency attaches a virtual clock and per-hop latency model:
+// from then on every synthetic RPC the oracle charges also draws one
+// round-trip latency, advances clk and records the duration in the
+// meter's histogram — the same accounting the real overlays get from a
+// sim.Transport, so E25-style latency sweeps compare all backends on
+// one scale. Oracle hops are anonymous (the model sees node ids 0, 0),
+// so per-node models like Straggler degenerate to their base behaviour
+// here.
+func (o *Oracle) SimulateLatency(clk *sim.Clock, model sim.Model, seed uint64) {
+	o.clock = clk
+	o.model = model
+	o.stream = sim.NewStream(seed)
+}
+
+// chargeLatency spends and records the virtual time of "hops"
+// sequential synthetic RPCs.
+func (o *Oracle) chargeLatency(hops int64) {
+	if o.model == nil {
+		return
+	}
+	for j := int64(0); j < hops; j++ {
+		d := o.model.Latency(0, 0, o.stream.U01())
+		o.clock.Advance(d)
+		o.meter.RecordLatency(d)
+	}
+}
+
 // H implements DHT. It charges ceil(log2 n) sequential RPCs (2 messages
 // each), the textbook Chord lookup cost.
 func (o *Oracle) H(x ring.Point) (Peer, error) {
 	hops := o.lookupHops()
 	o.meter.Charge(hops, 2*hops)
+	o.chargeLatency(hops)
 	i := o.ring.Successor(x)
 	return o.peerAt(i), nil
 }
@@ -81,6 +117,7 @@ func (o *Oracle) Next(p Peer) (Peer, error) {
 		return Peer{}, fmt.Errorf("%w: no peer at %v", ErrUnknownPeer, p.Point)
 	}
 	o.meter.Charge(1, 2)
+	o.chargeLatency(1)
 	return o.peerAt(o.ring.NextIndex(i)), nil
 }
 

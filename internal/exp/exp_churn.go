@@ -48,7 +48,7 @@ func expE15() Experiment {
 				if err != nil {
 					return nil, err
 				}
-				driver, err := churn.NewDriver(net, rng, churn.Config{
+				driver, err := churn.NewDriver(churn.Chord(net), rng, churn.Config{
 					Events:         events,
 					RoundsPerEvent: rounds,
 					Protected:      map[ring.Point]bool{caller: true},

@@ -10,8 +10,8 @@ import (
 func TestAllRegistered(t *testing.T) {
 	t.Parallel()
 	exps := All()
-	if len(exps) != 24 {
-		t.Fatalf("registered %d experiments, want 24", len(exps))
+	if len(exps) != 26 {
+		t.Fatalf("registered %d experiments, want 26", len(exps))
 	}
 	seen := make(map[string]bool, len(exps))
 	for _, e := range exps {
@@ -285,5 +285,58 @@ func TestTableHelpers(t *testing.T) {
 	}
 	if got := strings.TrimSpace(csvBuf.String()); got != "a,b\n1,2" {
 		t.Errorf("csv = %q", got)
+	}
+}
+
+// TestE25LatencyGrowsWithN spot-checks the acceptance criterion behind
+// E25: under a constant-latency model, mean per-sample virtual latency
+// rises with n on every backend (the log-n growth measured in time
+// units), and the quantile columns are ordered.
+func TestE25LatencyGrowsWithN(t *testing.T) {
+	t.Parallel()
+	table, err := expE25().Run(RunConfig{Seed: 7, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quick mode: 3 backends x 2 sizes, grouped by backend.
+	if len(table.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(table.Rows))
+	}
+	for b := 0; b < 3; b++ {
+		small := cell(t, table, 2*b, "mean_ms")
+		large := cell(t, table, 2*b+1, "mean_ms")
+		backend := table.Rows[2*b][0]
+		if large <= small {
+			t.Errorf("%s: mean latency %v at larger n <= %v at smaller n", backend, large, small)
+		}
+		p50 := cell(t, table, 2*b, "p50_ms")
+		p99 := cell(t, table, 2*b, "p99_ms")
+		if p99 < p50 {
+			t.Errorf("%s: p99 %v below p50 %v", backend, p99, p50)
+		}
+	}
+}
+
+// TestE26RunsBothSubstrates checks E26's structural promises: both
+// overlays appear, some samples complete during churn on each, and the
+// overlay ring is repaired after settling.
+func TestE26RunsBothSubstrates(t *testing.T) {
+	t.Parallel()
+	table, err := expE26().Run(RunConfig{Seed: 7, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	backends := map[string]bool{}
+	for i, row := range table.Rows {
+		backends[row[0]] = true
+		if ok := cell(t, table, i, "samplesOK"); ok <= 0 {
+			t.Errorf("row %d (%s): no sample completed during churn", i, row[0])
+		}
+		if ringOK := row[len(row)-2]; ringOK != "yes" {
+			t.Errorf("row %d (%s): ring not repaired after settling", i, row[0])
+		}
+	}
+	if !backends["chord"] || !backends["kademlia"] {
+		t.Errorf("substrates covered = %v, want chord and kademlia", backends)
 	}
 }

@@ -2,11 +2,13 @@ package kademlia_test
 
 import (
 	"testing"
+	"time"
 
 	"github.com/dht-sampling/randompeer/internal/dht"
 	"github.com/dht-sampling/randompeer/internal/dht/dhttest"
 	"github.com/dht-sampling/randompeer/internal/kademlia"
 	"github.com/dht-sampling/randompeer/internal/ring"
+	"github.com/dht-sampling/randompeer/internal/sim"
 	"github.com/dht-sampling/randompeer/internal/simnet"
 )
 
@@ -18,6 +20,21 @@ func TestKademliaConformance(t *testing.T) {
 	t.Parallel()
 	dhttest.Run(t, "kademlia", func(points []ring.Point) (dht.DHT, error) {
 		net, err := kademlia.BuildStatic(kademlia.Config{}, simnet.NewDirect(), points)
+		if err != nil {
+			return nil, err
+		}
+		return net.AsDHT(points[0])
+	})
+}
+
+// TestKademliaConformanceSimTransport re-runs the suite over the
+// virtual-clock transport: simulated time must not change any
+// sampler-facing behaviour, only add latency accounting.
+func TestKademliaConformanceSimTransport(t *testing.T) {
+	t.Parallel()
+	dhttest.Run(t, "kademlia-sim", func(points []ring.Point) (dht.DHT, error) {
+		tr := sim.NewTransport(sim.WithModel(sim.Constant{RTT: time.Millisecond}))
+		net, err := kademlia.BuildStatic(kademlia.Config{}, tr, points)
 		if err != nil {
 			return nil, err
 		}

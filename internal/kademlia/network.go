@@ -516,11 +516,29 @@ func (n *Network) repairRing(nd *Node) error {
 	succ := nd.Successor()
 	if succ != id {
 		if _, err := n.call(id, succ, pingReq{}); err == nil {
-			// Successor alive; make sure it still agrees we are its
-			// predecessor (its old predecessor may have crashed).
+			// Successor alive; reconcile with its predecessor pointer.
 			p, err := n.Predecessor(id, succ)
 			if err == nil && p != id {
-				if _, err := n.call(id, p, pingReq{}); err != nil || !betweenIncl(id, succ, p) {
+				alive := false
+				if _, err := n.call(id, p, pingReq{}); err == nil {
+					alive = true
+				}
+				if alive && p != succ && betweenIncl(id, succ, p) {
+					// The successor knows a live node between us — a
+					// joiner whose splice toward us was lost, or a
+					// repair that outran ours. Adopt it and announce
+					// ourselves (Chord's stabilize rule); without this
+					// tightening step the ring wedges permanently with
+					// the middle node invisible to its predecessor.
+					nd.mu.Lock()
+					nd.succ = p
+					nd.mu.Unlock()
+					_, _ = n.call(id, p, spliceReq{Pred: id, HasPred: true})
+					return nil
+				}
+				if !alive || !betweenIncl(id, succ, p) {
+					// Its predecessor is dead or behind us: we are the
+					// rightful predecessor — re-assert.
 					_, _ = n.call(id, succ, spliceReq{Pred: id, HasPred: true})
 				}
 			}

@@ -1,0 +1,157 @@
+package sim_test
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand/v2"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/dht-sampling/randompeer/internal/chord"
+	"github.com/dht-sampling/randompeer/internal/churn"
+	"github.com/dht-sampling/randompeer/internal/core"
+	"github.com/dht-sampling/randompeer/internal/ring"
+	"github.com/dht-sampling/randompeer/internal/sim"
+	"github.com/dht-sampling/randompeer/internal/simnet"
+)
+
+// simOutcome fingerprints one full simulation: the executed event trace,
+// the virtual clock, the latency histogram, and every sampled owner.
+type simOutcome struct {
+	traceHash uint64
+	events    uint64
+	clock     time.Duration
+	latency   simnet.Latency
+	owners    []int
+	churned   int
+}
+
+// runScenario executes a fixed churn-plus-sampling scenario on the
+// event kernel and returns its fingerprint. Everything is derived from
+// seed; nothing reads wall-clock time or unseeded randomness.
+func runScenario(t *testing.T, seed uint64) simOutcome {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, seed+1))
+	r, err := ring.Generate(rng, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sim.NewKernel(seed)
+	tr := sim.NewTransport(
+		sim.WithKernel(k),
+		sim.WithStreamSeed(seed+2),
+		sim.WithModel(sim.Straggler{
+			Base:     sim.Uniform{Min: time.Millisecond, Max: 3 * time.Millisecond},
+			Fraction: 0.1, Factor: 4, Seed: seed,
+		}),
+	)
+	net, err := chord.BuildStatic(chord.Config{}, tr, r.Points())
+	if err != nil {
+		t.Fatal(err)
+	}
+	caller := r.At(0)
+	d, err := net.AsDHT(caller)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driver, err := churn.NewDriver(churn.Chord(net), rand.New(rand.NewPCG(seed+3, seed+4)), churn.Config{
+		Events:    12,
+		Protected: map[ring.Point]bool{caller: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := driver.Schedule(k, churn.AsyncConfig{
+		MeanInterval:        8 * time.Millisecond,
+		MaintenanceInterval: 5 * time.Millisecond,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := fnv.New64a()
+	k.SetObserver(func(at time.Duration, seq uint64, proc string) {
+		fmt.Fprintf(h, "%d/%d/%s;", at, seq, proc)
+	})
+	var owners []int
+	srng := rand.New(rand.NewPCG(seed+5, seed+6))
+	k.Go("sampler", func() {
+		for !run.Done() {
+			s, err := core.New(d, d.Self(), srng, core.Config{})
+			if err != nil {
+				owners = append(owners, -2)
+				if k.Sleep(time.Millisecond) != nil {
+					return
+				}
+				continue
+			}
+			p, err := s.Sample()
+			if err != nil {
+				owners = append(owners, -1)
+				continue
+			}
+			owners = append(owners, int(p.Point>>48)) // point prefix: owner indices shift under churn
+		}
+	})
+	k.Run()
+	return simOutcome{
+		traceHash: h.Sum64(),
+		events:    k.Processed(),
+		clock:     k.Now(),
+		latency:   tr.Meter().Latency(),
+		owners:    owners,
+		churned:   len(run.Events) + run.StepErrors,
+	}
+}
+
+// TestDeterminismAcrossGOMAXPROCS is the kernel's reproducibility
+// guarantee: the same seed and schedule produce bit-identical event
+// order, latency histograms and sampled peers whether the Go runtime
+// has one core or all of them — the kernel never runs two processes at
+// once, so scheduler interleaving cannot leak into results.
+func TestDeterminismAcrossGOMAXPROCS(t *testing.T) {
+	const seed = 1234
+	prev := runtime.GOMAXPROCS(1)
+	one := runScenario(t, seed)
+	runtime.GOMAXPROCS(runtime.NumCPU())
+	many := runScenario(t, seed)
+	runtime.GOMAXPROCS(prev)
+
+	if one.traceHash != many.traceHash || one.events != many.events {
+		t.Errorf("event trace differs: %x/%d events vs %x/%d events",
+			one.traceHash, one.events, many.traceHash, many.events)
+	}
+	if one.clock != many.clock {
+		t.Errorf("final virtual clock differs: %v vs %v", one.clock, many.clock)
+	}
+	if one.latency != many.latency {
+		t.Errorf("latency histograms differ: %+v vs %+v",
+			one.latency, many.latency)
+	}
+	if len(one.owners) != len(many.owners) {
+		t.Fatalf("sample counts differ: %d vs %d", len(one.owners), len(many.owners))
+	}
+	for i := range one.owners {
+		if one.owners[i] != many.owners[i] {
+			t.Fatalf("sampled peer %d differs: %d vs %d", i, one.owners[i], many.owners[i])
+		}
+	}
+	if one.churned != many.churned {
+		t.Errorf("churn event counts differ: %d vs %d", one.churned, many.churned)
+	}
+	if one.events == 0 || len(one.owners) == 0 || one.churned == 0 {
+		t.Errorf("degenerate scenario: %d events, %d samples, %d churn events",
+			one.events, len(one.owners), one.churned)
+	}
+}
+
+// TestDeterminismSeedSensitivity is the complementary check: a
+// different seed must actually change the simulation (otherwise the
+// determinism test proves nothing).
+func TestDeterminismSeedSensitivity(t *testing.T) {
+	a := runScenario(t, 1234)
+	b := runScenario(t, 4321)
+	if a.traceHash == b.traceHash {
+		t.Error("different seeds produced identical event traces")
+	}
+}

@@ -1,0 +1,226 @@
+// Package sim is a deterministic discrete-event simulation kernel for
+// the testbed: a virtual clock, an event queue keyed by (time, sequence
+// number), cooperatively scheduled processes, and a virtual-clock
+// Transport implementing simnet.Transport so Chord, Kademlia and every
+// sampler run on simulated time unmodified.
+//
+// The kernel executes at most one process at a time. A process runs
+// until it sleeps (directly via Kernel.Sleep, or implicitly inside a
+// Transport.Call paying its link latency), at which point it yields to
+// the kernel, which pops the next event — (time, seq) order — and
+// resumes the process it wakes. Because user code never runs
+// concurrently, a simulation is a pure function of its seeds and
+// schedule: event order, latency histograms and sampled peers are
+// bit-identical at any GOMAXPROCS, which the determinism tests assert.
+//
+// Two usage modes:
+//
+//   - Kernel mode: spawn processes with Go/At, then Run. Arrivals,
+//     departures, maintenance sweeps and fault scripts are just timed
+//     processes, concurrent in virtual time with in-flight samples.
+//   - Free-running mode: use a Transport without ever calling Run. Each
+//     Call advances the virtual clock by the sampled latency in the
+//     caller's goroutine. This is the right mode for sequential
+//     workloads (conformance suites, latency CDFs) and costs one atomic
+//     add over the Direct transport.
+//
+// The two modes must not overlap: while Run is active, only kernel
+// processes may touch the kernel or its transports.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"math/rand/v2"
+	"sync/atomic"
+	"time"
+)
+
+// Clock is a virtual clock counting nanoseconds since the start of the
+// simulation. The zero value reads zero and is ready to use. Reads are
+// safe from any goroutine.
+type Clock struct {
+	nanos atomic.Int64
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Duration { return time.Duration(c.nanos.Load()) }
+
+// Advance moves the clock forward by d (non-positive d is a no-op). It
+// is used by free-running transports; under a kernel the event loop owns
+// the clock.
+func (c *Clock) Advance(d time.Duration) {
+	if d > 0 {
+		c.nanos.Add(int64(d))
+	}
+}
+
+// set jumps the clock to an absolute reading (event-loop use only).
+func (c *Clock) set(t time.Duration) { c.nanos.Store(int64(t)) }
+
+// ErrStopped is returned by Sleep after Stop: the sleeping process is
+// being unwound so the kernel can drain. Transports translate it to
+// simnet.ErrClosed, so protocol code unwinds through its normal error
+// paths.
+var ErrStopped = errors.New("sim: kernel stopped")
+
+// event is one queue entry: wake process p at virtual time "at". seq
+// breaks ties deterministically in schedule order.
+type event struct {
+	at  time.Duration
+	seq uint64
+	p   *proc
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// proc is one cooperatively scheduled process. The resume/yield channel
+// pair is the coroutine handoff: exactly one of {kernel, this process}
+// runs between any matched send/receive, which both serializes all user
+// code and establishes happens-before for the kernel's plain fields.
+type proc struct {
+	name   string
+	fn     func()
+	resume chan struct{}
+	yield  chan struct{}
+}
+
+// Kernel is the discrete-event scheduler. Create with NewKernel; zero
+// value is not usable.
+type Kernel struct {
+	clock     Clock
+	queue     eventQueue
+	seq       uint64
+	rng       *rand.Rand
+	cur       *proc
+	stopped   bool
+	processed uint64
+	observer  func(at time.Duration, seq uint64, proc string)
+}
+
+// NewKernel returns a kernel whose Rand is seeded from seed. Equal seeds
+// plus equal schedules reproduce identical simulations.
+func NewKernel(seed uint64) *Kernel {
+	return &Kernel{rng: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() time.Duration { return k.clock.Now() }
+
+// Clock exposes the kernel's virtual clock (for transports and readers).
+func (k *Kernel) Clock() *Clock { return &k.clock }
+
+// Rand is the kernel's seeded generator. Processes run one at a time,
+// so draws interleave deterministically.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Stopped reports whether Stop was called. Long-running processes should
+// poll it (or propagate Sleep/Call errors) so the kernel can drain.
+func (k *Kernel) Stopped() bool { return k.stopped }
+
+// Processed returns the number of events executed so far — a cheap
+// fingerprint for determinism checks alongside SetObserver.
+func (k *Kernel) Processed() uint64 { return k.processed }
+
+// SetObserver installs a hook called for every event the loop executes,
+// with the event's virtual time, sequence number and process name.
+// Determinism tests hash this trace.
+func (k *Kernel) SetObserver(fn func(at time.Duration, seq uint64, proc string)) {
+	k.observer = fn
+}
+
+// Go spawns a process at the current virtual time.
+func (k *Kernel) Go(name string, fn func()) { k.At(k.Now(), name, fn) }
+
+// At spawns a process at absolute virtual time t (clamped to now).
+// Processes are started in (time, schedule-order) just like any other
+// event; fn runs on its own goroutine but never concurrently with other
+// simulation code.
+func (k *Kernel) At(t time.Duration, name string, fn func()) {
+	if t < k.Now() {
+		t = k.Now()
+	}
+	p := &proc{name: name, fn: fn, resume: make(chan struct{}), yield: make(chan struct{})}
+	go func() {
+		<-p.resume
+		p.fn()
+		p.yield <- struct{}{}
+	}()
+	k.schedule(t, p)
+}
+
+func (k *Kernel) schedule(at time.Duration, p *proc) {
+	k.seq++
+	heap.Push(&k.queue, &event{at: at, seq: k.seq, p: p})
+}
+
+// Sleep suspends the calling process for virtual duration d (negative d
+// counts as zero); other processes and timed events run in between. It
+// returns ErrStopped when the kernel is draining after Stop. Called from
+// outside any process — the free-running mode — it simply advances the
+// clock and returns nil.
+func (k *Kernel) Sleep(d time.Duration) error {
+	if d < 0 {
+		d = 0
+	}
+	p := k.cur
+	if p == nil {
+		k.clock.Advance(d)
+		return nil
+	}
+	if k.stopped {
+		return ErrStopped
+	}
+	k.schedule(k.Now()+d, p)
+	p.yield <- struct{}{}
+	<-p.resume
+	if k.stopped {
+		return ErrStopped
+	}
+	return nil
+}
+
+// Stop begins draining: the clock freezes, every in-flight Sleep returns
+// ErrStopped as its process is next woken, and Run returns once all
+// processes have unwound. Call it from a process (e.g. a timed watchdog)
+// to end an open-ended simulation.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run executes events until the queue is empty: every spawned process
+// has returned and no sleeper remains. It must be called from the
+// goroutine that owns the kernel, and nothing else may use the kernel or
+// its transports while it runs.
+func (k *Kernel) Run() {
+	for len(k.queue) > 0 {
+		ev := heap.Pop(&k.queue).(*event)
+		if !k.stopped {
+			k.clock.set(ev.at)
+		}
+		k.processed++
+		if k.observer != nil {
+			k.observer(ev.at, ev.seq, ev.p.name)
+		}
+		k.cur = ev.p
+		ev.p.resume <- struct{}{}
+		<-ev.p.yield
+		k.cur = nil
+	}
+}

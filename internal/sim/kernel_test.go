@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestKernelRunsEventsInTimeOrder(t *testing.T) {
+	k := NewKernel(1)
+	var order []string
+	k.At(30*time.Millisecond, "c", func() { order = append(order, "c") })
+	k.At(10*time.Millisecond, "a", func() { order = append(order, "a") })
+	k.At(20*time.Millisecond, "b", func() { order = append(order, "b") })
+	k.Run()
+	if got := fmt.Sprint(order); got != "[a b c]" {
+		t.Errorf("order = %s, want [a b c]", got)
+	}
+	if k.Now() != 30*time.Millisecond {
+		t.Errorf("final clock = %v, want 30ms", k.Now())
+	}
+}
+
+func TestKernelBreaksTiesInScheduleOrder(t *testing.T) {
+	k := NewKernel(1)
+	var order []int
+	for i := 0; i < 8; i++ {
+		i := i
+		k.At(5*time.Millisecond, "p", func() { order = append(order, i) })
+	}
+	k.Run()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("order[%d] = %d, want %d (same-time events must fire in schedule order)", i, got, i)
+		}
+	}
+}
+
+func TestKernelSleepInterleavesProcesses(t *testing.T) {
+	k := NewKernel(1)
+	type step struct {
+		who string
+		at  time.Duration
+	}
+	var trace []step
+	k.Go("fast", func() {
+		for i := 0; i < 3; i++ {
+			if err := k.Sleep(10 * time.Millisecond); err != nil {
+				t.Error(err)
+				return
+			}
+			trace = append(trace, step{"fast", k.Now()})
+		}
+	})
+	k.Go("slow", func() {
+		if err := k.Sleep(25 * time.Millisecond); err != nil {
+			t.Error(err)
+			return
+		}
+		trace = append(trace, step{"slow", k.Now()})
+	})
+	k.Run()
+	want := []step{
+		{"fast", 10 * time.Millisecond},
+		{"fast", 20 * time.Millisecond},
+		{"slow", 25 * time.Millisecond},
+		{"fast", 30 * time.Millisecond},
+	}
+	if len(trace) != len(want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Errorf("trace[%d] = %v, want %v", i, trace[i], want[i])
+		}
+	}
+}
+
+func TestKernelNestedSpawn(t *testing.T) {
+	k := NewKernel(1)
+	var ran bool
+	k.Go("parent", func() {
+		k.At(k.Now()+5*time.Millisecond, "child", func() { ran = true })
+		if err := k.Sleep(time.Millisecond); err != nil {
+			t.Error(err)
+		}
+	})
+	k.Run()
+	if !ran {
+		t.Error("child process spawned from a running process never ran")
+	}
+}
+
+func TestKernelStopUnwindsSleepers(t *testing.T) {
+	k := NewKernel(1)
+	var stoppedErr error
+	sleeps := 0
+	k.Go("looper", func() {
+		for {
+			if err := k.Sleep(time.Millisecond); err != nil {
+				stoppedErr = err
+				return
+			}
+			sleeps++
+		}
+	})
+	k.At(10*time.Millisecond, "watchdog", func() { k.Stop() })
+	k.Run()
+	if !errors.Is(stoppedErr, ErrStopped) {
+		t.Errorf("sleeper saw %v, want ErrStopped", stoppedErr)
+	}
+	if sleeps == 0 {
+		t.Error("looper never ran before the watchdog fired")
+	}
+	if !k.Stopped() {
+		t.Error("Stopped() = false after Stop")
+	}
+}
+
+func TestKernelFreeModeSleepAdvancesClock(t *testing.T) {
+	k := NewKernel(1)
+	if err := k.Sleep(7 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if k.Now() != 7*time.Millisecond {
+		t.Errorf("clock = %v, want 7ms", k.Now())
+	}
+}
+
+func TestKernelObserverSeesEveryEvent(t *testing.T) {
+	k := NewKernel(1)
+	var seen []uint64
+	k.SetObserver(func(_ time.Duration, seq uint64, _ string) { seen = append(seen, seq) })
+	k.Go("p", func() {
+		for i := 0; i < 3; i++ {
+			if err := k.Sleep(time.Millisecond); err != nil {
+				return
+			}
+		}
+	})
+	k.Run()
+	if uint64(len(seen)) != k.Processed() {
+		t.Errorf("observer saw %d events, Processed() = %d", len(seen), k.Processed())
+	}
+	if len(seen) != 4 { // spawn + 3 sleeps
+		t.Errorf("events = %d, want 4", len(seen))
+	}
+}

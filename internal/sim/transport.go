@@ -1,0 +1,293 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/dht-sampling/randompeer/internal/simnet"
+)
+
+// Transport is a virtual-clock RPC fabric implementing
+// simnet.Transport: every Call pays a latency drawn from its Model
+// before the destination handler runs, and the round trip is recorded in
+// the meter's latency histogram next to the usual call/message counters.
+//
+// Bound to a Kernel, a Call made inside a kernel process sleeps on the
+// event queue, so other processes (churn events, maintenance sweeps,
+// other samplers) interleave with it in virtual time — and a node
+// crashed while the message is in flight makes the call fail, exactly
+// as it would on a real network. Without a kernel (or outside any
+// process) the transport free-runs: each Call advances the clock in the
+// caller's goroutine, which keeps sequential workloads deterministic
+// and costs a few nanoseconds over the Direct transport.
+//
+// Handlers execute in the calling goroutine with no transport locks
+// held, exactly like simnet.Direct.
+type Transport struct {
+	mu       sync.RWMutex
+	handlers map[simnet.NodeID]simnet.Handler
+	closed   bool
+	meter    simnet.Meter
+	faults   *simnet.Faults
+	model    Model
+	stream   *Stream
+	kernel   *Kernel
+
+	// constRTT short-circuits constant models on the hot path: no
+	// uniform draw, no interface call. Zero means "not constant".
+	constRTT time.Duration
+	// shaped is true while any slowdown or link delay is installed;
+	// false keeps the constant-model fast path inlinable in Call.
+	shaped atomic.Bool
+
+	// slow and delay are copy-on-write so the hot path pays one atomic
+	// load when no slowdowns or link delays are installed.
+	slow  atomic.Pointer[map[simnet.NodeID]float64]
+	delay atomic.Pointer[map[[2]simnet.NodeID]time.Duration]
+}
+
+var _ simnet.Transport = (*Transport)(nil)
+
+// TransportOption configures a Transport.
+type TransportOption func(*Transport)
+
+// WithModel sets the latency model (default Constant{1ms}).
+func WithModel(m Model) TransportOption {
+	return func(t *Transport) {
+		if m != nil {
+			t.model = m
+		}
+	}
+}
+
+// WithStreamSeed roots the latency draw stream (default 1).
+func WithStreamSeed(seed uint64) TransportOption {
+	return func(t *Transport) { t.stream = NewStream(seed) }
+}
+
+// WithKernel binds the transport to a kernel: calls from kernel
+// processes sleep on the event queue and the kernel's clock is the
+// transport's clock.
+func WithKernel(k *Kernel) TransportOption {
+	return func(t *Transport) { t.kernel = k }
+}
+
+// WithFaults attaches a fault-injection plan (shared with the simnet
+// transports). Combine with Kernel.At to script time-based faults:
+// schedule a process that flips SetDead, SetDropRate, SetNodeSlowdown
+// or SetLinkDelay at chosen virtual times.
+func WithFaults(f *simnet.Faults) TransportOption {
+	return func(t *Transport) { t.faults = f }
+}
+
+// NewTransport returns a ready-to-use virtual-clock transport.
+func NewTransport(opts ...TransportOption) *Transport {
+	t := &Transport{
+		handlers: make(map[simnet.NodeID]simnet.Handler),
+		model:    Constant{RTT: time.Millisecond},
+		stream:   NewStream(1),
+	}
+	for _, opt := range opts {
+		opt(t)
+	}
+	if c, ok := t.model.(Constant); ok {
+		t.constRTT = c.RTT
+	}
+	return t
+}
+
+// Now returns the current virtual time: the kernel clock when bound,
+// otherwise the sum of every recorded RPC latency — free-running calls
+// execute back to back, so total latency IS elapsed sequential time,
+// and the hot path saves a separate clock update per call.
+func (t *Transport) Now() time.Duration {
+	if t.kernel != nil {
+		return t.kernel.Now()
+	}
+	return time.Duration(t.meter.LatencySumNanos())
+}
+
+// Model returns the transport's latency model.
+func (t *Transport) Model() Model { return t.model }
+
+// SetNodeSlowdown multiplies the latency of every RPC from or to id by
+// factor (factor 1 removes the slowdown). It models a struggling host —
+// schedule it from a timed kernel process to start or stop mid-run.
+func (t *Transport) SetNodeSlowdown(id simnet.NodeID, factor float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	old := t.slow.Load()
+	next := make(map[simnet.NodeID]float64)
+	if old != nil {
+		for k, v := range *old {
+			next[k] = v
+		}
+	}
+	if factor == 1 {
+		delete(next, id)
+	} else {
+		next[id] = factor
+	}
+	if len(next) == 0 {
+		t.slow.Store(nil)
+	} else {
+		t.slow.Store(&next)
+	}
+	t.reshape()
+}
+
+// SetLinkDelay adds a fixed extra delay to every RPC on the directed
+// link from -> to (zero removes it). It models a congested or long
+// route between two specific peers.
+func (t *Transport) SetLinkDelay(from, to simnet.NodeID, extra time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	old := t.delay.Load()
+	next := make(map[[2]simnet.NodeID]time.Duration)
+	if old != nil {
+		for k, v := range *old {
+			next[k] = v
+		}
+	}
+	key := [2]simnet.NodeID{from, to}
+	if extra == 0 {
+		delete(next, key)
+	} else {
+		next[key] = extra
+	}
+	if len(next) == 0 {
+		t.delay.Store(nil)
+	} else {
+		t.delay.Store(&next)
+	}
+	t.reshape()
+}
+
+// reshape refreshes the fast-path flag after a slowdown or delay
+// change (caller holds t.mu).
+func (t *Transport) reshape() {
+	t.shaped.Store(t.slow.Load() != nil || t.delay.Load() != nil)
+}
+
+// latencySlow draws from the model and applies slowdowns and delays.
+// Call bypasses it for unshaped constant models — the per-RPC hot path
+// of every simulated-time benchmark.
+func (t *Transport) latencySlow(from, to simnet.NodeID) time.Duration {
+	var d time.Duration
+	if t.constRTT != 0 {
+		d = t.constRTT
+	} else {
+		d = t.model.Latency(from, to, t.stream.U01())
+	}
+	if m := t.slow.Load(); m != nil {
+		if f, ok := (*m)[from]; ok {
+			d = time.Duration(float64(d) * f)
+		}
+		if f, ok := (*m)[to]; ok {
+			d = time.Duration(float64(d) * f)
+		}
+	}
+	if m := t.delay.Load(); m != nil {
+		if extra, ok := (*m)[[2]simnet.NodeID{from, to}]; ok {
+			d += extra
+		}
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// wait spends the call's latency: sleeping on the kernel queue inside a
+// process. Without a kernel there is nothing to do — free-running time
+// is derived from the latency records (see Now).
+func (t *Transport) wait(d time.Duration) error {
+	if t.kernel != nil {
+		return t.kernel.Sleep(d)
+	}
+	return nil
+}
+
+// Register implements simnet.Transport.
+func (t *Transport) Register(id simnet.NodeID, h simnet.Handler) error {
+	if h == nil {
+		return fmt.Errorf("sim: nil handler for node %d", id)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return simnet.ErrClosed
+	}
+	if _, ok := t.handlers[id]; ok {
+		return fmt.Errorf("%w: %d", simnet.ErrDuplicateID, id)
+	}
+	t.handlers[id] = h
+	return nil
+}
+
+// Deregister implements simnet.Transport.
+func (t *Transport) Deregister(id simnet.NodeID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.handlers, id)
+}
+
+// Call implements simnet.Transport. The destination is resolved only
+// after the latency has elapsed, so a node deregistered (crashed) while
+// the message is in flight fails the call — asynchronous churn is
+// visible to in-flight RPCs.
+func (t *Transport) Call(from, to simnet.NodeID, msg simnet.Message) (simnet.Message, error) {
+	lat := t.constRTT
+	if lat == 0 || t.shaped.Load() {
+		lat = t.latencySlow(from, to)
+	}
+	if err := t.wait(lat); err != nil {
+		// Kernel draining: surface the transport-closed condition the
+		// protocols already unwind on.
+		return t.fail(from, to, lat, simnet.ErrClosed)
+	}
+	if err := t.faults.Check(to); err != nil {
+		return t.fail(from, to, lat, err)
+	}
+	t.mu.RLock()
+	closed := t.closed
+	h, ok := t.handlers[to]
+	t.mu.RUnlock()
+	if closed {
+		return t.fail(from, to, lat, simnet.ErrClosed)
+	}
+	if !ok {
+		t.meter.ChargeFailure()
+		t.meter.RecordLatency(lat)
+		return nil, fmt.Errorf("%w: %d", simnet.ErrUnknownNode, to)
+	}
+	resp, err := h(from, msg)
+	if err != nil {
+		return t.fail(from, to, lat, err)
+	}
+	t.meter.ChargeSuccess()
+	t.meter.RecordLatency(lat)
+	return resp, nil
+}
+
+// fail charges and wraps one failed RPC (a method, not a closure, to
+// keep the hot path allocation-free).
+func (t *Transport) fail(from, to simnet.NodeID, lat time.Duration, err error) (simnet.Message, error) {
+	t.meter.ChargeFailure()
+	t.meter.RecordLatency(lat)
+	return nil, fmt.Errorf("call %d->%d: %w", from, to, err)
+}
+
+// Meter implements simnet.Transport.
+func (t *Transport) Meter() *simnet.Meter { return &t.meter }
+
+// Close implements simnet.Transport.
+func (t *Transport) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.closed = true
+	t.handlers = make(map[simnet.NodeID]simnet.Handler)
+	return nil
+}

@@ -114,11 +114,11 @@ func (c *Chan) Call(from, to NodeID, msg Message) (Message, error) {
 	inbox, ok := c.inboxes[to]
 	c.mu.RUnlock()
 	if !ok {
-		c.meter.chargeFailure()
+		c.meter.ChargeFailure()
 		return nil, fmt.Errorf("%w: %d", ErrUnknownNode, to)
 	}
-	if err := c.faults.check(to); err != nil {
-		c.meter.chargeFailure()
+	if err := c.faults.Check(to); err != nil {
+		c.meter.ChargeFailure()
 		return nil, fmt.Errorf("call %d->%d: %w", from, to, err)
 	}
 	reply := make(chan result, 1)
@@ -126,15 +126,15 @@ func (c *Chan) Call(from, to NodeID, msg Message) (Message, error) {
 	// to a closed channel panics, so recover that specific case into an
 	// unknown-node error.
 	if err := c.send(inbox, envelope{from: from, msg: msg, reply: reply}); err != nil {
-		c.meter.chargeFailure()
+		c.meter.ChargeFailure()
 		return nil, fmt.Errorf("call %d->%d: %w", from, to, err)
 	}
 	res := <-reply
 	if res.err != nil {
-		c.meter.chargeFailure()
+		c.meter.ChargeFailure()
 		return nil, fmt.Errorf("call %d->%d: %w", from, to, res.err)
 	}
-	c.meter.chargeSuccess()
+	c.meter.ChargeSuccess()
 	return res.msg, nil
 }
 

@@ -71,19 +71,19 @@ func (d *Direct) Call(from, to NodeID, msg Message) (Message, error) {
 	h, ok := d.handlers[to]
 	d.mu.RUnlock()
 	if !ok {
-		d.meter.chargeFailure()
+		d.meter.ChargeFailure()
 		return nil, fmt.Errorf("%w: %d", ErrUnknownNode, to)
 	}
-	if err := d.faults.check(to); err != nil {
-		d.meter.chargeFailure()
+	if err := d.faults.Check(to); err != nil {
+		d.meter.ChargeFailure()
 		return nil, fmt.Errorf("call %d->%d: %w", from, to, err)
 	}
 	resp, err := h(from, msg)
 	if err != nil {
-		d.meter.chargeFailure()
+		d.meter.ChargeFailure()
 		return nil, fmt.Errorf("call %d->%d: %w", from, to, err)
 	}
-	d.meter.chargeSuccess()
+	d.meter.ChargeSuccess()
 	return resp, nil
 }
 

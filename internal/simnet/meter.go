@@ -5,7 +5,10 @@
 // The paper's cost model measures two quantities per operation: latency
 // (the number of sequential RPC round trips, since every protocol here
 // issues its RPCs one after another) and messages (each RPC is one
-// request plus one reply). Meter counts both.
+// request plus one reply). Meter counts both. Transports that model
+// virtual time (internal/sim) additionally record each RPC's simulated
+// round-trip duration into the meter's latency histogram, so hop counts
+// and wall-clock-style latencies live side by side on one meter.
 package simnet
 
 import (
@@ -48,6 +51,7 @@ type meterShard struct {
 // The zero value is ready to use.
 type Meter struct {
 	shards [meterShards]meterShard
+	lat    latencyHist
 }
 
 // Cost is an immutable snapshot of a Meter.
@@ -84,28 +88,34 @@ func (m *Meter) Charge(calls, messages int64) {
 	s.messages.Add(messages)
 }
 
-// chargeSuccess records one completed RPC: one round trip, two messages.
-func (m *Meter) chargeSuccess() {
+// ChargeSuccess records one completed RPC: one round trip, two messages.
+// It is called by every transport implementation (including ones outside
+// this package, such as the virtual-clock transport in internal/sim).
+func (m *Meter) ChargeSuccess() {
 	s := m.shard()
 	s.calls.Add(1)
 	s.messages.Add(2)
 }
 
-// chargeFailure records a failed RPC attempt. The request message still
+// ChargeFailure records a failed RPC attempt. The request message still
 // crossed the network (or was lost in it), so it is counted.
-func (m *Meter) chargeFailure() {
+func (m *Meter) ChargeFailure() {
 	s := m.shard()
 	s.failures.Add(1)
 	s.messages.Add(1)
 }
 
-// Reset zeroes all counters.
+// Reset zeroes all counters, including the latency histogram.
 func (m *Meter) Reset() {
 	for i := range m.shards {
 		s := &m.shards[i]
 		s.calls.Store(0)
 		s.messages.Store(0)
 		s.failures.Store(0)
+	}
+	m.lat.sum.Store(0)
+	for i := range m.lat.buckets {
+		m.lat.buckets[i].Store(0)
 	}
 }
 

@@ -90,9 +90,11 @@ func (f *Faults) SetDropRate(rate float64) {
 	f.dropRate = rate
 }
 
-// check returns the error the fault plan injects for an RPC to "to", or
-// nil to let it through.
-func (f *Faults) check(to NodeID) error {
+// Check returns the error the fault plan injects for an RPC to "to", or
+// nil to let it through. Transports call it once per RPC; it is exported
+// so that transports outside this package (internal/sim) share the same
+// fault plans.
+func (f *Faults) Check(to NodeID) error {
 	if f == nil {
 		return nil
 	}

@@ -18,7 +18,7 @@
 //     samplers the algorithm is evaluated against.
 //   - internal/{collect,randgraph,loadbalance,agreement}: the paper's
 //     motivating applications.
-//   - internal/exp: the experiment harness (E1-E24, see DESIGN.md).
+//   - internal/exp: the experiment harness (E1-E26, see DESIGN.md).
 //
 // # Quick start
 //
@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"strings"
+	"time"
 
 	"github.com/dht-sampling/randompeer/internal/baseline"
 	"github.com/dht-sampling/randompeer/internal/biased"
@@ -41,6 +42,7 @@ import (
 	"github.com/dht-sampling/randompeer/internal/dht"
 	"github.com/dht-sampling/randompeer/internal/kademlia"
 	"github.com/dht-sampling/randompeer/internal/ring"
+	"github.com/dht-sampling/randompeer/internal/sim"
 	"github.com/dht-sampling/randompeer/internal/simnet"
 )
 
@@ -66,7 +68,21 @@ type (
 	// WeightFunc assigns relative selection weights for biased sampling
 	// (the paper's open problem 3).
 	WeightFunc = biased.WeightFunc
+	// LatencyModel maps each simulated RPC to a virtual round-trip
+	// duration (see WithLatencyModel); build one with
+	// ParseLatencyModel or the constructors in internal/sim.
+	LatencyModel = sim.Model
+	// LatencySnapshot is an immutable view of the per-RPC virtual
+	// latency histogram a time-simulating testbed records.
+	LatencySnapshot = simnet.Latency
 )
+
+// ParseLatencyModel parses a -latency flag spec such as "constant:1ms",
+// "uniform:500us-5ms", "lognormal:2ms,0.6" or
+// "straggler:0.1,8,constant:1ms".
+func ParseLatencyModel(spec string) (LatencyModel, error) {
+	return sim.ParseModel(spec)
+}
 
 // Backend selects the DHT substrate of a Testbed.
 type Backend int
@@ -143,6 +159,9 @@ type Testbed struct {
 	knet   *kademlia.Network
 	kview  *kademlia.DHT
 	r      *ring.Ring
+
+	vnow  func() time.Duration // non-nil when simulated time is on
+	model sim.Model
 }
 
 // Option configures New.
@@ -154,6 +173,8 @@ type options struct {
 	backend    Backend
 	bucketSize int
 	alpha      int
+	simTime    bool
+	latency    sim.Model
 }
 
 // WithPeers sets the network size (default 128).
@@ -174,6 +195,25 @@ func WithBucketSize(k int) Option { return func(o *options) { o.bucketSize = k }
 // only to KademliaBackend.
 func WithAlpha(a int) Option { return func(o *options) { o.alpha = a } }
 
+// WithSimTime runs the testbed on simulated time: the Chord and
+// Kademlia backends are built over the virtual-clock transport
+// (internal/sim), and the oracle charges per-hop virtual latencies, so
+// VirtualTime advances with every RPC and the meter records per-RPC
+// latency histograms. The default latency model is a constant 1ms round
+// trip; override it with WithLatencyModel.
+func WithSimTime() Option { return func(o *options) { o.simTime = true } }
+
+// WithLatencyModel selects the per-link latency model and implies
+// WithSimTime. Build models with ParseLatencyModel ("constant:1ms",
+// "uniform:500us-5ms", "lognormal:2ms,0.6",
+// "straggler:0.1,8,constant:1ms") or directly from internal/sim.
+func WithLatencyModel(m LatencyModel) Option {
+	return func(o *options) {
+		o.latency = m
+		o.simTime = true
+	}
+}
+
 // New builds a Testbed.
 func New(opts ...Option) (*Testbed, error) {
 	cfg := options{n: 128, seed: 1, backend: OracleBackend}
@@ -189,11 +229,34 @@ func New(opts ...Option) (*Testbed, error) {
 		return nil, fmt.Errorf("randompeer: placing peers: %w", err)
 	}
 	tb := &Testbed{backend: cfg.backend, n: cfg.n, seed: cfg.seed, r: r}
+	if cfg.simTime && cfg.latency == nil {
+		cfg.latency = sim.Constant{RTT: time.Millisecond}
+	}
+	// transport builds the RPC fabric the protocol backends run on:
+	// virtual-clock when simulated time is requested, Direct otherwise.
+	transport := func() simnet.Transport {
+		if !cfg.simTime {
+			return simnet.NewDirect()
+		}
+		st := sim.NewTransport(
+			sim.WithModel(cfg.latency),
+			sim.WithStreamSeed(cfg.seed^0x71e0),
+		)
+		tb.vnow = st.Now
+		tb.model = cfg.latency
+		return st
+	}
 	switch cfg.backend {
 	case OracleBackend:
 		tb.oracle = dht.NewOracle(r)
+		if cfg.simTime {
+			clk := new(sim.Clock)
+			tb.vnow = clk.Now
+			tb.model = cfg.latency
+			tb.oracle.SimulateLatency(clk, cfg.latency, cfg.seed^0x71e0)
+		}
 	case ChordBackend:
-		net, err := chord.BuildStatic(chord.Config{}, simnet.NewDirect(), r.Points())
+		net, err := chord.BuildStatic(chord.Config{}, transport(), r.Points())
 		if err != nil {
 			return nil, fmt.Errorf("randompeer: building chord ring: %w", err)
 		}
@@ -207,7 +270,7 @@ func New(opts ...Option) (*Testbed, error) {
 		net, err := kademlia.BuildStatic(kademlia.Config{
 			BucketSize: cfg.bucketSize,
 			Alpha:      cfg.alpha,
-		}, simnet.NewDirect(), r.Points())
+		}, transport(), r.Points())
 		if err != nil {
 			return nil, fmt.Errorf("randompeer: building kademlia overlay: %w", err)
 		}
@@ -228,6 +291,29 @@ func (tb *Testbed) Size() int { return tb.n }
 
 // Backend returns the substrate the testbed was built on.
 func (tb *Testbed) Backend() Backend { return tb.backend }
+
+// SimTime reports whether the testbed runs on simulated time.
+func (tb *Testbed) SimTime() bool { return tb.vnow != nil }
+
+// VirtualTime returns the virtual clock's reading: the cumulative
+// simulated latency of every RPC issued so far (sequential time — with
+// concurrent workers it is the total across workers). It is zero when
+// simulated time is off. Snapshot it before and after an operation to
+// measure the operation's virtual latency.
+func (tb *Testbed) VirtualTime() time.Duration {
+	if tb.vnow == nil {
+		return 0
+	}
+	return tb.vnow()
+}
+
+// LatencyModel returns the active latency model (nil when simulated
+// time is off).
+func (tb *Testbed) LatencyModel() LatencyModel { return tb.model }
+
+// Latency returns the per-RPC virtual latency histogram recorded so far
+// (zero-valued when simulated time is off).
+func (tb *Testbed) Latency() LatencySnapshot { return tb.DHT().Meter().Latency() }
 
 // DHT returns the testbed's DHT view (from peer 0 for the Chord and
 // Kademlia backends, which initiates all lookups).

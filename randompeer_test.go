@@ -3,6 +3,7 @@ package randompeer
 import (
 	"math"
 	"testing"
+	"time"
 
 	"github.com/dht-sampling/randompeer/internal/stats"
 )
@@ -295,5 +296,71 @@ func TestUniformSamplerFromOtherCaller(t *testing.T) {
 	}
 	if _, err := tb.UniformSamplerFrom(-1, 5, SamplerConfig{}); err == nil {
 		t.Error("bad caller index should fail")
+	}
+}
+
+// TestSimTimePreservesSamplingAcrossBackends: turning on the virtual
+// clock must be cost-model-only — the same seeds draw the identical
+// peer sequence with and without simulated time on every backend —
+// while virtual time and the latency histogram actually advance.
+func TestSimTimePreservesSamplingAcrossBackends(t *testing.T) {
+	t.Parallel()
+	const n, draws = 64, 20
+	for _, b := range Backends() {
+		b := b
+		t.Run(b.String(), func(t *testing.T) {
+			t.Parallel()
+			model, err := ParseLatencyModel("constant:1ms")
+			if err != nil {
+				t.Fatal(err)
+			}
+			plain, err := New(WithPeers(n), WithSeed(5), WithBackend(b))
+			if err != nil {
+				t.Fatal(err)
+			}
+			timed, err := New(WithPeers(n), WithSeed(5), WithBackend(b), WithLatencyModel(model))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plain.SimTime() || !timed.SimTime() {
+				t.Fatalf("SimTime() = %v/%v, want false/true", plain.SimTime(), timed.SimTime())
+			}
+			ps, err := plain.UniformSampler(9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ts, err := timed.UniformSampler(9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < draws; i++ {
+				pp, err := ps.Sample()
+				if err != nil {
+					t.Fatal(err)
+				}
+				tp, err := ts.Sample()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if pp != tp {
+					t.Fatalf("draw %d: plain %v, timed %v — sim time changed sampling", i, pp, tp)
+				}
+			}
+			if plain.VirtualTime() != 0 {
+				t.Errorf("plain testbed advanced virtual time: %v", plain.VirtualTime())
+			}
+			elapsed := timed.VirtualTime()
+			lat := timed.Latency()
+			if elapsed <= 0 || lat.Count <= 0 {
+				t.Fatalf("timed testbed: virtual time %v, latency count %d — want both positive", elapsed, lat.Count)
+			}
+			// Constant model: total virtual time == RPC count x 1ms.
+			if want := time.Duration(lat.Count) * time.Millisecond; elapsed != want {
+				t.Errorf("virtual time %v, want %v (%d RPCs x 1ms)", elapsed, want, lat.Count)
+			}
+			if mean := lat.Mean(); mean != time.Millisecond {
+				t.Errorf("mean RPC latency %v, want 1ms", mean)
+			}
+		})
 	}
 }
