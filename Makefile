@@ -4,7 +4,7 @@
 GO ?= go
 PR ?= 1
 
-.PHONY: all build test race vet fmt-check bench bench-snapshot examples clean
+.PHONY: all build test race vet fmt-check bench bench-snapshot benchdiff profile alloc-check examples clean
 
 all: build test
 
@@ -26,17 +26,36 @@ fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-# Key benchmarks as a smoke test (one iteration each): the headline
-# single-sample cost, the batch engine at n=1e6 across worker counts,
-# the cross-backend lookup-cost comparison (oracle/chord/kademlia), and
-# the virtual-clock transport overhead on the sampling hot path.
+# Key benchmarks as a smoke test (one iteration each, with allocation
+# counts): the headline single-sample cost, the batch engine at n=1e6
+# across worker counts, the cross-backend lookup-cost comparison
+# (oracle/chord/kademlia), and the virtual-clock transport overhead on
+# the sampling hot path.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkUniformSample|BenchmarkBatchThroughput|BenchmarkLookupCostBackends|BenchmarkSimTransportOverhead|BenchmarkKernelEventLoop' -benchtime=1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkUniformSample|BenchmarkBatchThroughput|BenchmarkLookupCostBackends|BenchmarkSimTransportOverhead|BenchmarkKernelEventLoop' -benchtime=1x -benchmem .
 
 # Full throughput measurement, recorded into the committed perf
 # trajectory (BENCH_$(PR).json). Override PR for later snapshots.
 bench-snapshot:
 	$(GO) run ./cmd/benchsnap -o BENCH_$(PR).json
+
+# Compare the two most recent committed snapshots: PR-over-PR
+# samples/sec, ns/sample and allocs/sample.
+benchdiff:
+	$(GO) run ./cmd/benchdiff
+
+# CPU and allocation profiles of the batch-sampling hot path. Inspect
+# with: go tool pprof -top cpu.pprof  (or mem.pprof; -http=: for flames)
+profile:
+	$(GO) test -run '^$$' -bench 'BenchmarkBatchThroughput/workers=1' -benchtime 5x \
+		-cpuprofile cpu.pprof -memprofile mem.pprof -benchmem .
+	@echo "wrote cpu.pprof and mem.pprof; view with: go tool pprof -top cpu.pprof"
+
+# The allocation-budget regression gates alone (they also run as part
+# of `make test`): per-op heap budgets for the oracle, chord and
+# kademlia hot paths and the uniform sampler.
+alloc-check:
+	$(GO) test -run 'TestAllocBudget' -v ./internal/dht/ ./internal/core/ ./internal/chord/ ./internal/kademlia/
 
 # Build and run every example program.
 examples:

@@ -1,0 +1,152 @@
+// Command benchdiff compares two committed benchmark snapshots
+// (BENCH_<pr>.json, written by cmd/benchsnap) and prints the
+// per-worker-count deltas: samples/sec, ns/sample and allocs/sample.
+// With no arguments it picks the two highest-numbered BENCH_*.json in
+// the current directory, so `make benchdiff` always reports the latest
+// PR-over-PR change in the perf trajectory.
+//
+// Usage:
+//
+//	benchdiff [old.json new.json]
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Snapshot mirrors the fields of cmd/benchsnap's output that the diff
+// reports. Older snapshots predate the ns/ allocs/sample fields; those
+// render as "-".
+type Snapshot struct {
+	Benchmark string  `json:"benchmark"`
+	GoVersion string  `json:"go_version"`
+	Peers     int     `json:"peers"`
+	Samples   int     `json:"samples_per_run"`
+	Runs      []Run   `json:"runs"`
+	Transport *Transp `json:"transport_overhead"`
+}
+
+// Run is one timed configuration of a snapshot. The per-sample fields
+// are pointers so a snapshot that predates them (BENCH_1..3) is
+// distinguishable from a measured value of exactly zero.
+type Run struct {
+	Workers         int      `json:"workers"`
+	SamplesPerSec   float64  `json:"samples_per_sec"`
+	NsPerSample     *float64 `json:"ns_per_sample"`
+	AllocsPerSample *float64 `json:"allocs_per_sample"`
+}
+
+// Transp is the sim-transport overhead record of a snapshot.
+type Transp struct {
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	var oldPath, newPath string
+	switch len(args) {
+	case 0:
+		var err error
+		oldPath, newPath, err = latestPair(".")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			return 1
+		}
+	case 2:
+		oldPath, newPath = args[0], args[1]
+	default:
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [old.json new.json]")
+		return 2
+	}
+	oldSnap, err := load(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		return 1
+	}
+	newSnap, err := load(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		return 1
+	}
+	fmt.Printf("benchdiff: %s (n=%d, k=%d) -> %s (n=%d, k=%d)\n",
+		oldPath, oldSnap.Peers, oldSnap.Samples, newPath, newSnap.Peers, newSnap.Samples)
+	fmt.Printf("%-8s  %14s  %14s  %8s  %12s  %14s\n",
+		"workers", "old samples/s", "new samples/s", "speedup", "new ns/samp", "new allocs/samp")
+	byWorkers := make(map[int]Run, len(oldSnap.Runs))
+	for _, r := range oldSnap.Runs {
+		byWorkers[r.Workers] = r
+	}
+	for _, nr := range newSnap.Runs {
+		or, ok := byWorkers[nr.Workers]
+		speedup := "-"
+		oldRate := "-"
+		if ok && or.SamplesPerSec > 0 {
+			speedup = fmt.Sprintf("%.2fx", nr.SamplesPerSec/or.SamplesPerSec)
+			oldRate = fmt.Sprintf("%.0f", or.SamplesPerSec)
+		}
+		fmt.Printf("%-8d  %14s  %14.0f  %8s  %12s  %14s\n",
+			nr.Workers, oldRate, nr.SamplesPerSec, speedup,
+			optional(nr.NsPerSample, "%.0f"), optional(nr.AllocsPerSample, "%.4f"))
+	}
+	if oldSnap.Transport != nil && newSnap.Transport != nil {
+		fmt.Printf("sim-transport overhead: %.2f%% -> %.2f%%\n",
+			oldSnap.Transport.OverheadPct, newSnap.Transport.OverheadPct)
+	}
+	return 0
+}
+
+// optional renders a metric the snapshot may predate.
+func optional(v *float64, format string) string {
+	if v == nil {
+		return "-"
+	}
+	return fmt.Sprintf(format, *v)
+}
+
+func load(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// latestPair returns the two highest-numbered BENCH_<pr>.json in dir.
+func latestPair(dir string) (oldPath, newPath string, err error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", "", err
+	}
+	re := regexp.MustCompile(`BENCH_(\d+)\.json$`)
+	type numbered struct {
+		pr   int
+		path string
+	}
+	var found []numbered
+	for _, p := range paths {
+		m := re.FindStringSubmatch(p)
+		if m == nil {
+			continue
+		}
+		pr, _ := strconv.Atoi(m[1])
+		found = append(found, numbered{pr, p})
+	}
+	if len(found) < 2 {
+		return "", "", fmt.Errorf("need at least two BENCH_<pr>.json in %s, found %d", dir, len(found))
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].pr < found[j].pr })
+	return found[len(found)-2].path, found[len(found)-1].path, nil
+}

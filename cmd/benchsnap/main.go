@@ -30,17 +30,24 @@ import (
 	"github.com/dht-sampling/randompeer"
 )
 
-// Run is one timed configuration.
+// Run is one timed configuration. NsPerSample and AllocsPerSample
+// (heap allocations, measured from runtime.MemStats.Mallocs around the
+// run, engine overhead included) record the per-sample constant factor
+// next to the throughput, so the perf trajectory catches regressions
+// in cost per op even when wall-clock noise hides them.
 type Run struct {
-	Workers       int     `json:"workers"`
-	ElapsedMS     float64 `json:"elapsed_ms"`
-	SamplesPerSec float64 `json:"samples_per_sec"`
-	SpeedupVs1    float64 `json:"speedup_vs_1"`
+	Workers         int     `json:"workers"`
+	ElapsedMS       float64 `json:"elapsed_ms"`
+	SamplesPerSec   float64 `json:"samples_per_sec"`
+	NsPerSample     float64 `json:"ns_per_sample"`
+	AllocsPerSample float64 `json:"allocs_per_sample"`
+	SpeedupVs1      float64 `json:"speedup_vs_1"`
 }
 
 // TransportOverhead compares the virtual-clock transport against
-// Direct on the single-threaded Chord sampling hot path (the E25
-// acceptance bound is <= 10% overhead).
+// Direct on the single-threaded Chord sampling hot path. The bound is
+// absolute (~20 ns of extra work per RPC), not a percentage: speeding
+// up the shared hot path shrinks the denominator.
 type TransportOverhead struct {
 	Peers             int     `json:"peers"`
 	Samples           int     `json:"samples_per_rep"`
@@ -160,6 +167,8 @@ func measure(n, k int, seed uint64, ws []int) (*Snapshot, error) {
 	}
 	var base float64
 	for _, w := range ws {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
 		res, err := tb.SampleN(ctx, s, k,
 			randompeer.WithWorkers(w),
 			randompeer.WithBatchSeed(seed+2),
@@ -168,18 +177,22 @@ func measure(n, k int, seed uint64, ws []int) (*Snapshot, error) {
 		if err != nil {
 			return nil, err
 		}
+		runtime.ReadMemStats(&after)
 		rate := float64(k) / res.Elapsed.Seconds()
 		r := Run{
-			Workers:       w,
-			ElapsedMS:     float64(res.Elapsed.Microseconds()) / 1000,
-			SamplesPerSec: rate,
+			Workers:         w,
+			ElapsedMS:       float64(res.Elapsed.Microseconds()) / 1000,
+			SamplesPerSec:   rate,
+			NsPerSample:     float64(res.Elapsed.Nanoseconds()) / float64(k),
+			AllocsPerSample: float64(after.Mallocs-before.Mallocs) / float64(k),
 		}
 		if base == 0 {
 			base = rate
 		}
 		r.SpeedupVs1 = rate / base
 		snap.Runs = append(snap.Runs, r)
-		fmt.Fprintf(os.Stderr, "benchsnap: workers=%d  %.0f samples/sec  (%.2fx)\n", w, rate, r.SpeedupVs1)
+		fmt.Fprintf(os.Stderr, "benchsnap: workers=%d  %.0f samples/sec  %.0f ns/sample  %.4f allocs/sample  (%.2fx)\n",
+			w, rate, r.NsPerSample, r.AllocsPerSample, r.SpeedupVs1)
 	}
 	if snap.GOMAXPROCS < ws[len(ws)-1] {
 		snap.Note = fmt.Sprintf("machine exposes only %d CPU(s); worker counts beyond that cannot speed up this CPU-bound workload", snap.GOMAXPROCS)

@@ -2,7 +2,6 @@ package chord
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 
 	"github.com/dht-sampling/randompeer/internal/dht"
@@ -112,9 +111,8 @@ func (d *DHT) NeighborsOf(p dht.Peer) ([]dht.Peer, error) {
 }
 
 // SortedPoints returns the current live membership in ring order, which
-// doubles as the owner-index order used by peerOf.
+// doubles as the owner-index order used by peerOf. Members already
+// returns its cached snapshot sorted.
 func (d *DHT) SortedPoints() []ring.Point {
-	members := d.net.Members()
-	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
-	return members
+	return d.net.Members()
 }

@@ -3,7 +3,7 @@ package chord
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 
 	"github.com/dht-sampling/randompeer/internal/ring"
@@ -42,8 +42,9 @@ type Network struct {
 	cfg Config
 	tr  simnet.Transport
 
-	mu    sync.RWMutex
-	nodes map[ring.Point]*Node
+	mu      sync.RWMutex
+	nodes   map[ring.Point]*Node
+	members []ring.Point // sorted live ids; nil when stale (rebuilt by Members)
 }
 
 // Chord error conditions.
@@ -80,17 +81,34 @@ func (n *Network) Node(id ring.Point) (*Node, error) {
 	return nd, nil
 }
 
-// Members returns the ids of all live nodes in sorted order.
+// Members returns the ids of all live nodes in sorted order. The
+// sorted snapshot is cached and invalidated on join/crash, so steady
+// state pays one O(n) copy rather than the O(n log n) sort the churn
+// driver and maintenance sweeps used to trigger on every call.
 func (n *Network) Members() []ring.Point {
+	// Fast path: cache hits copy under the read lock, so concurrent
+	// lookups (which read-lock n.mu to resolve nodes) are not blocked.
 	n.mu.RLock()
-	defer n.mu.RUnlock()
-	out := make([]ring.Point, 0, len(n.nodes))
-	for id, nd := range n.nodes {
-		if nd.Alive() {
-			out = append(out, id)
-		}
+	if cached := n.members; cached != nil {
+		out := make([]ring.Point, len(cached))
+		copy(out, cached)
+		n.mu.RUnlock()
+		return out
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	n.mu.RUnlock()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.members == nil { // re-check: another caller may have rebuilt
+		n.members = make([]ring.Point, 0, len(n.nodes))
+		for id, nd := range n.nodes {
+			if nd.Alive() {
+				n.members = append(n.members, id)
+			}
+		}
+		slices.Sort(n.members)
+	}
+	out := make([]ring.Point, len(n.members))
+	copy(out, n.members)
 	return out
 }
 
@@ -157,6 +175,7 @@ func (n *Network) Crash(id ring.Point) error {
 	nd, ok := n.nodes[id]
 	if ok {
 		delete(n.nodes, id)
+		n.members = nil // membership changed: invalidate the sorted cache
 	}
 	n.mu.Unlock()
 	if !ok {
@@ -182,6 +201,7 @@ func (n *Network) addNode(id ring.Point) (*Node, error) {
 		return nil, fmt.Errorf("%w: %v", ErrNodeExists, id)
 	}
 	n.nodes[id] = nd
+	n.members = nil // membership changed: invalidate the sorted cache
 	return nd, nil
 }
 
@@ -194,38 +214,48 @@ func (n *Network) call(from, to ring.Point, msg simnet.Message) (simnet.Message,
 // iterative finger-table routing. The first routing step executes
 // locally at the initiator (no RPC), subsequent steps cost one RPC each;
 // with correct fingers the total is O(log n) RPCs.
+//
+// The request envelope is boxed once for the whole lookup (the key
+// never changes hop to hop), every reply is drained into locals and
+// recycled before the next RPC, and the backup-candidate scratch is a
+// fixed-size array — the routing loop allocates nothing per hop.
 func (n *Network) Lookup(from, key ring.Point) (ring.Point, error) {
 	initiator, err := n.Node(from)
 	if err != nil {
 		return 0, err
 	}
-	var (
-		resp   nextHopResp
-		backup []ring.Point
-	)
-	resp = initiator.handleNextHop(nextHopReq{Key: key})
+	req := simnet.Message(nextHopReq{Key: key})
+	var backup [maxCandidates - 1]ring.Point
+	resp := initiator.handleNextHop(nextHopReq{Key: key})
 	for hop := 0; hop < n.cfg.MaxLookupHops; hop++ {
 		if resp.Done {
-			return resp.Succ, nil
+			succ := resp.Succ
+			putNextHopResp(resp)
+			return succ, nil
 		}
-		if len(resp.Candidates) == 0 {
+		if resp.N == 0 {
+			putNextHopResp(resp)
 			return 0, fmt.Errorf("%w: no route toward %v", ErrLookupAborted, key)
 		}
-		backup = append(backup[:0], resp.Candidates[1:]...)
-		cur := resp.Candidates[0]
+		cur := resp.Cands[0]
+		nBackup := copy(backup[:], resp.Cands[1:resp.N])
+		putNextHopResp(resp)
+		next := 0
 		for {
-			raw, err := n.call(from, cur, nextHopReq{Key: key})
+			raw, err := n.call(from, cur, req)
 			if err == nil {
-				resp = raw.(nextHopResp)
+				resp = raw.(*nextHopResp)
 				break
 			}
 			initiator.invalidateFingersTo(cur)
-			if len(backup) == 0 {
+			if next >= nBackup {
 				return 0, fmt.Errorf("%w: all routes toward %v failed: %v", ErrLookupAborted, key, err)
 			}
-			cur, backup = backup[0], backup[1:]
+			cur = backup[next]
+			next++
 		}
 	}
+	putNextHopResp(resp)
 	return 0, fmt.Errorf("%w: exceeded %d hops toward %v", ErrLookupAborted, n.cfg.MaxLookupHops, key)
 }
 
@@ -236,7 +266,10 @@ func (n *Network) Successor(from, of ring.Point) (ring.Point, error) {
 	if err != nil {
 		return 0, fmt.Errorf("chord: successor of %v: %w", of, err)
 	}
-	return raw.(pointResp).P, nil
+	resp := raw.(*pointResp)
+	p := resp.P
+	putPointResp(resp)
+	return p, nil
 }
 
 // StabilizeNode runs one stabilize + notify round for node id, repairing
@@ -262,7 +295,9 @@ func (n *Network) StabilizeNode(id ring.Point) error {
 		nd.invalidateFingersTo(succ)
 		return nil // repaired; next round continues
 	}
-	if pr := raw.(pointResp); pr.Has && betweenExcl(id, succ, pr.P) {
+	pr := *raw.(*pointResp)
+	putPointResp(raw.(*pointResp))
+	if pr.Has && betweenExcl(id, succ, pr.P) {
 		// The successor knows a node between us: adopt it if reachable.
 		if _, err := n.call(id, pr.P, pingReq{}); err == nil {
 			succ = pr.P

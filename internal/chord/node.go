@@ -2,6 +2,7 @@ package chord
 
 import (
 	"fmt"
+	"slices"
 	"sync"
 
 	"github.com/dht-sampling/randompeer/internal/ring"
@@ -73,28 +74,21 @@ func (nd *Node) Alive() bool {
 
 // Neighbors returns the node's distinct outgoing overlay edges: its
 // successor list and set fingers. This is the graph random-walk samplers
-// traverse.
+// traverse. Both sources are small and bounded (SuccListLen + idBits
+// entries), so duplicates are weeded by scanning the result instead of
+// allocating a set per call.
 func (nd *Node) Neighbors() []ring.Point {
 	nd.mu.RLock()
 	defer nd.mu.RUnlock()
-	seen := make(map[ring.Point]struct{}, len(nd.succs)+idBits)
 	out := make([]ring.Point, 0, len(nd.succs)+idBits)
-	add := func(p ring.Point) {
-		if p == nd.id {
-			return
-		}
-		if _, dup := seen[p]; dup {
-			return
-		}
-		seen[p] = struct{}{}
-		out = append(out, p)
-	}
 	for _, s := range nd.succs {
-		add(s)
+		if s != nd.id && !slices.Contains(out, s) {
+			out = append(out, s)
+		}
 	}
 	for k := 0; k < idBits; k++ {
-		if nd.fingOK[k] {
-			add(nd.fingers[k])
+		if p := nd.fingers[k]; nd.fingOK[k] && p != nd.id && !slices.Contains(out, p) {
+			out = append(out, p)
 		}
 	}
 	return out
@@ -106,10 +100,10 @@ func (nd *Node) handle(from simnet.NodeID, msg simnet.Message) (simnet.Message, 
 	case nextHopReq:
 		return nd.handleNextHop(m), nil
 	case getSuccessorReq:
-		return pointResp{P: nd.Successor(), Has: true}, nil
+		return newPointResp(nd.Successor(), true), nil
 	case getPredecessorReq:
 		p, has := nd.Predecessor()
-		return pointResp{P: p, Has: has}, nil
+		return newPointResp(p, has), nil
 	case succListReq:
 		return succListResp{List: nd.SuccessorList()}, nil
 	case notifyReq:
@@ -129,32 +123,19 @@ func (nd *Node) handle(from simnet.NodeID, msg simnet.Message) (simnet.Message, 
 // node's successor, or the reply carries the closest preceding fingers
 // as candidates (best first) with the successor as the final fallback,
 // which guarantees progress whenever the ring pointers are correct.
-func (nd *Node) handleNextHop(m nextHopReq) nextHopResp {
+// The reply comes from the response pool; the lookup loop recycles it.
+func (nd *Node) handleNextHop(m nextHopReq) *nextHopResp {
+	resp := newNextHopResp()
 	nd.mu.RLock()
 	defer nd.mu.RUnlock()
 	succ := nd.succs[0]
 	if betweenIncl(nd.id, succ, m.Key) {
-		return nextHopResp{Done: true, Succ: succ}
-	}
-	const maxCandidates = 4
-	cands := make([]ring.Point, 0, maxCandidates)
-	seen := make(map[ring.Point]struct{}, maxCandidates)
-	add := func(p ring.Point) bool {
-		if p == nd.id {
-			return false
-		}
-		if !betweenExcl(nd.id, m.Key, p) {
-			return false
-		}
-		if _, dup := seen[p]; dup {
-			return false
-		}
-		seen[p] = struct{}{}
-		cands = append(cands, p)
-		return len(cands) >= maxCandidates
+		resp.Done = true
+		resp.Succ = succ
+		return resp
 	}
 	for k := idBits - 1; k >= 0; k-- {
-		if nd.fingOK[k] && add(nd.fingers[k]) {
+		if nd.fingOK[k] && resp.add(nd.id, m.Key, nd.fingers[k]) {
 			break
 		}
 	}
@@ -162,16 +143,14 @@ func (nd *Node) handleNextHop(m nextHopReq) nextHopResp {
 	// fallback that guarantees progress. Offer the farthest preceding
 	// entry first: greedy routing then advances up to SuccListLen peers
 	// per hop even with no usable fingers.
-	for i := len(nd.succs) - 1; i >= 0; i-- {
-		if len(cands) >= maxCandidates {
-			break
-		}
-		add(nd.succs[i])
+	for i := len(nd.succs) - 1; i >= 0 && resp.N < maxCandidates; i-- {
+		resp.add(nd.id, m.Key, nd.succs[i])
 	}
-	if len(cands) == 0 {
-		cands = append(cands, succ)
+	if resp.N == 0 {
+		resp.Cands[0] = succ
+		resp.N = 1
 	}
-	return nextHopResp{Candidates: cands}
+	return resp
 }
 
 // handleNotify processes a predecessor candidate (Chord's notify).

@@ -61,6 +61,9 @@ func (a *AutoSampler) refreshLocked() error {
 	if err != nil {
 		return fmt.Errorf("core: auto refresh: %w", err)
 	}
+	// Every use of inner happens under a.mu, so its own RNG mutex is
+	// pure overhead: mark it single-goroutine.
+	inner.unshared = true
 	a.inner = inner
 	a.sinceLast = 0
 	a.refreshes++

@@ -78,6 +78,10 @@ type Trace struct {
 // walks freely. Concurrent callers do interleave draws from the one RNG;
 // for bit-for-bit reproducible parallel sampling give each goroutine its
 // own Fork (or use the batch engine, which forks per block).
+//
+// A sampler obtained from ForkExclusive trades the contract away: it is
+// confined to one goroutine and draws from its RNG with no locking at
+// all, which is what the batch engine hands each block of work.
 type Sampler struct {
 	d   dht.DHT
 	cfg Config
@@ -87,6 +91,9 @@ type Sampler struct {
 
 	mu  sync.Mutex // guards rng only; never held across DHT calls
 	rng *rand.Rand
+	// unshared marks a ForkExclusive sampler: confined to a single
+	// goroutine, so rng is used without taking mu.
+	unshared bool
 
 	samples atomic.Int64
 	trials  atomic.Int64
@@ -144,6 +151,21 @@ func (s *Sampler) Fork(seed uint64) (dht.Sampler, error) {
 	return &Sampler{d: s.d, cfg: s.cfg, rng: rng, params: s.params, est: s.est}, nil
 }
 
+// ForkExclusive is Fork for a fork that will be confined to a single
+// goroutine: the returned sampler draws the same random stream as
+// Fork(seed) — results are bit-identical — but skips the RNG mutex on
+// every trial. Sharing an exclusive fork between goroutines is a data
+// race. The batch engine prefers this over Fork because each block of
+// work runs on exactly one worker.
+func (s *Sampler) ForkExclusive(seed uint64) (dht.Sampler, error) {
+	f, err := s.Fork(seed)
+	if err != nil {
+		return nil, err
+	}
+	f.(*Sampler).unshared = true
+	return f, nil
+}
+
 // Params returns the derived sampling parameters.
 func (s *Sampler) Params() Params { return s.params }
 
@@ -193,39 +215,52 @@ func (s *Sampler) Sample() (dht.Peer, error) {
 // acceptance.
 func (s *Sampler) SampleTraced() (dht.Peer, Trace, error) {
 	var trace Trace
+	p, err := s.sampleInto(&trace)
+	return p, trace, err
+}
+
+// sampleInto is the sampling hot loop behind Sample and SampleTraced:
+// it accumulates effort into the caller's scratch Trace and keeps the
+// per-trial state in locals, so a successful sample allocates nothing.
+func (s *Sampler) sampleInto(trace *Trace) (dht.Peer, error) {
 	for trial := 1; trial <= s.cfg.MaxTrials; trial++ {
 		trace.Trials = trial
-		s.mu.Lock()
-		start := ring.Point(s.rng.Uint64())
-		s.mu.Unlock()
+		var start ring.Point
+		if s.unshared {
+			start = ring.Point(s.rng.Uint64())
+		} else {
+			s.mu.Lock()
+			start = ring.Point(s.rng.Uint64())
+			s.mu.Unlock()
+		}
 		first, err := s.d.H(start)
 		if err != nil {
-			return dht.Peer{}, trace, fmt.Errorf("core: h(%v): %w", start, err)
+			return dht.Peer{}, fmt.Errorf("core: h(%v): %w", start, err)
 		}
 		d0 := ring.Distance(start, first.Point)
 		if d0 < s.params.Lambda {
 			// |I(s, l(h(s)))| is small: h(s) is the chosen peer.
-			s.record(trace)
-			return first, trace, nil
+			s.record(*trace)
+			return first, nil
 		}
 		t := ring.S128Of(d0).SubUint(s.params.Lambda)
 		cur := first
 		for step := 0; step < s.params.MaxSteps; step++ {
 			next, err := s.d.Next(cur)
 			if err != nil {
-				return dht.Peer{}, trace, fmt.Errorf("core: next(%v): %w", cur.Point, err)
+				return dht.Peer{}, fmt.Errorf("core: next(%v): %w", cur.Point, err)
 			}
 			trace.Steps++
 			arc := ring.Distance(cur.Point, next.Point)
 			t = t.AddUint(arc).SubUint(s.params.Lambda)
 			if !t.IsPos() {
-				s.record(trace)
-				return next, trace, nil
+				s.record(*trace)
+				return next, nil
 			}
 			cur = next
 		}
 		// Trial failed: the starting point fell in unassigned measure.
 	}
-	return dht.Peer{}, trace, fmt.Errorf("%w: after %d trials (lambda=%d, maxSteps=%d)",
+	return dht.Peer{}, fmt.Errorf("%w: after %d trials (lambda=%d, maxSteps=%d)",
 		ErrTrialsExhausted, s.cfg.MaxTrials, s.params.Lambda, s.params.MaxSteps)
 }

@@ -19,6 +19,7 @@ type Oracle struct {
 	ring   *ring.Ring
 	owners []int // owner of point i; nil means owner == index
 	nOwner int
+	hops   int64 // ceil(log2 n), the synthetic per-lookup cost
 	meter  simnet.Meter
 
 	// Virtual-time simulation (nil/zero when disabled): each synthetic
@@ -33,7 +34,7 @@ var _ DHT = (*Oracle)(nil)
 
 // NewOracle builds an oracle DHT over the given ring; peer i owns point i.
 func NewOracle(r *ring.Ring) *Oracle {
-	return &Oracle{ring: r, nOwner: r.Len()}
+	return &Oracle{ring: r, nOwner: r.Len(), hops: lookupHops(r.Len())}
 }
 
 // GenerateOracle places n peers uniformly at random (the paper's
@@ -67,7 +68,7 @@ func NewVirtualOracle(rng *rand.Rand, nOwners, pointsPerOwner int) (*Oracle, err
 	for j, idx := range perm {
 		owners[idx] = j % nOwners
 	}
-	return &Oracle{ring: r, owners: owners, nOwner: nOwners}, nil
+	return &Oracle{ring: r, owners: owners, nOwner: nOwners, hops: lookupHops(r.Len())}, nil
 }
 
 // Ring exposes the underlying ring for analyzers and experiments.
@@ -103,16 +104,26 @@ func (o *Oracle) chargeLatency(hops int64) {
 // H implements DHT. It charges ceil(log2 n) sequential RPCs (2 messages
 // each), the textbook Chord lookup cost.
 func (o *Oracle) H(x ring.Point) (Peer, error) {
-	hops := o.lookupHops()
-	o.meter.Charge(hops, 2*hops)
-	o.chargeLatency(hops)
+	o.meter.Charge(o.hops, 2*o.hops)
+	o.chargeLatency(o.hops)
 	i := o.ring.Successor(x)
 	return o.peerAt(i), nil
 }
 
 // Next implements DHT. It charges one RPC (2 messages).
+//
+// The index of p is recovered without a search whenever possible: with
+// one point per owner (the common case) a peer's Owner IS its ring
+// index, verified with one array load. Every walk step of every sample
+// lands here, and the binary search this skips was the single hottest
+// block of the batch-sampling profile.
 func (o *Oracle) Next(p Peer) (Peer, error) {
-	i := o.ring.IndexOf(p.Point)
+	i := -1
+	if o.owners == nil && p.Owner >= 0 && p.Owner < o.ring.Len() && o.ring.At(p.Owner) == p.Point {
+		i = p.Owner
+	} else {
+		i = o.ring.IndexOf(p.Point)
+	}
 	if i < 0 {
 		return Peer{}, fmt.Errorf("%w: no peer at %v", ErrUnknownPeer, p.Point)
 	}
@@ -142,8 +153,9 @@ func (o *Oracle) peerAt(i int) Peer {
 	return Peer{Point: o.ring.At(i), Owner: owner}
 }
 
-func (o *Oracle) lookupHops() int64 {
-	n := o.ring.Len()
+// lookupHops is the synthetic lookup cost ceil(log2 n), computed once
+// at construction (math.Log2 per H call showed up in profiles).
+func lookupHops(n int) int64 {
 	if n <= 1 {
 		return 1
 	}

@@ -47,6 +47,17 @@ type Forker interface {
 	Fork(seed uint64) (dht.Sampler, error)
 }
 
+// ExclusiveForker is an optional refinement of Forker: ForkExclusive
+// returns a fork drawing the same random stream as Fork(seed) — so
+// results stay bit-identical — that skips all internal synchronization
+// in exchange for being confined to a single goroutine. The engine uses
+// it when available, because every block of work runs on exactly one
+// worker; each fork then samples with no mutex on the hot path.
+type ExclusiveForker interface {
+	Forker
+	ForkExclusive(seed uint64) (dht.Sampler, error)
+}
+
 // DefaultBlockSize is the number of consecutive sample indices a worker
 // claims at a time. It amortizes the per-block fork and tally-merge
 // overhead while keeping ~worker-count blocks of tail imbalance small.
@@ -135,6 +146,11 @@ func SampleN(ctx context.Context, s dht.Sampler, k int, cfg Config) (*Result, er
 	}
 
 	forker, deterministic := s.(Forker)
+	fork := func(seed uint64) (dht.Sampler, error) { return forker.Fork(seed) }
+	if ex, ok := s.(ExclusiveForker); ok {
+		// Same streams, no RNG locking: each block is single-goroutine.
+		fork = ex.ForkExclusive
+	}
 	res := &Result{
 		Tally:         make([]int64, cfg.Owners),
 		Workers:       workers,
@@ -183,7 +199,7 @@ func SampleN(ctx context.Context, s dht.Sampler, k int, cfg Config) (*Result, er
 				}
 				bs := s
 				if deterministic {
-					f, err := forker.Fork(BlockSeed(cfg.Seed, b))
+					f, err := fork(BlockSeed(cfg.Seed, b))
 					if err != nil {
 						fail(fmt.Errorf("engine: forking sampler for block %d: %w", b, err))
 						return

@@ -1,7 +1,6 @@
 package kademlia
 
 import (
-	"sort"
 	"sync"
 
 	"github.com/dht-sampling/randompeer/internal/ring"
@@ -125,45 +124,57 @@ func (t *table) remove(id ring.Point) {
 	t.buckets[i].remove(id)
 }
 
-// closest returns up to count known contacts sorted by XOR distance to
-// target, optionally including the owner itself. It keeps a bounded
-// best-list instead of sorting the whole table: FIND_NODE handlers
-// call it on every hop of every lookup, so it is the subsystem's
-// hottest function.
-func (t *table) closest(target ring.Point, count int, includeSelf bool) []ring.Point {
+// closestInto returns up to count known contacts sorted by XOR
+// distance to target, optionally including the owner itself,
+// appending into the caller's buffer (reused
+// across calls by the pooled FIND_NODE replies and lookup scratch). It
+// keeps a bounded best-list instead of sorting the whole table:
+// FIND_NODE handlers call it on every hop of every lookup, so it is
+// the subsystem's hottest function.
+func (t *table) closestInto(best []ring.Point, target ring.Point, count int, includeSelf bool) []ring.Point {
+	best = best[:0]
 	if count <= 0 {
-		return nil
-	}
-	best := make([]ring.Point, 0, count)
-	// insert places id into the sorted best-list (by XOR distance to
-	// target, ties by id) if it beats the current worst.
-	insert := func(id ring.Point) {
-		d := xorDist(target, id)
-		if len(best) == count {
-			wd := xorDist(target, best[len(best)-1])
-			if d > wd || (d == wd && id >= best[len(best)-1]) {
-				return
-			}
-			best = best[:len(best)-1]
-		}
-		i := sort.Search(len(best), func(i int) bool {
-			bd := xorDist(target, best[i])
-			return bd > d || (bd == d && best[i] > id)
-		})
-		best = append(best, 0)
-		copy(best[i+1:], best[i:])
-		best[i] = id
+		return best
 	}
 	t.mu.Lock()
 	for b := range t.buckets {
 		for _, id := range t.buckets[b].entries {
-			insert(id)
+			best = insertClosest(best, target, count, id)
 		}
 	}
 	t.mu.Unlock()
 	if includeSelf {
-		insert(t.self)
+		best = insertClosest(best, target, count, t.self)
 	}
+	return best
+}
+
+// insertClosest places id into the sorted bounded best-list (by XOR
+// distance to target, ties by id) if it beats the current worst. This
+// is the bounded-insertion selection the lookup rounds also use in
+// place of sorting every known contact per round.
+func insertClosest(best []ring.Point, target ring.Point, count int, id ring.Point) []ring.Point {
+	d := xorDist(target, id)
+	if len(best) == count {
+		wd := xorDist(target, best[len(best)-1])
+		if d > wd || (d == wd && id >= best[len(best)-1]) {
+			return best
+		}
+		best = best[:len(best)-1]
+	}
+	// Linear scan: the list holds at most count (= k, typically 16)
+	// entries, where a plain loop beats a closure-based binary search.
+	i := 0
+	for i < len(best) {
+		bd := xorDist(target, best[i])
+		if bd > d || (bd == d && best[i] > id) {
+			break
+		}
+		i++
+	}
+	best = append(best, 0)
+	copy(best[i+1:], best[i:])
+	best[i] = id
 	return best
 }
 

@@ -1,9 +1,10 @@
 package kademlia
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 
 	"github.com/dht-sampling/randompeer/internal/ring"
@@ -46,8 +47,9 @@ type Network struct {
 	cfg Config
 	tr  simnet.Transport
 
-	mu    sync.RWMutex
-	nodes map[ring.Point]*Node
+	mu      sync.RWMutex
+	nodes   map[ring.Point]*Node
+	members []ring.Point // sorted live ids; nil when stale (rebuilt by Members)
 }
 
 // Kademlia error conditions.
@@ -87,17 +89,34 @@ func (n *Network) Node(id ring.Point) (*Node, error) {
 	return nd, nil
 }
 
-// Members returns the ids of all live nodes in sorted order.
+// Members returns the ids of all live nodes in sorted order. The
+// sorted snapshot is cached and invalidated on join/crash, so steady
+// state pays one O(n) copy rather than the O(n log n) sort the churn
+// driver and maintenance sweeps used to trigger on every call.
 func (n *Network) Members() []ring.Point {
+	// Fast path: cache hits copy under the read lock, so concurrent
+	// lookups (which read-lock n.mu to resolve nodes) are not blocked.
 	n.mu.RLock()
-	defer n.mu.RUnlock()
-	out := make([]ring.Point, 0, len(n.nodes))
-	for id, nd := range n.nodes {
-		if nd.Alive() {
-			out = append(out, id)
-		}
+	if cached := n.members; cached != nil {
+		out := make([]ring.Point, len(cached))
+		copy(out, cached)
+		n.mu.RUnlock()
+		return out
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	n.mu.RUnlock()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.members == nil { // re-check: another caller may have rebuilt
+		n.members = make([]ring.Point, 0, len(n.nodes))
+		for id, nd := range n.nodes {
+			if nd.Alive() {
+				n.members = append(n.members, id)
+			}
+		}
+		slices.Sort(n.members)
+	}
+	out := make([]ring.Point, len(n.members))
+	copy(out, n.members)
 	return out
 }
 
@@ -127,6 +146,7 @@ func (n *Network) addNode(id ring.Point) (*Node, error) {
 		return nil, fmt.Errorf("%w: %v", ErrNodeExists, id)
 	}
 	n.nodes[id] = nd
+	n.members = nil // membership changed: invalidate the sorted cache
 	return nd, nil
 }
 
@@ -182,7 +202,8 @@ func (n *Network) Join(id, via ring.Point) (*Node, error) {
 	if err != nil {
 		return fail(fmt.Sprintf("predecessor of %v", succ), err)
 	}
-	pred := raw.(pointResp).P
+	pred := raw.(*pointResp).P
+	putPointResp(raw.(*pointResp))
 	if _, err := n.call(id, succ, spliceReq{Pred: id, HasPred: true}); err != nil {
 		return fail(fmt.Sprintf("splicing %v", succ), err)
 	}
@@ -208,6 +229,7 @@ func (n *Network) Crash(id ring.Point) error {
 	nd, ok := n.nodes[id]
 	if ok {
 		delete(n.nodes, id)
+		n.members = nil // membership changed: invalidate the sorted cache
 	}
 	n.mu.Unlock()
 	if !ok {
@@ -243,68 +265,89 @@ const (
 	stateFailed
 )
 
+// lookupScratch is the per-lookup working set FindClosest reuses
+// across calls via a free-list: the candidate state map, the bounded
+// k-best selection buffer, the table-seed buffer and the per-round
+// query wave. One lookup used to allocate all four (the state map and
+// a fresh sorted slice per round); now concurrent lookups each check a
+// scratch out of the pool and return it cleared.
+type lookupScratch struct {
+	state map[ring.Point]int
+	best  []ring.Point
+	seed  []ring.Point
+	wave  []ring.Point
+}
+
+var lookupScratchPool = sync.Pool{New: func() any {
+	return &lookupScratch{state: make(map[ring.Point]int)}
+}}
+
 // FindClosest performs an iterative Kademlia lookup from node "from"
 // toward target: each round queries the alpha XOR-closest unqueried
 // candidates with FIND_NODE and merges their answers, until the k
 // closest known contacts have all been queried. Every successfully
 // queried contact is recorded in the initiator's routing table; dead
 // candidates are evicted from it.
+//
+// Each round selects the k closest known contacts with the same
+// bounded-insertion selection the k-bucket tables use, instead of
+// sorting every known contact per round; the map iteration feeding the
+// selection is unordered, but a bounded k-best under the total
+// (distance, id) order is order-independent, so results are
+// bit-identical to the sorted implementation it replaces.
 func (n *Network) FindClosest(from, target ring.Point) (LookupResult, error) {
 	initiator, err := n.Node(from)
 	if err != nil {
 		return LookupResult{}, err
 	}
 	k, alpha := n.cfg.BucketSize, n.cfg.Alpha
-	state := map[ring.Point]int{from: stateQueried}
-	for _, c := range initiator.table.closest(target, k, false) {
+	ls := lookupScratchPool.Get().(*lookupScratch)
+	defer func() {
+		clear(ls.state)
+		lookupScratchPool.Put(ls)
+	}()
+	state := ls.state
+	state[from] = stateQueried
+	ls.seed = initiator.table.closestInto(ls.seed, target, k, false)
+	for _, c := range ls.seed {
 		state[c] = stateCandidate
 	}
 	var res LookupResult
 
-	// byDist returns known non-failed ids sorted by XOR distance.
-	byDist := func() []ring.Point {
-		out := make([]ring.Point, 0, len(state))
+	// kClosest fills ls.best with the up-to-k XOR-closest non-failed
+	// known ids, sorted best first.
+	kClosest := func() []ring.Point {
+		ls.best = ls.best[:0]
 		for id, st := range state {
 			if st != stateFailed {
-				out = append(out, id)
+				ls.best = insertClosest(ls.best, target, k, id)
 			}
 		}
-		sort.Slice(out, func(a, b int) bool {
-			da, db := xorDist(target, out[a]), xorDist(target, out[b])
-			if da != db {
-				return da < db
-			}
-			return out[a] < out[b]
-		})
-		return out
+		return ls.best
 	}
 
+	req := simnet.Message(findNodeReq{Target: target, K: k})
 	for round := 0; ; round++ {
 		if round >= n.cfg.MaxLookupRounds {
 			return res, fmt.Errorf("%w: exceeded %d rounds toward %v", ErrLookupAborted, n.cfg.MaxLookupRounds, target)
 		}
-		known := byDist()
-		kClosest := known
-		if len(kClosest) > k {
-			kClosest = kClosest[:k]
-		}
-		wave := make([]ring.Point, 0, alpha)
-		for _, id := range kClosest {
+		ls.wave = ls.wave[:0]
+		for _, id := range kClosest() {
 			if state[id] == stateCandidate {
-				wave = append(wave, id)
-				if len(wave) >= alpha {
+				ls.wave = append(ls.wave, id)
+				if len(ls.wave) >= alpha {
 					break
 				}
 			}
 		}
-		if len(wave) == 0 {
+		if len(ls.wave) == 0 {
 			// Every one of the k closest known contacts has been
 			// queried: the lookup has converged.
 			break
 		}
 		res.Rounds++
-		for _, id := range wave {
-			raw, err := n.call(from, id, findNodeReq{Target: target, K: k})
+		for _, id := range ls.wave {
+			raw, err := n.call(from, id, req)
 			res.RPCs++
 			if err != nil {
 				state[id] = stateFailed
@@ -313,26 +356,27 @@ func (n *Network) FindClosest(from, target ring.Point) (LookupResult, error) {
 			}
 			state[id] = stateQueried
 			initiator.table.touch(id)
-			for _, c := range raw.(findNodeResp).Closest {
+			resp := raw.(*findNodeResp)
+			for _, c := range resp.Closest {
 				if _, known := state[c]; !known {
 					state[c] = stateCandidate
 				}
 			}
+			putFindNodeResp(resp)
 		}
 	}
 
+	res.Seen = make([]ring.Point, 0, len(state))
 	for id, st := range state {
 		if st != stateFailed {
 			res.Seen = append(res.Seen, id)
 		}
 	}
-	sort.Slice(res.Seen, func(a, b int) bool { return res.Seen[a] < res.Seen[b] })
-	for _, id := range byDist() {
-		if state[id] == stateQueried {
-			res.Closest = append(res.Closest, id)
-			if len(res.Closest) >= k {
-				break
-			}
+	slices.Sort(res.Seen)
+	res.Closest = make([]ring.Point, 0, k)
+	for id, st := range state {
+		if st == stateQueried {
+			res.Closest = insertClosest(res.Closest, target, k, id)
 		}
 	}
 	return res, nil
@@ -345,7 +389,10 @@ func (n *Network) Successor(from, of ring.Point) (ring.Point, error) {
 	if err != nil {
 		return 0, fmt.Errorf("kademlia: successor of %v: %w", of, err)
 	}
-	return raw.(pointResp).P, nil
+	resp := raw.(*pointResp)
+	p := resp.P
+	putPointResp(resp)
+	return p, nil
 }
 
 // Predecessor asks node "of" for its ring predecessor pointer.
@@ -354,7 +401,10 @@ func (n *Network) Predecessor(from, of ring.Point) (ring.Point, error) {
 	if err != nil {
 		return 0, fmt.Errorf("kademlia: predecessor of %v: %w", of, err)
 	}
-	return raw.(pointResp).P, nil
+	resp := raw.(*pointResp)
+	p := resp.P
+	putPointResp(resp)
+	return p, nil
 }
 
 // OwnerStats reports the cost split of one ResolveOwner call.
@@ -395,26 +445,29 @@ func (n *Network) resolveOwner(from, x ring.Point, exclude ring.Point, hasExclud
 		return 0, stats, err
 	}
 	stats.Lookup = res
-	seen := make([]ring.Point, 0, len(res.Seen))
+	// m: closest at-or-below x (counterclockwise); c: closest at-or-
+	// above x (clockwise). A node exactly at x is both and owns x.
+	// Scanned in place — the filtered copy this used to build per
+	// resolution only fed these two reductions.
+	var m, c ring.Point
+	found := false
 	for _, id := range res.Seen {
 		if hasExclude && id == exclude {
 			continue
 		}
-		seen = append(seen, id)
-	}
-	if len(seen) == 0 {
-		return 0, stats, fmt.Errorf("%w: no live contacts toward %v", ErrLookupAborted, x)
-	}
-	// m: closest at-or-below x (counterclockwise); c: closest at-or-
-	// above x (clockwise). A node exactly at x is both and owns x.
-	m, c := seen[0], seen[0]
-	for _, id := range seen[1:] {
+		if !found {
+			m, c, found = id, id, true
+			continue
+		}
 		if cwDist(id, x) < cwDist(m, x) { // distance from id clockwise to x
 			m = id
 		}
 		if cwDist(x, id) < cwDist(x, c) { // distance from x clockwise to id
 			c = id
 		}
+	}
+	if !found {
+		return 0, stats, fmt.Errorf("%w: no live contacts toward %v", ErrLookupAborted, x)
 	}
 	if c == x {
 		return c, stats, nil
@@ -724,7 +777,9 @@ func fillStaticTable(nd *Node, members []ring.Point, k int) {
 	}
 	for i := range byBucket {
 		b := byBucket[i]
-		sort.Slice(b, func(a, c int) bool { return xorDist(nd.id, b[a]) < xorDist(nd.id, b[c]) })
+		slices.SortFunc(b, func(a, c ring.Point) int {
+			return cmp.Compare(xorDist(nd.id, a), xorDist(nd.id, c))
+		})
 		if len(b) > k {
 			b = b[:k]
 		}

@@ -76,11 +76,13 @@ func (nd *Node) handle(from simnet.NodeID, msg simnet.Message) (simnet.Message, 
 	}
 	switch m := msg.(type) {
 	case findNodeReq:
-		return findNodeResp{Closest: nd.table.closest(m.Target, m.K, true)}, nil
+		resp := newFindNodeResp()
+		resp.Closest = nd.table.closestInto(resp.Closest, m.Target, m.K, true)
+		return resp, nil
 	case getSuccessorReq:
-		return pointResp{P: nd.Successor()}, nil
+		return newPointResp(nd.Successor()), nil
 	case getPredecessorReq:
-		return pointResp{P: nd.Predecessor()}, nil
+		return newPointResp(nd.Predecessor()), nil
 	case spliceReq:
 		nd.mu.Lock()
 		if m.HasSucc {

@@ -18,6 +18,7 @@ package kademlia
 
 import (
 	"math/bits"
+	"sync"
 
 	"github.com/dht-sampling/randompeer/internal/ring"
 )
@@ -70,10 +71,28 @@ type findNodeReq struct {
 }
 
 // findNodeResp carries the responder's closest known contacts, best
-// (XOR-closest) first, including the responder itself.
+// (XOR-closest) first, including the responder itself. Replies travel
+// as pooled pointers whose Closest buffer is reused across RPCs: a
+// FIND_NODE reply is issued per queried contact per lookup round, so
+// boxing a fresh value plus a fresh k-slice each time was the
+// subsystem's densest allocation site. The lookup loop drains each
+// reply and recycles it with putFindNodeResp.
 type findNodeResp struct {
 	Closest []ring.Point
 }
+
+var findNodeRespPool = sync.Pool{New: func() any { return new(findNodeResp) }}
+
+// newFindNodeResp returns a reply from the pool with an empty (but
+// possibly pre-grown) Closest buffer.
+func newFindNodeResp() *findNodeResp {
+	r := findNodeRespPool.Get().(*findNodeResp)
+	r.Closest = r.Closest[:0]
+	return r
+}
+
+// putFindNodeResp recycles a reply, keeping its buffer.
+func putFindNodeResp(r *findNodeResp) { findNodeRespPool.Put(r) }
 
 // getSuccessorReq asks a node for its ring successor pointer. This is
 // the paper's next(p): one pointer chase, one RPC.
@@ -82,10 +101,24 @@ type getSuccessorReq struct{}
 // getPredecessorReq asks a node for its ring predecessor pointer.
 type getPredecessorReq struct{}
 
-// pointResp carries one identifier.
+// pointResp carries one identifier. Pooled like findNodeResp: the
+// successor chase issues one of these RPCs per walk step of every
+// sample. Consumers copy P out and recycle with putPointResp.
 type pointResp struct {
 	P ring.Point
 }
+
+var pointRespPool = sync.Pool{New: func() any { return new(pointResp) }}
+
+// newPointResp returns a filled reply from the pool.
+func newPointResp(p ring.Point) *pointResp {
+	r := pointRespPool.Get().(*pointResp)
+	r.P = p
+	return r
+}
+
+// putPointResp recycles a reply the consumer is done with.
+func putPointResp(r *pointResp) { pointRespPool.Put(r) }
 
 // spliceReq rewires a node's ring pointers during a join: the receiver
 // adopts Succ and/or Pred when the corresponding Has flag is set.

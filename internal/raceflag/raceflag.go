@@ -1,0 +1,11 @@
+//go:build !race
+
+// Package raceflag reports whether the binary was built with the race
+// detector. The allocation-budget regression tests consult it: race
+// instrumentation allocates on its own (shadow state, altered
+// sync.Pool behaviour), so per-op heap budgets are only meaningful in
+// uninstrumented builds.
+package raceflag
+
+// Enabled is true when the race detector is active.
+const Enabled = false

@@ -15,7 +15,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
-	"sort"
+	"slices"
 )
 
 // Point is a position on the unit circle, measured in 2^64ths of the
@@ -105,7 +105,7 @@ func New(points []Point) (*Ring, error) {
 	}
 	ps := make([]Point, len(points))
 	copy(ps, points)
-	sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+	slices.Sort(ps)
 	for i := 1; i < len(ps); i++ {
 		if ps[i] == ps[i-1] {
 			return nil, fmt.Errorf("ring: duplicate peer point %d", uint64(ps[i]))
@@ -151,13 +151,24 @@ func (r *Ring) Points() []Point {
 // Successor returns the index of the peer whose point is closest in
 // clockwise distance to x. This is the paper's h(x): if x coincides with
 // a peer point the peer at x itself is returned (distance zero).
+//
+// The binary search is hand-rolled: every h lookup of every sampler
+// lands here, and the closure sort.Search requires costs a call per
+// probe that this loop avoids.
 func (r *Ring) Successor(x Point) int {
-	n := len(r.points)
-	i := sort.Search(n, func(i int) bool { return r.points[i] >= x })
-	if i == n {
+	lo, hi := 0, len(r.points)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if r.points[mid] >= x {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo == len(r.points) {
 		return 0 // wrapped past the largest point
 	}
-	return i
+	return lo
 }
 
 // NextIndex returns the index of the peer immediately clockwise of peer i.
@@ -185,9 +196,14 @@ func (r *Ring) Arc(i int) uint64 {
 }
 
 // IndexOf returns the index owning point p, or -1 if no peer sits at p.
+// It reuses Successor's search: when p is present its successor is
+// itself, and the wrap-to-0 case can never pass the equality check
+// (a p beyond the largest point exceeds points[0] too).
 func (r *Ring) IndexOf(p Point) int {
-	i := sort.Search(len(r.points), func(i int) bool { return r.points[i] >= p })
-	if i < len(r.points) && r.points[i] == p {
+	if len(r.points) == 0 {
+		return -1
+	}
+	if i := r.Successor(p); r.points[i] == p {
 		return i
 	}
 	return -1
