@@ -29,10 +29,18 @@ fmt-check:
 # Key benchmarks as a smoke test (one iteration each, with allocation
 # counts): the headline single-sample cost, the batch engine at n=1e6
 # across worker counts, the cross-backend lookup-cost comparison
-# (oracle/chord/kademlia), and the virtual-clock transport overhead on
-# the sampling hot path.
+# (oracle/chord/kademlia), the virtual-clock transport overhead on the
+# sampling hot path, the kernel event-loop dispatch paths, bulk overlay
+# construction, and the async churn driver.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkUniformSample|BenchmarkBatchThroughput|BenchmarkLookupCostBackends|BenchmarkSimTransportOverhead|BenchmarkKernelEventLoop' -benchtime=1x -benchmem .
+	$(GO) test -run '^$$' -bench 'BenchmarkUniformSample|BenchmarkBatchThroughput|BenchmarkLookupCostBackends|BenchmarkSimTransportOverhead|BenchmarkKernelEventLoop|BenchmarkBuildStatic' -benchtime=1x -benchmem .
+	$(GO) test -run '^$$' -bench 'BenchmarkAsyncChurn' -benchtime=100x -benchmem ./internal/churn/
+
+# Kernel event-loop microbenchmarks alone, at measurement benchtime:
+# the proc fast path, the Post callback path and the forced coroutine
+# handoff. CI runs this as the kernel perf smoke.
+bench-kernel:
+	$(GO) test -run '^$$' -bench 'BenchmarkKernelEventLoop' -benchtime=0.5s -benchmem .
 
 # Full throughput measurement, recorded into the committed perf
 # trajectory (BENCH_$(PR).json). Override PR for later snapshots.

@@ -654,19 +654,84 @@ func BenchmarkSimTransportOverhead(b *testing.B) {
 	}
 }
 
-// BenchmarkKernelEventLoop: the raw discrete-event scheduling cost —
-// one process sleeping through b.N events — the floor under every
-// kernel-mode simulation (two channel handoffs plus a heap operation
-// per event).
+// BenchmarkKernelEventLoop: the raw discrete-event scheduling cost, the
+// floor under every kernel-mode simulation, across the kernel's three
+// dispatch paths:
+//
+//   - proc: one process sleeping through b.N events. With nothing else
+//     queued every sleep takes the run-to-completion fast path — no
+//     heap operation, no channel handoff — which is the common shape of
+//     a simulation dominated by one active process at a time. The PR-3
+//     kernel paid two channel handoffs plus a container/heap push+pop
+//     here (~492 ns/event on the reference box).
+//   - callback: a self-reposting Post callback — a pure timer chain
+//     through the 4-ary queue with zero channel operations.
+//   - proc-interleaved: two processes strictly alternating, forcing the
+//     full coroutine yield/resume handoff on every event — the worst
+//     case, and the closest analogue of the PR-3 per-event cost.
 func BenchmarkKernelEventLoop(b *testing.B) {
-	k := sim.NewKernel(1)
-	k.Go("sleeper", func() {
+	b.Run("proc", func(b *testing.B) {
+		k := sim.NewKernel(1)
+		k.Go("sleeper", func() {
+			for i := 0; i < b.N; i++ {
+				if k.Sleep(time.Microsecond) != nil {
+					return
+				}
+			}
+		})
+		b.ResetTimer()
+		k.Run()
+	})
+	b.Run("callback", func(b *testing.B) {
+		k := sim.NewKernel(1)
+		n := 0
+		var tick func()
+		tick = func() {
+			n++
+			if n < b.N {
+				k.Post(time.Microsecond, "tick", tick)
+			}
+		}
+		k.Post(time.Microsecond, "tick", tick)
+		b.ResetTimer()
+		k.Run()
+	})
+	b.Run("proc-interleaved", func(b *testing.B) {
+		k := sim.NewKernel(1)
+		for p := 0; p < 2; p++ {
+			k.Go("sleeper", func() {
+				for i := 0; i < (b.N+1)/2; i++ {
+					if k.Sleep(time.Microsecond) != nil {
+						return
+					}
+				}
+			})
+		}
+		b.ResetTimer()
+		k.Run()
+	})
+}
+
+// BenchmarkBuildStatic: bulk overlay construction cost per backend —
+// the start-up price of every large scenario. Construction shards
+// per-node routing state over GOMAXPROCS workers (bit-identical at any
+// worker count), so ns/op here scales down with cores.
+func BenchmarkBuildStatic(b *testing.B) {
+	const n = 1 << 14
+	r := benchRing(b, n)
+	points := r.Points()
+	b.Run("chord", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if k.Sleep(time.Microsecond) != nil {
-				return
+			if _, err := chord.BuildStatic(chord.Config{}, simnet.NewDirect(), points); err != nil {
+				b.Fatal(err)
 			}
 		}
 	})
-	b.ResetTimer()
-	k.Run()
+	b.Run("kademlia", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := kademlia.BuildStatic(kademlia.Config{}, simnet.NewDirect(), points); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -1,9 +1,17 @@
 // Command benchdiff compares two committed benchmark snapshots
 // (BENCH_<pr>.json, written by cmd/benchsnap) and prints the
-// per-worker-count deltas: samples/sec, ns/sample and allocs/sample.
-// With no arguments it picks the two highest-numbered BENCH_*.json in
-// the current directory, so `make benchdiff` always reports the latest
-// PR-over-PR change in the perf trajectory.
+// per-worker-count deltas — samples/sec, ns/sample and allocs/sample —
+// plus the scenario-scale sections: kernel events/sec (proc and
+// callback paths), per-backend construction peers/sec, async-churn
+// events/sec and the sim-transport overhead. With no arguments it picks
+// the two highest-numbered BENCH_*.json in the current directory, so
+// `make benchdiff` always reports the latest PR-over-PR change in the
+// perf trajectory.
+//
+// The scenario-scale fields act as a regression gate: when both
+// snapshots carry a field and the newer one is more than 10% worse,
+// benchdiff prints the regression and exits nonzero, failing `make
+// benchdiff` (and any CI step that runs it).
 //
 // Usage:
 //
@@ -21,15 +29,39 @@ import (
 )
 
 // Snapshot mirrors the fields of cmd/benchsnap's output that the diff
-// reports. Older snapshots predate the ns/ allocs/sample fields; those
-// render as "-".
+// reports. Older snapshots predate some sections (ns/allocs per sample,
+// kernel/build/churn); those render as "-" and are exempt from the
+// regression gate.
 type Snapshot struct {
-	Benchmark string  `json:"benchmark"`
-	GoVersion string  `json:"go_version"`
-	Peers     int     `json:"peers"`
-	Samples   int     `json:"samples_per_run"`
-	Runs      []Run   `json:"runs"`
-	Transport *Transp `json:"transport_overhead"`
+	Benchmark string   `json:"benchmark"`
+	GoVersion string   `json:"go_version"`
+	Peers     int      `json:"peers"`
+	Samples   int      `json:"samples_per_run"`
+	Runs      []Run    `json:"runs"`
+	Transport *Transp  `json:"transport_overhead"`
+	Kernel    *Kernel  `json:"kernel"`
+	Builds    []Build  `json:"builds"`
+	Churn     *ChurnRt `json:"churn"`
+}
+
+// Kernel mirrors benchsnap's kernel event-loop section.
+type Kernel struct {
+	ProcEventsPerSec     float64 `json:"proc_events_per_sec"`
+	CallbackEventsPerSec float64 `json:"callback_events_per_sec"`
+	SpeedupVsPR3         float64 `json:"speedup_vs_pr3"`
+}
+
+// Build mirrors benchsnap's per-backend construction section.
+type Build struct {
+	Backend     string  `json:"backend"`
+	Peers       int     `json:"peers"`
+	PeersPerSec float64 `json:"peers_per_sec"`
+}
+
+// ChurnRt mirrors benchsnap's async-churn rate section.
+type ChurnRt struct {
+	Peers        int     `json:"peers"`
+	EventsPerSec float64 `json:"events_per_sec"`
 }
 
 // Run is one timed configuration of a snapshot. The per-sample fields
@@ -101,8 +133,49 @@ func run(args []string) int {
 		fmt.Printf("sim-transport overhead: %.2f%% -> %.2f%%\n",
 			oldSnap.Transport.OverheadPct, newSnap.Transport.OverheadPct)
 	}
+	// The scenario-scale sections gate on >10% regression: a comparison
+	// runs only when both snapshots carry the field, so the first
+	// snapshot to introduce a section sets its baseline.
+	var regressions []string
+	check := func(name string, oldV, newV float64) {
+		if oldV <= 0 || newV <= 0 {
+			return
+		}
+		fmt.Printf("%-28s  %14.0f  %14.0f  %6.2fx\n", name, oldV, newV, newV/oldV)
+		if newV < oldV*(1-regressionTolerance) {
+			regressions = append(regressions,
+				fmt.Sprintf("%s regressed %.1f%% (%.0f -> %.0f)", name, 100*(1-newV/oldV), oldV, newV))
+		}
+	}
+	if oldSnap.Kernel != nil && newSnap.Kernel != nil {
+		check("kernel proc events/sec", oldSnap.Kernel.ProcEventsPerSec, newSnap.Kernel.ProcEventsPerSec)
+		check("kernel callback events/sec", oldSnap.Kernel.CallbackEventsPerSec, newSnap.Kernel.CallbackEventsPerSec)
+	}
+	oldBuilds := make(map[string]Build, len(oldSnap.Builds))
+	for _, b := range oldSnap.Builds {
+		oldBuilds[b.Backend] = b
+	}
+	for _, nb := range newSnap.Builds {
+		if ob, ok := oldBuilds[nb.Backend]; ok && ob.Peers == nb.Peers {
+			check("build "+nb.Backend+" peers/sec", ob.PeersPerSec, nb.PeersPerSec)
+		}
+	}
+	if oldSnap.Churn != nil && newSnap.Churn != nil && oldSnap.Churn.Peers == newSnap.Churn.Peers {
+		check("churn events/sec", oldSnap.Churn.EventsPerSec, newSnap.Churn.EventsPerSec)
+	}
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "benchdiff: REGRESSION:", r)
+		}
+		return 1
+	}
 	return 0
 }
+
+// regressionTolerance is the fractional slowdown the scenario-scale
+// gate tolerates before failing (wall-clock measurements are noisy;
+// anything beyond 10% is treated as a real regression).
+const regressionTolerance = 0.10
 
 // optional renders a metric the snapshot may predate.
 func optional(v *float64, format string) string {

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// write drops a minimal snapshot file and returns its path.
+func write(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const baseSnap = `{
+  "benchmark": "batch-throughput", "peers": 1000, "samples_per_run": 100,
+  "runs": [{"workers": 1, "samples_per_sec": 50000}],
+  "kernel": {"proc_events_per_sec": 90000000, "callback_events_per_sec": 29000000},
+  "builds": [{"backend": "chord", "peers": 1000000, "peers_per_sec": 160000}],
+  "churn": {"peers": 256, "events_per_sec": 6000}
+}`
+
+func TestBenchdiffPassesOnImprovement(t *testing.T) {
+	dir := t.TempDir()
+	oldP := write(t, dir, "old.json", baseSnap)
+	newP := write(t, dir, "new.json", `{
+  "benchmark": "batch-throughput", "peers": 1000, "samples_per_run": 100,
+  "runs": [{"workers": 1, "samples_per_sec": 52000}],
+  "kernel": {"proc_events_per_sec": 95000000, "callback_events_per_sec": 30000000},
+  "builds": [{"backend": "chord", "peers": 1000000, "peers_per_sec": 170000}],
+  "churn": {"peers": 256, "events_per_sec": 6100}
+}`)
+	if code := run([]string{oldP, newP}); code != 0 {
+		t.Fatalf("exit = %d, want 0 for an improvement", code)
+	}
+}
+
+func TestBenchdiffFailsOnKernelRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldP := write(t, dir, "old.json", baseSnap)
+	// Kernel proc path 20% slower: beyond the 10% tolerance.
+	newP := write(t, dir, "new.json", `{
+  "benchmark": "batch-throughput", "peers": 1000, "samples_per_run": 100,
+  "runs": [{"workers": 1, "samples_per_sec": 50000}],
+  "kernel": {"proc_events_per_sec": 72000000, "callback_events_per_sec": 29000000},
+  "builds": [{"backend": "chord", "peers": 1000000, "peers_per_sec": 160000}],
+  "churn": {"peers": 256, "events_per_sec": 6000}
+}`)
+	if code := run([]string{oldP, newP}); code != 1 {
+		t.Fatalf("exit = %d, want 1 for a >10%% kernel regression", code)
+	}
+}
+
+func TestBenchdiffFailsOnBuildAndChurnRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldP := write(t, dir, "old.json", baseSnap)
+	newP := write(t, dir, "new.json", `{
+  "benchmark": "batch-throughput", "peers": 1000, "samples_per_run": 100,
+  "runs": [{"workers": 1, "samples_per_sec": 50000}],
+  "kernel": {"proc_events_per_sec": 90000000, "callback_events_per_sec": 29000000},
+  "builds": [{"backend": "chord", "peers": 1000000, "peers_per_sec": 100000}],
+  "churn": {"peers": 256, "events_per_sec": 4000}
+}`)
+	if code := run([]string{oldP, newP}); code != 1 {
+		t.Fatalf("exit = %d, want 1 for build+churn regressions", code)
+	}
+}
+
+func TestBenchdiffToleratesMissingSections(t *testing.T) {
+	dir := t.TempDir()
+	// An old snapshot (pre-BENCH_5) has no scenario-scale sections: the
+	// newer snapshot introduces them and sets the baseline, no gate.
+	oldP := write(t, dir, "old.json", `{
+  "benchmark": "batch-throughput", "peers": 1000, "samples_per_run": 100,
+  "runs": [{"workers": 1, "samples_per_sec": 50000}]
+}`)
+	newP := write(t, dir, "new.json", baseSnap)
+	if code := run([]string{oldP, newP}); code != 0 {
+		t.Fatalf("exit = %d, want 0 when the old snapshot predates the sections", code)
+	}
+}

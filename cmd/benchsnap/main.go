@@ -58,7 +58,9 @@ type TransportOverhead struct {
 	OverheadPct       float64 `json:"overhead_pct"`
 }
 
-// Snapshot is the committed benchmark record.
+// Snapshot is the committed benchmark record. The kernel, build, churn
+// and E27 sections were added with the scenario-scale pass (BENCH_5);
+// earlier snapshots simply lack them.
 type Snapshot struct {
 	Benchmark  string             `json:"benchmark"`
 	Date       time.Time          `json:"date"`
@@ -70,6 +72,10 @@ type Snapshot struct {
 	Seed       uint64             `json:"seed"`
 	Runs       []Run              `json:"runs"`
 	Transport  *TransportOverhead `json:"transport_overhead,omitempty"`
+	Kernel     *KernelBench       `json:"kernel,omitempty"`
+	Builds     []BuildBench       `json:"builds,omitempty"`
+	Churn      *ChurnBench        `json:"churn,omitempty"`
+	E27        *E27Scale          `json:"e27,omitempty"`
 	Note       string             `json:"note,omitempty"`
 }
 
@@ -88,6 +94,13 @@ func run(args []string) int {
 		overN    = fs.Int("overhead-n", 1024, "chord ring size for the transport-overhead measurement")
 		overK    = fs.Int("overhead-k", 4000, "samples per transport-overhead repetition")
 		overReps = fs.Int("overhead-reps", 4, "alternating repetitions per transport")
+		pr3Ref   = fs.Float64("pr3-kernel-ns", 491.8, "PR-3 kernel ns/event reference (container/heap + channel handoffs, measured on the reference box)")
+		buildCh  = fs.Int("build-chord-n", 1_000_000, "chord ring size for the construction benchmark")
+		buildKad = fs.Int("build-kademlia-n", 1<<17, "kademlia network size for the construction benchmark")
+		churnN   = fs.Int("churn-n", 256, "chord ring size for the async-churn rate measurement")
+		churnEv  = fs.Int("churn-events", 2000, "async churn events to drive")
+		e27N     = fs.Int("e27-n", 1_000_000, "chord network size for the E27 scenario run (0 disables)")
+		e27Ev    = fs.Int("e27-events", 48, "churn events in the E27 scenario run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -106,6 +119,24 @@ func run(args []string) int {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchsnap:", err)
 		return 1
+	}
+	snap.Kernel = measureKernel(*pr3Ref)
+	snap.Builds, err = measureBuilds(*buildCh, *buildKad, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		return 1
+	}
+	snap.Churn, err = measureChurn(*churnN, *churnEv, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		return 1
+	}
+	if *e27N > 0 {
+		snap.E27, err = measureE27(*e27N, *e27Ev, 200, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsnap:", err)
+			return 1
+		}
 	}
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {

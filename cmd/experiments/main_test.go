@@ -46,8 +46,8 @@ func TestSelectExperiments(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(all) != 26 {
-		t.Errorf("all = %d experiments, want 26", len(all))
+	if len(all) != 27 {
+		t.Errorf("all = %d experiments, want 27", len(all))
 	}
 	two, err := selectExperiments("E1, E2")
 	if err != nil {

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand/v2"
+	"slices"
 
 	"github.com/dht-sampling/randompeer"
 	"github.com/dht-sampling/randompeer/internal/ring"
@@ -48,7 +49,8 @@ func main() {
 	// tolerates; a run of >= SuccListLen consecutive crashes between two
 	// maintenance rounds is the designed-in loss boundary, as in real
 	// Chord.
-	members := net.Members()
+	// Members returns a shared immutable snapshot; clone before shuffling.
+	members := slices.Clone(net.Members())
 	rng.Shuffle(len(members), func(i, j int) { members[i], members[j] = members[j], members[i] })
 	crashed := 0
 	for _, id := range members {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 	"math/rand/v2"
+	"sync"
 	"testing"
 
 	"github.com/dht-sampling/randompeer/internal/ring"
@@ -540,4 +541,84 @@ func TestChanTransportLookups(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+}
+
+// TestMembersEpochSnapshotRace drives concurrent churn (joins and
+// crashes), lookups and Members/Epoch readers over one network. Under
+// -race it proves the incremental copy-on-write membership is safe
+// without a per-call copy; the assertions prove every observed
+// snapshot is internally consistent (sorted, duplicate-free) and that
+// an unchanged epoch brackets an unchanged snapshot.
+func TestMembersEpochSnapshotRace(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 43))
+	r, err := ring.Generate(rng, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := BuildStatic(Config{}, simnet.NewDirect(), r.Points())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// Churn writer: alternate joins and crashes, keeping r.At(0) alive.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		wrng := rand.New(rand.NewPCG(7, 8))
+		for i := 0; i < 300; i++ {
+			members := net.Members()
+			if wrng.IntN(2) == 0 {
+				_, _ = net.Join(ring.Point(wrng.Uint64()), members[wrng.IntN(len(members))])
+			} else if len(members) > 8 {
+				if victim := members[wrng.IntN(len(members))]; victim != r.At(0) {
+					_ = net.Crash(victim)
+				}
+			}
+			net.RunMaintenance(1, 4)
+		}
+		close(stop)
+	}()
+	// Snapshot readers.
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				e1 := net.Epoch()
+				m := net.Members()
+				e2 := net.Epoch()
+				for i := 1; i < len(m); i++ {
+					if m[i] <= m[i-1] {
+						t.Errorf("snapshot not sorted/duplicate-free at %d", i)
+						return
+					}
+				}
+				if e1 == e2 && len(m) != len(net.Members()) && net.Epoch() == e1 {
+					t.Error("epoch unchanged but snapshot length moved")
+					return
+				}
+			}
+		}(uint64(w))
+	}
+	// Concurrent lookups from the protected caller.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		lrng := rand.New(rand.NewPCG(9, 10))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_, _ = net.Lookup(r.At(0), ring.Point(lrng.Uint64()))
+		}
+	}()
+	wg.Wait()
 }

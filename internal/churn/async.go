@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/dht-sampling/randompeer/internal/ring"
 	"github.com/dht-sampling/randompeer/internal/sim"
 )
 
@@ -46,15 +47,36 @@ type AsyncRun struct {
 // processes use it as their stop condition.
 func (r *AsyncRun) Done() bool { return r.done }
 
+// asyncSchedule is the pooled per-run state behind Schedule. All churn
+// and maintenance closures are bound once here, the Events slice is
+// preallocated, and per-member maintenance processes are spawned
+// through GoArg with the member id as the argument word — steady-state
+// churn and sweeps allocate nothing per event or per member.
+type asyncSchedule struct {
+	d       *Driver
+	k       *sim.Kernel
+	cfg     AsyncConfig
+	run     *AsyncRun
+	onEvent func(Event)
+
+	round       int // sweeps started
+	outstanding int // maintain processes of the current sweep still running
+
+	maintainFn func(uint64) // bound method, reused for every spawn
+	tickFn     func()       // bound method, reused for every sweep tick
+}
+
 // Schedule registers the churn schedule on the kernel and returns
 // immediately; the events execute during Kernel.Run. One process
 // executes the driver's Events join/crash events at exponential
-// inter-arrival times drawn from the driver's RNG, and, if enabled, a
-// second process runs periodic maintenance sweeps until the last event —
-// both concurrent in virtual time with any sampler or fault processes
-// the caller spawns. Each in-flight sample therefore observes the
-// overlay mid-repair, not the settled snapshots the synchronous Run
-// produces.
+// inter-arrival times drawn from the driver's RNG (joins and crashes
+// pay real RPC latencies, so the process genuinely blocks), and, if
+// enabled, periodic maintenance sweeps run off a re-posting callback
+// timer: each tick spawns one per-member repair process — concurrent
+// in virtual time with the churn stream and any sampler or fault
+// processes the caller spawns. Each in-flight sample therefore
+// observes the overlay mid-repair, not the settled snapshots the
+// synchronous Run produces.
 //
 // The onEvent hook, if non-nil, runs after each successful event inside
 // the churn process.
@@ -62,61 +84,71 @@ func (d *Driver) Schedule(k *sim.Kernel, cfg AsyncConfig, onEvent func(Event)) (
 	if cfg.MeanInterval <= 0 {
 		return nil, fmt.Errorf("churn: async mean interval must be > 0, got %v", cfg.MeanInterval)
 	}
-	run := &AsyncRun{}
-	k.Go("churn", func() {
-		defer func() { run.done = true }()
-		for i := 0; i < d.cfg.Events; i++ {
-			gap := time.Duration(d.rng.ExpFloat64() * float64(cfg.MeanInterval))
-			if k.Sleep(gap) != nil {
-				return
-			}
-			ev, err := d.step(i)
-			if err != nil {
-				run.StepErrors++
-				continue
-			}
-			run.Events = append(run.Events, ev)
-			if onEvent != nil {
-				onEvent(ev)
-			}
-		}
-	})
+	run := &AsyncRun{Events: make([]Event, 0, d.cfg.Events)}
+	s := &asyncSchedule{d: d, k: k, cfg: cfg, run: run, onEvent: onEvent}
+	k.Go("churn", s.churnLoop)
 	if cfg.MaintenanceInterval > 0 {
-		k.Go("maintenance", func() {
-			round := 0
-			outstanding := 0
-			for !run.done {
-				if k.Sleep(cfg.MaintenanceInterval) != nil {
-					return
-				}
-				if run.done {
-					return
-				}
-				if outstanding > 0 {
-					// The previous sweep is still repairing: skip this
-					// tick rather than overlap sweeps. The next sweep
-					// starts at the first tick after completion, so the
-					// period is exactly the interval whenever repair
-					// keeps up.
-					continue
-				}
-				// One process per member: the sweep costs the slowest
-				// node's repair time, not the network-wide sum. The
-				// shared counter is safe — kernel processes never run
-				// concurrently.
-				members := d.ov.Members()
-				outstanding = len(members)
-				sweep := round
-				for _, id := range members {
-					id := id
-					k.Go("maintain", func() {
-						d.ov.MaintainNode(id, sweep, d.cfg.FingersPerRound)
-						outstanding--
-					})
-				}
-				round++
-			}
-		})
+		s.maintainFn = s.maintainOne
+		s.tickFn = s.sweepTick
+		k.Post(cfg.MaintenanceInterval, "maintenance", s.tickFn)
 	}
 	return run, nil
+}
+
+// churnLoop is the churn process body: sleep an exponential gap,
+// execute one join or crash, repeat. Gap sleeps ride the kernel's
+// run-to-completion fast path whenever nothing interleaves.
+func (s *asyncSchedule) churnLoop() {
+	defer func() { s.run.done = true }()
+	for i := 0; i < s.d.cfg.Events; i++ {
+		gap := time.Duration(s.d.rng.ExpFloat64() * float64(s.cfg.MeanInterval))
+		if s.k.Sleep(gap) != nil {
+			return
+		}
+		ev, err := s.d.step(i)
+		if err != nil {
+			s.run.StepErrors++
+			continue
+		}
+		s.run.Events = append(s.run.Events, ev)
+		if s.onEvent != nil {
+			s.onEvent(ev)
+		}
+	}
+}
+
+// sweepTick fires every MaintenanceInterval as a kernel callback — a
+// timer, not a process: it never blocks, so it needs no coroutine and
+// costs no channel handoff. If the previous sweep has fully completed
+// it starts the next one, spawning one maintenance process per member;
+// otherwise it skips the tick rather than overlap sweeps, so the
+// period is exactly the interval whenever repair keeps up. The chain
+// ends at the first tick after the churn schedule finishes.
+func (s *asyncSchedule) sweepTick() {
+	if s.run.done || s.k.Stopped() {
+		return
+	}
+	if s.outstanding == 0 {
+		// One process per member: the sweep costs the slowest node's
+		// repair time, not the network-wide sum. Members is a shared
+		// immutable snapshot (no copy) and each spawn carries the
+		// member id as its argument word (no closure). The shared
+		// counter is safe — kernel events never run concurrently.
+		members := s.d.ov.Members()
+		s.outstanding = len(members)
+		for _, id := range members {
+			s.k.GoArg("maintain", s.maintainFn, uint64(id))
+		}
+		s.round++
+	}
+	s.k.Post(s.cfg.MaintenanceInterval, "maintenance", s.tickFn)
+}
+
+// maintainOne runs one member's repair round. s.round was already
+// advanced when this sweep was spawned, and cannot advance again until
+// every process of the sweep has finished (outstanding gates the next
+// sweep), so round-1 is this sweep's number.
+func (s *asyncSchedule) maintainOne(id uint64) {
+	s.d.ov.MaintainNode(ring.Point(id), s.round-1, s.d.cfg.FingersPerRound)
+	s.outstanding--
 }

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand/v2"
+	"slices"
 
 	"github.com/dht-sampling/randompeer/internal/chord"
 	"github.com/dht-sampling/randompeer/internal/kademlia"
@@ -196,17 +197,31 @@ func (d *Driver) step(index int) (Event, error) {
 		}
 		return Event{Index: index, Join: true, Node: id}, nil
 	}
-	// Crash a uniformly random unprotected member.
-	candidates := members[:0:0]
-	for _, m := range members {
-		if !d.cfg.Protected[m] {
-			candidates = append(candidates, m)
+	// Crash a uniformly random unprotected member. Count the live
+	// protected nodes first (the Protected map is tiny; members is
+	// sorted), then rejection-sample member indices until an
+	// unprotected one comes up — uniform over the unprotected set,
+	// expected O(1) draws, and no filtered copy of a possibly
+	// million-entry membership per event.
+	protectedLive := 0
+	for p, on := range d.cfg.Protected {
+		if !on {
+			continue
+		}
+		if _, ok := slices.BinarySearch(members, p); ok {
+			protectedLive++
 		}
 	}
-	if len(candidates) == 0 {
+	if len(members)-protectedLive <= 0 {
 		return Event{Index: index, Join: true}, nil // nothing crashable; no-op
 	}
-	victim := candidates[d.rng.IntN(len(candidates))]
+	var victim ring.Point
+	for {
+		victim = members[d.rng.IntN(len(members))]
+		if !d.cfg.Protected[victim] {
+			break
+		}
+	}
 	if err := d.ov.Crash(victim); err != nil {
 		return Event{}, fmt.Errorf("crash %v: %w", victim, err)
 	}

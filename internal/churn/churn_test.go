@@ -282,3 +282,41 @@ func TestAsyncScheduleValidation(t *testing.T) {
 		t.Error("zero mean interval should fail")
 	}
 }
+
+// BenchmarkAsyncChurn is the churn stress benchmark: a full
+// asynchronous schedule — exponential-gap joins/crashes plus periodic
+// parallel maintenance sweeps — executed on the event kernel over a
+// live Chord ring. With -benchmem it gates the driver's pooled
+// event/closure state: per-event allocations here are protocol-side
+// (join RPCs), not scheduler-side.
+func BenchmarkAsyncChurn(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	r, err := ring.Generate(rng, 128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := sim.NewKernel(1)
+	tr := sim.NewTransport(
+		sim.WithKernel(k),
+		sim.WithModel(sim.Constant{RTT: time.Millisecond}),
+		sim.WithStreamSeed(3),
+	)
+	net, err := chord.BuildStatic(chord.Config{}, tr, r.Points())
+	if err != nil {
+		b.Fatal(err)
+	}
+	driver, err := NewDriver(Chord(net), rand.New(rand.NewPCG(4, 5)), Config{Events: b.N})
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, err = driver.Schedule(k, AsyncConfig{
+		MeanInterval:        2 * time.Millisecond,
+		MaintenanceInterval: 20 * time.Millisecond,
+	}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.Run()
+}

@@ -1,6 +1,6 @@
 // Package exp is the experiment harness that regenerates every
 // quantitative claim of King & Saia's paper as a table or figure-series.
-// DESIGN.md carries the experiment index (E1-E26); EXPERIMENTS.md records
+// DESIGN.md carries the experiment index (E1-E27); EXPERIMENTS.md records
 // paper-claim versus measured output for each. Each experiment supports
 // a Quick mode (small sweeps, used by tests and smoke runs) and a Full
 // mode (the sweeps recorded in EXPERIMENTS.md).
@@ -127,7 +127,7 @@ type RunConfig struct {
 	// table's contents.
 	Workers int
 	// Latency is the -latency flag spec (sim.ParseModel syntax) used by
-	// the simulated-time experiments (E25, E26); empty selects their
+	// the simulated-time experiments (E25-E27); empty selects their
 	// default constant 1ms round trip.
 	Latency string
 }
@@ -254,6 +254,7 @@ func All() []Experiment {
 		expE24(),
 		expE25(),
 		expE26(),
+		expE27(),
 	}
 	sort.Slice(exps, func(i, j int) bool { return idOrder(exps[i].ID) < idOrder(exps[j].ID) })
 	return exps

@@ -1,0 +1,232 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"slices"
+	"time"
+
+	"github.com/dht-sampling/randompeer/internal/chord"
+	"github.com/dht-sampling/randompeer/internal/churn"
+	"github.com/dht-sampling/randompeer/internal/core"
+	"github.com/dht-sampling/randompeer/internal/kademlia"
+	"github.com/dht-sampling/randompeer/internal/ring"
+	"github.com/dht-sampling/randompeer/internal/sim"
+)
+
+// ScaleResult is one E27 scenario outcome: the overlay built at n,
+// asynchronous churn run concurrent with sampler processes on the
+// event kernel, and post-churn owner probes. Wall durations are
+// measured, not simulated.
+type ScaleResult struct {
+	Backend      string
+	Peers        int
+	BuildWall    time.Duration
+	RunWall      time.Duration
+	KernelEvents uint64
+	ChurnEvents  int
+	StepErrors   int
+	SamplesOK    int
+	EstErrs      int
+	SampleErrs   int
+	OwnerMatches int
+	OwnerProbes  int
+	Virtual      time.Duration
+}
+
+// scaleSamplers is the number of concurrent sampler processes a scale
+// scenario runs beside the churn stream.
+const scaleSamplers = 4
+
+// RunScaleScenario executes the E27 scenario once: build the backend
+// ("chord" or "kademlia") at n over a kernel-bound transport with the
+// given latency model, run `events` asynchronous churn events
+// (exponential gaps of mean `gap`) concurrent in virtual time with
+// sampler processes, then probe `probes` random keys through the
+// overlay against the clockwise successor over the true membership.
+// Maintenance sweeps are disabled: a global sweep visits every member,
+// which is exactly the kind of O(n)-per-tick machinery a million-peer
+// scenario cannot afford, so repair comes only from the local splices
+// joins and crashes perform — the owner-match rate quantifies the
+// residual damage. Both the E27 experiment table and cmd/benchsnap's
+// committed `e27` section are produced by this one function.
+func RunScaleScenario(backend string, n, events, probes int, gap time.Duration, model sim.Model, seed uint64) (*ScaleResult, error) {
+	rng := rand.New(rand.NewPCG(seed, seed+1))
+	r, err := ring.Generate(rng, n)
+	if err != nil {
+		return nil, err
+	}
+	k := sim.NewKernel(seed)
+	tr := sim.NewTransport(
+		sim.WithKernel(k),
+		sim.WithModel(model),
+		sim.WithStreamSeed(seed+2),
+	)
+	buildStart := time.Now()
+	var ov churn.Overlay
+	var d churnDHT
+	switch backend {
+	case "chord":
+		net, err := chord.BuildStatic(chord.Config{}, tr, r.Points())
+		if err != nil {
+			return nil, err
+		}
+		dd, err := net.AsDHT(r.At(0))
+		if err != nil {
+			return nil, err
+		}
+		ov, d = churn.Chord(net), dd
+	case "kademlia":
+		net, err := kademlia.BuildStatic(kademlia.Config{}, tr, r.Points())
+		if err != nil {
+			return nil, err
+		}
+		dd, err := net.AsDHT(r.At(0))
+		if err != nil {
+			return nil, err
+		}
+		ov, d = churn.Kademlia(net), dd
+	default:
+		return nil, fmt.Errorf("exp: unknown scale backend %q", backend)
+	}
+	buildWall := time.Since(buildStart)
+	caller := r.At(0)
+	driver, err := churn.NewDriver(ov, rand.New(rand.NewPCG(seed+3, seed+4)), churn.Config{
+		Events:    events,
+		Protected: map[ring.Point]bool{caller: true},
+	})
+	if err != nil {
+		return nil, err
+	}
+	run, err := driver.Schedule(k, churn.AsyncConfig{
+		MeanInterval: gap,
+		// MaintenanceInterval 0: global sweeps disabled (see above).
+	}, nil)
+	if err != nil {
+		return nil, err
+	}
+	res := &ScaleResult{Backend: backend, Peers: n, BuildWall: buildWall, OwnerProbes: probes}
+	for w := 0; w < scaleSamplers; w++ {
+		srng := rand.New(rand.NewPCG(seed+5+uint64(w), seed+6))
+		k.Go("sampler", func() {
+			for !run.Done() {
+				s, err := core.New(d, d.Self(), srng, core.Config{})
+				if err != nil {
+					res.EstErrs++
+					if k.Sleep(time.Millisecond) != nil {
+						return
+					}
+					continue
+				}
+				if _, err := s.Sample(); err != nil {
+					res.SampleErrs++
+				} else {
+					res.SamplesOK++
+				}
+			}
+		})
+	}
+	runStart := time.Now()
+	k.Run()
+	res.RunWall = time.Since(runStart)
+	res.KernelEvents = k.Processed()
+	res.Virtual = k.Now()
+	res.ChurnEvents = len(run.Events)
+	res.StepErrors = run.StepErrors
+	// Post-churn correctness probe, no repair: resolve random keys
+	// through the overlay and compare against the clockwise successor
+	// over the true live membership.
+	members := ov.Members()
+	prng := rand.New(rand.NewPCG(seed+99, seed+100))
+	for i := 0; i < probes; i++ {
+		x := ring.Point(prng.Uint64())
+		p, err := d.H(x)
+		if err != nil {
+			continue
+		}
+		j, found := slices.BinarySearch(members, x)
+		if !found && j == len(members) {
+			j = 0
+		}
+		if p.Point == members[j] {
+			res.OwnerMatches++
+		}
+	}
+	return res, nil
+}
+
+// Survived reports whether the scenario completed usefully: churn
+// executed, samplers kept drawing, and post-churn owner probes
+// resolved.
+func (r *ScaleResult) Survived() bool {
+	return r.ChurnEvents > 0 && r.SamplesOK > 0 && r.OwnerMatches > 0
+}
+
+// OwnerMatchPct is the post-churn owner-probe match rate in percent.
+func (r *ScaleResult) OwnerMatchPct() float64 {
+	if r.OwnerProbes == 0 {
+		return 0
+	}
+	return 100 * float64(r.OwnerMatches) / float64(r.OwnerProbes)
+}
+
+// expE27 is the scenario-scale experiment: each backend is built at the
+// largest n the machinery comfortably sustains, then runs asynchronous
+// churn concurrent — in virtual time — with sampler processes, under a
+// latency model, on the discrete-event kernel (see RunScaleScenario).
+// It exercises the whole scenario stack at once: bulk parallel
+// construction, incremental membership snapshots under churn, and the
+// kernel's run-to-completion event loop.
+func expE27() Experiment {
+	return Experiment{
+		ID:    "E27",
+		Title: "Scenario scale: churn + latency at the largest feasible n per backend (kernel-driven)",
+		Claim: "million-peer scenarios build in seconds and sustain concurrent churn + sampling on the event kernel",
+		Run: func(cfg RunConfig) (*Table, error) {
+			model, err := cfg.latencyModel()
+			if err != nil {
+				return nil, err
+			}
+			t := &Table{
+				ID:      "E27",
+				Title:   "Scenario scale: async churn + concurrent sampling at large n (model " + model.Name() + ")",
+				Claim:   "the scenario machinery, not the overlay, bounds feasible n; sampling degrades gracefully with repair disabled",
+				Columns: []string{"backend", "n", "events", "stepErrs", "samplesOK", "estErrs", "sampleErrs", "ownerMatch%", "vtime_ms"},
+			}
+			chordN, kadN, events, probes := 1<<20, 1<<17, 48, 200
+			gap := 25 * time.Millisecond
+			if cfg.Quick {
+				chordN, kadN, events, probes = 1<<13, 1<<12, 12, 60
+				gap = 10 * time.Millisecond
+			}
+			// The sweep points are too heavy to run concurrently (each
+			// holds a full overlay); run them sequentially regardless of
+			// the worker budget.
+			for _, sc := range []struct {
+				name string
+				n    int
+			}{{"chord", chordN}, {"kademlia", kadN}} {
+				seed := cfg.Seed ^ 0x27 ^ uint64(sc.n)
+				res, err := RunScaleScenario(sc.name, sc.n, events, probes, gap, model, seed)
+				if err != nil {
+					return nil, err
+				}
+				if err := t.AddRow(
+					res.Backend, fmtI(res.Peers),
+					fmtI(res.ChurnEvents), fmtI(res.StepErrors),
+					fmtI(res.SamplesOK), fmtI(res.EstErrs), fmtI(res.SampleErrs),
+					fmtF(res.OwnerMatchPct()),
+					fmtF(float64(res.Virtual)/float64(time.Millisecond)),
+				); err != nil {
+					return nil, err
+				}
+				t.AddNote("%s n=%d: built in %.2fs (parallel shards), kernel ran %d events in %.2fs wall (%.0f events/sec)",
+					res.Backend, res.Peers, res.BuildWall.Seconds(), res.KernelEvents, res.RunWall.Seconds(),
+					float64(res.KernelEvents)/res.RunWall.Seconds())
+			}
+			t.AddNote("maintenance sweeps disabled: repair is only the local splicing of joins/crashes; ownerMatch%% measures the residual damage a global sweep would have healed")
+			t.AddNote("%d sampler processes draw concurrently with the churn stream in virtual time; wall times are measured, not simulated, and vary by machine", scaleSamplers)
+			return t, nil
+		},
+	}
+}

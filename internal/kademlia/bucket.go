@@ -178,6 +178,18 @@ func insertClosest(best []ring.Point, target ring.Point, count int, id ring.Poin
 	return best
 }
 
+// fillBucket installs a fresh bucket's entries wholesale (bulk
+// construction: the entries are pre-ordered least-recently-seen first,
+// i.e. farthest contact at index 0). The table is owned exclusively by
+// its build-shard worker at this point, but the mutex is cheap and
+// keeps the invariant that buckets never change without it.
+func (t *table) fillBucket(i int, entries []ring.Point) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b := &t.buckets[i]
+	b.entries = append(b.entries[:0], entries...)
+}
+
 // entriesOf returns a copy of bucket i's live entries.
 func (t *table) entriesOf(i int) []ring.Point {
 	t.mu.Lock()

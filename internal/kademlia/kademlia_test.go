@@ -1,7 +1,10 @@
 package kademlia
 
 import (
+	"cmp"
 	"math/rand/v2"
+	"slices"
+	"sync"
 	"testing"
 
 	"github.com/dht-sampling/randompeer/internal/ring"
@@ -345,4 +348,131 @@ func TestMeterChargesLookups(t *testing.T) {
 	if cost.Calls < 1 || cost.Messages != 2*cost.Calls {
 		t.Fatalf("lookup cost %+v: want >=1 call and 2 messages per call", cost)
 	}
+}
+
+// TestFillStaticTableMatchesReference pins the trie-descent bulk fill
+// to the straightforward reference algorithm it replaced: for every
+// node, every bucket must hold the same contacts in the same
+// (farthest-first) order as a full scan, sort and truncate of the
+// membership. Bit-for-bit equality here is what lets BuildStatic's
+// parallel shards claim "same routing state as the sequential build".
+func TestFillStaticTableMatchesReference(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 17, 64, 257, 1024} {
+		for _, k := range []int{2, 8, 16} {
+			rng := rand.New(rand.NewPCG(uint64(n), uint64(k)))
+			r, err := ring.Generate(rng, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			net, err := BuildStatic(Config{BucketSize: k}, simnet.NewDirect(), r.Points())
+			if err != nil {
+				t.Fatal(err)
+			}
+			sorted := r.Points()
+			for _, id := range net.Members() {
+				nd, err := net.Node(id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Reference: bucket the whole membership by XOR octave,
+				// sort each bucket by ascending distance, truncate to k,
+				// store farthest first.
+				var byBucket [idBits][]ring.Point
+				for _, m := range sorted {
+					d := xorDist(id, m)
+					if d == 0 {
+						continue
+					}
+					byBucket[bucketIndex(d)] = append(byBucket[bucketIndex(d)], m)
+				}
+				for b := range byBucket {
+					want := byBucket[b]
+					slices.SortFunc(want, func(a, c ring.Point) int {
+						return cmp.Compare(xorDist(id, a), xorDist(id, c))
+					})
+					if len(want) > k {
+						want = want[:k]
+					}
+					slices.Reverse(want)
+					got := nd.BucketEntries(b)
+					if !slices.Equal(got, want) {
+						t.Fatalf("n=%d k=%d node %v bucket %d:\n got %v\nwant %v", n, k, id, b, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMembersEpochSnapshotRace mirrors the chord test: concurrent
+// joins/crashes, owner resolutions and Members/Epoch readers under
+// -race prove the copy-on-write membership snapshot needs no per-call
+// copy and stays internally consistent.
+func TestMembersEpochSnapshotRace(t *testing.T) {
+	rng := rand.New(rand.NewPCG(44, 45))
+	r, err := ring.Generate(rng, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := BuildStatic(Config{}, simnet.NewDirect(), r.Points())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		wrng := rand.New(rand.NewPCG(7, 8))
+		for i := 0; i < 150; i++ {
+			members := net.Members()
+			if wrng.IntN(2) == 0 {
+				_, _ = net.Join(ring.Point(wrng.Uint64()), members[wrng.IntN(len(members))])
+			} else if len(members) > 8 {
+				if victim := members[wrng.IntN(len(members))]; victim != r.At(0) {
+					_ = net.Crash(victim)
+				}
+			}
+			net.RunMaintenance(1)
+		}
+		close(stop)
+	}()
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				e1 := net.Epoch()
+				m := net.Members()
+				e2 := net.Epoch()
+				for i := 1; i < len(m); i++ {
+					if m[i] <= m[i-1] {
+						t.Errorf("snapshot not sorted/duplicate-free at %d", i)
+						return
+					}
+				}
+				_ = e1
+				_ = e2
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		lrng := rand.New(rand.NewPCG(9, 10))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_, _, _ = net.ResolveOwner(r.At(0), ring.Point(lrng.Uint64()))
+		}
+	}()
+	wg.Wait()
 }

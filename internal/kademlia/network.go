@@ -1,12 +1,12 @@
 package kademlia
 
 import (
-	"cmp"
 	"errors"
 	"fmt"
 	"slices"
 	"sync"
 
+	"github.com/dht-sampling/randompeer/internal/parallel"
 	"github.com/dht-sampling/randompeer/internal/ring"
 	"github.com/dht-sampling/randompeer/internal/simnet"
 )
@@ -47,9 +47,15 @@ type Network struct {
 	cfg Config
 	tr  simnet.Transport
 
-	mu      sync.RWMutex
-	nodes   map[ring.Point]*Node
-	members []ring.Point // sorted live ids; nil when stale (rebuilt by Members)
+	mu    sync.RWMutex
+	nodes map[ring.Point]*Node
+	// members is the sorted live membership, maintained incrementally:
+	// join/crash installs a fresh copy with the id spliced in or out
+	// (copy-on-write) and bumps epoch. The slice itself is immutable, so
+	// Members hands it out with no per-call copy and holders keep a
+	// consistent snapshot across later churn.
+	members []ring.Point
+	epoch   uint64
 }
 
 // Kademlia error conditions.
@@ -90,47 +96,34 @@ func (n *Network) Node(id ring.Point) (*Node, error) {
 }
 
 // Members returns the ids of all live nodes in sorted order. The
-// sorted snapshot is cached and invalidated on join/crash, so steady
-// state pays one O(n) copy rather than the O(n log n) sort the churn
-// driver and maintenance sweeps used to trigger on every call.
+// returned slice is a shared immutable snapshot — callers must not
+// modify it. Join/crash never re-sorts and never invalidates: each
+// installs a fresh spliced copy (copy-on-write), so a held snapshot
+// stays internally consistent across later churn and a call here is a
+// read-locked pointer fetch even at n = 10^6 under sustained churn.
 func (n *Network) Members() []ring.Point {
-	// Fast path: cache hits copy under the read lock, so concurrent
-	// lookups (which read-lock n.mu to resolve nodes) are not blocked.
 	n.mu.RLock()
-	if cached := n.members; cached != nil {
-		out := make([]ring.Point, len(cached))
-		copy(out, cached)
-		n.mu.RUnlock()
-		return out
-	}
-	n.mu.RUnlock()
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.members == nil { // re-check: another caller may have rebuilt
-		n.members = make([]ring.Point, 0, len(n.nodes))
-		for id, nd := range n.nodes {
-			if nd.Alive() {
-				n.members = append(n.members, id)
-			}
-		}
-		slices.Sort(n.members)
-	}
-	out := make([]ring.Point, len(n.members))
-	copy(out, n.members)
-	return out
+	defer n.mu.RUnlock()
+	return n.members
 }
 
-// NumAlive returns the number of live nodes.
+// Epoch returns the membership epoch: it increments on every join and
+// crash, so two equal readings around a Members call certify the
+// snapshot is current (the epoch-snapshot pairing the race tests
+// exercise).
+func (n *Network) Epoch() uint64 {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.epoch
+}
+
+// NumAlive returns the number of live nodes. The nodes map holds
+// exactly the live nodes (Crash removes before marking dead), so this
+// is the snapshot length.
 func (n *Network) NumAlive() int {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
-	count := 0
-	for _, nd := range n.nodes {
-		if nd.Alive() {
-			count++
-		}
-	}
-	return count
+	return len(n.members)
 }
 
 // addNode constructs, registers and records a node.
@@ -146,7 +139,8 @@ func (n *Network) addNode(id ring.Point) (*Node, error) {
 		return nil, fmt.Errorf("%w: %v", ErrNodeExists, id)
 	}
 	n.nodes[id] = nd
-	n.members = nil // membership changed: invalidate the sorted cache
+	n.members = ring.InsertSorted(n.members, id)
+	n.epoch++
 	return nd, nil
 }
 
@@ -229,7 +223,8 @@ func (n *Network) Crash(id ring.Point) error {
 	nd, ok := n.nodes[id]
 	if ok {
 		delete(n.nodes, id)
-		n.members = nil // membership changed: invalidate the sorted cache
+		n.members = ring.RemoveSorted(n.members, id)
+		n.epoch++
 	}
 	n.mu.Unlock()
 	if !ok {
@@ -738,53 +733,120 @@ func (n *Network) VerifyTables() error {
 // closest members of each distance octave and the ring pointers are
 // exact. It is the starting state for experiments that study the
 // sampler rather than overlay convergence.
+//
+// Construction is bulk and parallel: nodes are registered sequentially
+// (the transport and node map are shared) with the membership snapshot
+// installed once, then per-node tables and ring pointers — pure
+// functions of the sorted membership — are populated over contiguous
+// worker shards, bit-identically to the sequential build at any
+// GOMAXPROCS. The per-node fill itself is O(log^2 n + k log n) via
+// sorted-range trie descent instead of the O(n log n) full scan-and-
+// sort the incremental path would pay per node.
 func BuildStatic(cfg Config, tr simnet.Transport, points []ring.Point) (*Network, error) {
 	r, err := ring.New(points)
 	if err != nil {
 		return nil, fmt.Errorf("kademlia: building static network: %w", err)
 	}
 	n := NewNetwork(cfg, tr)
-	nodes := make([]*Node, r.Len())
-	for i := 0; i < r.Len(); i++ {
-		nd, err := n.addNode(r.At(i))
-		if err != nil {
-			return nil, err
+	sorted := r.Points()
+	nodes := make([]*Node, len(sorted))
+	n.nodes = make(map[ring.Point]*Node, len(sorted))
+	for i, id := range sorted {
+		nd := &Node{id: id, net: n, table: newTable(id, n.cfg.BucketSize), succ: id, pred: id, alive: true}
+		if err := tr.Register(simnet.NodeID(id), nd.handle); err != nil {
+			return nil, fmt.Errorf("kademlia: registering node %v: %w", id, err)
 		}
+		n.nodes[id] = nd
 		nodes[i] = nd
 	}
-	sorted := r.Points()
-	for i, nd := range nodes {
-		fillStaticTable(nd, sorted, n.cfg.BucketSize)
-		nd.setRing(r.At(r.NextIndex(i)), r.At(r.PrevIndex(i)))
-		if r.Len() == 1 {
-			nd.setRing(nd.id, nd.id)
+	n.members = sorted
+	n.epoch++
+	single := r.Len() == 1
+	parallel.Shards(len(nodes), parallel.Workers(len(nodes)), func(lo, hi int) {
+		scratch := make([]ring.Point, 0, n.cfg.BucketSize)
+		for i := lo; i < hi; i++ {
+			nd := nodes[i]
+			fillStaticTable(nd, sorted, n.cfg.BucketSize, scratch)
+			if single {
+				nd.setRing(nd.id, nd.id)
+			} else {
+				nd.setRing(r.At(r.NextIndex(i)), r.At(r.PrevIndex(i)))
+			}
 		}
-	}
+	})
 	return n, nil
 }
 
 // fillStaticTable populates a node's buckets with the k XOR-closest
 // members of each distance octave, farthest first so the closest
-// contacts sit at the most-recently-seen end.
-func fillStaticTable(nd *Node, members []ring.Point, k int) {
-	var byBucket [idBits][]ring.Point
-	for _, m := range members {
-		d := xorDist(nd.id, m)
-		if d == 0 {
+// contacts sit at the most-recently-seen end — the same state the old
+// full scan-and-sort fill produced, computed from the sorted
+// membership instead: bucket b's candidates form one contiguous value
+// range (the aligned block reached by flipping bit b of the node's id
+// and clearing the bits below), and the k XOR-closest within the range
+// are selected by descending the implicit binary trie, visiting only
+// subranges that can still contribute.
+func fillStaticTable(nd *Node, sorted []ring.Point, k int, scratch []ring.Point) {
+	id := uint64(nd.id)
+	for b := 0; b < idBits; b++ {
+		base := (id ^ (uint64(1) << uint(b))) &^ (uint64(1)<<uint(b) - 1)
+		lo, _ := slices.BinarySearch(sorted, ring.Point(base))
+		var hi int
+		if end := base + uint64(1)<<uint(b); end == 0 {
+			hi = len(sorted) // bucket 63's upper block ends at 2^64
+		} else {
+			hi, _ = slices.BinarySearch(sorted, ring.Point(end))
+		}
+		if lo >= hi {
 			continue
 		}
-		byBucket[bucketIndex(d)] = append(byBucket[bucketIndex(d)], m)
-	}
-	for i := range byBucket {
-		b := byBucket[i]
-		slices.SortFunc(b, func(a, c ring.Point) int {
-			return cmp.Compare(xorDist(nd.id, a), xorDist(nd.id, c))
-		})
-		if len(b) > k {
-			b = b[:k]
+		scratch = collectXorClosest(scratch[:0], sorted, lo, hi, base, b, id, k)
+		// Insertion-sort by descending XOR distance (≤ k elements, all
+		// distances distinct) and install: entries order farthest →
+		// closest matches the touch-farthest-first order of the
+		// incremental path.
+		for x := 1; x < len(scratch); x++ {
+			v := scratch[x]
+			dv := uint64(v) ^ id
+			j := x - 1
+			for j >= 0 && uint64(scratch[j])^id < dv {
+				scratch[j+1] = scratch[j]
+				j--
+			}
+			scratch[j+1] = v
 		}
-		for j := len(b) - 1; j >= 0; j-- {
-			nd.table.touch(b[j])
+		nd.table.fillBucket(b, scratch)
+	}
+}
+
+// collectXorClosest appends the up-to-rem XOR-closest members to id
+// within sorted[lo:hi), an aligned block of size 2^level starting at
+// base. Output order is unspecified; callers sort. The descent takes
+// the half sharing id's next bit first (strictly closer than the other
+// half), so only ranges that can still contribute are visited.
+func collectXorClosest(dst []ring.Point, sorted []ring.Point, lo, hi int, base uint64, level int, id uint64, rem int) []ring.Point {
+	for {
+		if rem <= 0 || lo >= hi {
+			return dst
+		}
+		if hi-lo <= rem || level == 0 {
+			return append(dst, sorted[lo:hi]...)
+		}
+		half := uint64(1) << uint(level-1)
+		m, _ := slices.BinarySearch(sorted[lo:hi], ring.Point(base+half))
+		mid := lo + m
+		if id&half == 0 {
+			// Lower half is XOR-closer: everything in it beats
+			// everything in the upper half.
+			before := len(dst)
+			dst = collectXorClosest(dst, sorted, lo, mid, base, level-1, id, rem)
+			rem -= len(dst) - before
+			lo, base, level = mid, base+half, level-1
+		} else {
+			before := len(dst)
+			dst = collectXorClosest(dst, sorted, mid, hi, base+half, level-1, id, rem)
+			rem -= len(dst) - before
+			hi, level = mid, level-1
 		}
 	}
 }

@@ -1,0 +1,57 @@
+// Package parallel provides the deterministic work-sharding primitive
+// behind bulk overlay construction: split n independent items into
+// contiguous ranges, one per worker. Because the split is a pure
+// function of (n, workers) and every item's work is independent, the
+// result is bit-identical at any worker count and any GOMAXPROCS — the
+// property the overlay builders' determinism suites assert.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers returns the default worker count for CPU-bound sharded work:
+// GOMAXPROCS, capped by the item count.
+func Workers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Shards runs fn over [0, n) split into "workers" contiguous
+// half-open ranges [lo, hi), one goroutine per range, and waits for all
+// of them. With workers <= 1 (or n small) it runs inline. fn must
+// treat its range as independent work: no two ranges overlap, so
+// per-item writes need no locks as long as items are disjoint.
+func Shards(n, workers int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

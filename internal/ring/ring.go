@@ -87,6 +87,37 @@ func UnitsToFrac(units uint64) float64 {
 	return float64(units) / UnitsPerCircle
 }
 
+// InsertSorted returns a new sorted slice equal to members with id
+// inserted (members itself is never modified — copy-on-write). If id is
+// already present the original slice is returned unchanged. The search
+// is O(log n); the single-pass copy replaces the full re-sort that
+// membership caches used to pay per join.
+func InsertSorted(members []Point, id Point) []Point {
+	i, found := slices.BinarySearch(members, id)
+	if found {
+		return members
+	}
+	out := make([]Point, len(members)+1)
+	copy(out, members[:i])
+	out[i] = id
+	copy(out[i+1:], members[i:])
+	return out
+}
+
+// RemoveSorted returns a new sorted slice equal to members with id
+// removed (copy-on-write; members is never modified). If id is absent
+// the original slice is returned unchanged.
+func RemoveSorted(members []Point, id Point) []Point {
+	i, found := slices.BinarySearch(members, id)
+	if !found {
+		return members
+	}
+	out := make([]Point, len(members)-1)
+	copy(out, members[:i])
+	copy(out[i:], members[i+1:])
+	return out
+}
+
 // Ring is an immutable set of distinct peer points in sorted (clockwise)
 // order. Index i identifies the peer owning point i; indices are the
 // stable peer identities used by the samplers' tallies and by the exact

@@ -111,37 +111,43 @@ func runScenario(t *testing.T, seed uint64) simOutcome {
 // once, so scheduler interleaving cannot leak into results.
 func TestDeterminismAcrossGOMAXPROCS(t *testing.T) {
 	const seed = 1234
-	prev := runtime.GOMAXPROCS(1)
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	procs := []int{1, 4, 8}
+	if max := runtime.NumCPU(); max > 8 {
+		procs = append(procs, max)
+	}
+	runtime.GOMAXPROCS(procs[0])
 	one := runScenario(t, seed)
-	runtime.GOMAXPROCS(runtime.NumCPU())
-	many := runScenario(t, seed)
-	runtime.GOMAXPROCS(prev)
-
-	if one.traceHash != many.traceHash || one.events != many.events {
-		t.Errorf("event trace differs: %x/%d events vs %x/%d events",
-			one.traceHash, one.events, many.traceHash, many.events)
-	}
-	if one.clock != many.clock {
-		t.Errorf("final virtual clock differs: %v vs %v", one.clock, many.clock)
-	}
-	if one.latency != many.latency {
-		t.Errorf("latency histograms differ: %+v vs %+v",
-			one.latency, many.latency)
-	}
-	if len(one.owners) != len(many.owners) {
-		t.Fatalf("sample counts differ: %d vs %d", len(one.owners), len(many.owners))
-	}
-	for i := range one.owners {
-		if one.owners[i] != many.owners[i] {
-			t.Fatalf("sampled peer %d differs: %d vs %d", i, one.owners[i], many.owners[i])
-		}
-	}
-	if one.churned != many.churned {
-		t.Errorf("churn event counts differ: %d vs %d", one.churned, many.churned)
-	}
 	if one.events == 0 || len(one.owners) == 0 || one.churned == 0 {
 		t.Errorf("degenerate scenario: %d events, %d samples, %d churn events",
 			one.events, len(one.owners), one.churned)
+	}
+	for _, p := range procs[1:] {
+		runtime.GOMAXPROCS(p)
+		many := runScenario(t, seed)
+		if one.traceHash != many.traceHash || one.events != many.events {
+			t.Errorf("GOMAXPROCS=%d: event trace differs: %x/%d events vs %x/%d events",
+				p, one.traceHash, one.events, many.traceHash, many.events)
+		}
+		if one.clock != many.clock {
+			t.Errorf("GOMAXPROCS=%d: final virtual clock differs: %v vs %v", p, one.clock, many.clock)
+		}
+		if one.latency != many.latency {
+			t.Errorf("GOMAXPROCS=%d: latency histograms differ: %+v vs %+v",
+				p, one.latency, many.latency)
+		}
+		if len(one.owners) != len(many.owners) {
+			t.Fatalf("GOMAXPROCS=%d: sample counts differ: %d vs %d", p, len(one.owners), len(many.owners))
+		}
+		for i := range one.owners {
+			if one.owners[i] != many.owners[i] {
+				t.Fatalf("GOMAXPROCS=%d: sampled peer %d differs: %d vs %d", p, i, one.owners[i], many.owners[i])
+			}
+		}
+		if one.churned != many.churned {
+			t.Errorf("GOMAXPROCS=%d: churn event counts differ: %d vs %d", p, one.churned, many.churned)
+		}
 	}
 }
 

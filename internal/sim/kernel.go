@@ -1,35 +1,52 @@
 // Package sim is a deterministic discrete-event simulation kernel for
 // the testbed: a virtual clock, an event queue keyed by (time, sequence
-// number), cooperatively scheduled processes, and a virtual-clock
-// Transport implementing simnet.Transport so Chord, Kademlia and every
-// sampler run on simulated time unmodified.
+// number), cooperatively scheduled processes, lightweight callback
+// events, and a virtual-clock Transport implementing simnet.Transport
+// so Chord, Kademlia and every sampler run on simulated time unmodified.
 //
-// The kernel executes at most one process at a time. A process runs
-// until it sleeps (directly via Kernel.Sleep, or implicitly inside a
-// Transport.Call paying its link latency), at which point it yields to
-// the kernel, which pops the next event — (time, seq) order — and
-// resumes the process it wakes. Because user code never runs
-// concurrently, a simulation is a pure function of its seeds and
-// schedule: event order, latency histograms and sampled peers are
-// bit-identical at any GOMAXPROCS, which the determinism tests assert.
+// The kernel executes at most one piece of user code at a time. Two
+// event kinds share one queue and one (time, seq) order:
+//
+//   - Process events (Go/At/GoArg) back a coroutine: the process runs
+//     until it sleeps (directly via Kernel.Sleep, or implicitly inside a
+//     Transport.Call paying its link latency), yielding to the kernel,
+//     which pops the next event and resumes whoever it wakes. Process
+//     goroutines are pooled: a finished process parks its goroutine for
+//     the next spawn, so steady-state spawning allocates nothing.
+//   - Callback events (Post/PostAt) are plain function calls dispatched
+//     inline on the kernel goroutine: no coroutine, no channel handoff,
+//     no per-event allocation. They are the run-to-completion fast path
+//     for timers and coordinators that never block — a callback must
+//     not call Sleep or issue latency-paying transport calls.
+//
+// Sleep itself takes a run-to-completion shortcut: when no queued event
+// precedes the wake-up time, the sleeping process continues inline —
+// same clock jump, same (time, seq, name) observer record, zero channel
+// operations. A lone sampler ticking through virtual time therefore
+// costs nanoseconds per event, not two goroutine context switches; the
+// channels are paid only when another event genuinely interleaves.
+// Because user code never runs concurrently either way, a simulation is
+// a pure function of its seeds and schedule: event order, latency
+// histograms and sampled peers are bit-identical at any GOMAXPROCS,
+// which the determinism tests assert.
 //
 // Two usage modes:
 //
-//   - Kernel mode: spawn processes with Go/At, then Run. Arrivals,
-//     departures, maintenance sweeps and fault scripts are just timed
-//     processes, concurrent in virtual time with in-flight samples.
+//   - Kernel mode: spawn processes with Go/At and post callbacks, then
+//     Run. Arrivals, departures, maintenance sweeps and fault scripts
+//     are just timed events, concurrent in virtual time with in-flight
+//     samples.
 //   - Free-running mode: use a Transport without ever calling Run. Each
 //     Call advances the virtual clock by the sampled latency in the
 //     caller's goroutine. This is the right mode for sequential
-//     workloads (conformance suites, latency CDFs) and costs one atomic
-//     add over the Direct transport.
+//     workloads (conformance suites, latency CDFs) and costs a few
+//     nanoseconds over the Direct transport.
 //
 // The two modes must not overlap: while Run is active, only kernel
 // processes may touch the kernel or its transports.
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"math/rand/v2"
 	"sync/atomic"
@@ -64,56 +81,65 @@ func (c *Clock) set(t time.Duration) { c.nanos.Store(int64(t)) }
 // paths.
 var ErrStopped = errors.New("sim: kernel stopped")
 
-// event is one queue entry: wake process p at virtual time "at". seq
-// breaks ties deterministically in schedule order.
+// event is one queue entry: at virtual time "at", either resume process
+// p or invoke callback fn. seq breaks ties deterministically in
+// schedule order. Events are stored by value directly in the queue
+// slice — scheduling reuses the slice's capacity instead of allocating
+// a record per event.
 type event struct {
-	at  time.Duration
-	seq uint64
-	p   *proc
-}
-
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
+	at   time.Duration
+	seq  uint64
+	p    *proc  // coroutine to resume; nil for callback events
+	fn   func() // callback to invoke inline; nil for process events
+	name string
 }
 
 // proc is one cooperatively scheduled process. The resume/yield channel
 // pair is the coroutine handoff: exactly one of {kernel, this process}
 // runs between any matched send/receive, which both serializes all user
 // code and establishes happens-before for the kernel's plain fields.
+// The backing goroutine parks on resume between uses, so the kernel's
+// free list hands spawns a warm coroutine instead of allocating a new
+// proc, two channels and a goroutine per spawn.
 type proc struct {
 	name   string
-	fn     func()
+	fn     func()       // body (Go/At)
+	fnArg  func(uint64) // body with one word of state (GoArg); fn nil
+	arg    uint64
+	done   bool // set by the goroutine when the body returned
 	resume chan struct{}
 	yield  chan struct{}
+}
+
+// loop is the pooled coroutine body: run one scheduled function per
+// resume, then hand control back marked done so the kernel can recycle
+// the proc.
+func (p *proc) loop() {
+	for range p.resume {
+		if p.fnArg != nil {
+			p.fnArg(p.arg)
+		} else {
+			p.fn()
+		}
+		p.fn, p.fnArg = nil, nil
+		p.done = true
+		p.yield <- struct{}{}
+	}
 }
 
 // Kernel is the discrete-event scheduler. Create with NewKernel; zero
 // value is not usable.
 type Kernel struct {
-	clock     Clock
-	queue     eventQueue
-	seq       uint64
-	rng       *rand.Rand
-	cur       *proc
-	stopped   bool
-	processed uint64
-	observer  func(at time.Duration, seq uint64, proc string)
+	clock       Clock
+	queue       []event // 4-ary min-heap on (at, seq)
+	seq         uint64
+	rng         *rand.Rand
+	cur         *proc
+	stopped     bool
+	dispatching bool // a Post callback is executing on the kernel goroutine
+	processed   uint64
+	free        []*proc // parked coroutines ready for reuse
+	observer    func(at time.Duration, seq uint64, proc string)
 }
 
 // NewKernel returns a kernel whose Rand is seeded from seed. Equal seeds
@@ -147,49 +173,184 @@ func (k *Kernel) SetObserver(fn func(at time.Duration, seq uint64, proc string))
 	k.observer = fn
 }
 
+// 4-ary min-heap on (at, seq). A 4-ary layout halves the tree depth of
+// the binary container/heap it replaced and keeps parent and children
+// within one or two cache lines of each other; with value-typed events
+// there is no per-event allocation and no interface boxing on push/pop.
+
+// eventLess orders events by (time, then schedule order).
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// heapPush appends e and sifts it up.
+func (k *Kernel) heapPush(e event) {
+	q := append(k.queue, e)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !eventLess(&q[i], &q[parent]) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+	k.queue = q
+}
+
+// heapPop removes and returns the minimum event.
+func (k *Kernel) heapPop() event {
+	q := k.queue
+	top := q[0]
+	last := len(q) - 1
+	q[0] = q[last]
+	q[last] = event{} // release fn/proc references
+	q = q[:last]
+	k.queue = q
+	i := 0
+	for {
+		first := i<<2 + 1
+		if first >= len(q) {
+			break
+		}
+		best := first
+		end := first + 4
+		if end > len(q) {
+			end = len(q)
+		}
+		for c := first + 1; c < end; c++ {
+			if eventLess(&q[c], &q[best]) {
+				best = c
+			}
+		}
+		if !eventLess(&q[best], &q[i]) {
+			break
+		}
+		q[i], q[best] = q[best], q[i]
+		i = best
+	}
+	return top
+}
+
 // Go spawns a process at the current virtual time.
 func (k *Kernel) Go(name string, fn func()) { k.At(k.Now(), name, fn) }
 
 // At spawns a process at absolute virtual time t (clamped to now).
 // Processes are started in (time, schedule-order) just like any other
-// event; fn runs on its own goroutine but never concurrently with other
-// simulation code.
+// event; fn runs on a pooled coroutine goroutine but never concurrently
+// with other simulation code.
 func (k *Kernel) At(t time.Duration, name string, fn func()) {
+	p := k.getProc(name)
+	p.fn = fn
+	k.scheduleProc(t, p)
+}
+
+// GoArg spawns a process at the current virtual time whose body
+// receives one word of state. Unlike a closure capturing arg, the
+// (fn, arg) pair is stored in the pooled proc record, so spawning in a
+// loop — one maintenance process per overlay member, say — allocates
+// nothing per spawn.
+func (k *Kernel) GoArg(name string, fn func(uint64), arg uint64) {
+	p := k.getProc(name)
+	p.fnArg = fn
+	p.arg = arg
+	k.scheduleProc(k.Now(), p)
+}
+
+// getProc takes a parked coroutine from the free list or starts a new
+// one.
+func (k *Kernel) getProc(name string) *proc {
+	var p *proc
+	if n := len(k.free); n > 0 {
+		p = k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+	} else {
+		p = &proc{resume: make(chan struct{}), yield: make(chan struct{})}
+		go p.loop()
+	}
+	p.name = name
+	return p
+}
+
+func (k *Kernel) scheduleProc(t time.Duration, p *proc) {
 	if t < k.Now() {
 		t = k.Now()
 	}
-	p := &proc{name: name, fn: fn, resume: make(chan struct{}), yield: make(chan struct{})}
-	go func() {
-		<-p.resume
-		p.fn()
-		p.yield <- struct{}{}
-	}()
-	k.schedule(t, p)
+	k.seq++
+	k.heapPush(event{at: t, seq: k.seq, p: p, name: p.name})
 }
 
-func (k *Kernel) schedule(at time.Duration, p *proc) {
+// Post schedules fn as a callback event delay from now (clamped to
+// zero). PostAt documents the contract.
+func (k *Kernel) Post(delay time.Duration, name string, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	k.PostAt(k.Now()+delay, name, fn)
+}
+
+// PostAt schedules fn as a callback event at absolute virtual time t
+// (clamped to now). When its time comes the event loop invokes fn
+// inline on the kernel goroutine: no coroutine, no channel handoff, and
+// no allocation beyond the queue slot — the zero-cost path for timers,
+// periodic coordinators and fault scripts. fn runs with the clock set
+// to t and may Post further callbacks or spawn processes, but it must
+// not block: calling Sleep (or a kernel-bound Transport.Call, which
+// sleeps to pay its latency) from a callback panics, because a callback
+// has no coroutine to suspend.
+func (k *Kernel) PostAt(t time.Duration, name string, fn func()) {
+	if t < k.Now() {
+		t = k.Now()
+	}
 	k.seq++
-	heap.Push(&k.queue, &event{at: at, seq: k.seq, p: p})
+	k.heapPush(event{at: t, seq: k.seq, fn: fn, name: name})
 }
 
 // Sleep suspends the calling process for virtual duration d (negative d
-// counts as zero); other processes and timed events run in between. It
-// returns ErrStopped when the kernel is draining after Stop. Called from
-// outside any process — the free-running mode — it simply advances the
-// clock and returns nil.
+// counts as zero); other processes and timed events run in between.
+// When nothing is scheduled before the wake-up the process continues
+// inline — the run-to-completion fast path: the event is executed
+// (clock jump, sequence number, observer record) without the
+// yield/resume channel round trip, producing a bit-identical trace at a
+// fraction of the cost. It returns ErrStopped when the kernel is
+// draining after Stop. Called from outside any process — the
+// free-running mode — it simply advances the clock and returns nil.
+// Called from a Post callback it panics: callbacks cannot block.
 func (k *Kernel) Sleep(d time.Duration) error {
 	if d < 0 {
 		d = 0
 	}
 	p := k.cur
 	if p == nil {
+		if k.dispatching {
+			panic("sim: Sleep from a Post callback; callbacks must not block (use a process)")
+		}
 		k.clock.Advance(d)
 		return nil
 	}
 	if k.stopped {
 		return ErrStopped
 	}
-	k.schedule(k.Now()+d, p)
+	at := k.Now() + d
+	if len(k.queue) == 0 || k.queue[0].at > at {
+		// Run-to-completion fast path: the wake-up would be the very
+		// next event (ties lose to already-queued events, and the queue
+		// has none at or before "at"), so dispatch it inline. Identical
+		// (time, seq, name) record, no channel handoff.
+		k.seq++
+		k.clock.set(at)
+		k.processed++
+		if k.observer != nil {
+			k.observer(at, k.seq, p.name)
+		}
+		return nil
+	}
+	k.seq++
+	k.heapPush(event{at: at, seq: k.seq, p: p, name: p.name})
 	p.yield <- struct{}{}
 	<-p.resume
 	if k.stopped {
@@ -199,28 +360,58 @@ func (k *Kernel) Sleep(d time.Duration) error {
 }
 
 // Stop begins draining: the clock freezes, every in-flight Sleep returns
-// ErrStopped as its process is next woken, and Run returns once all
-// processes have unwound. Call it from a process (e.g. a timed watchdog)
-// to end an open-ended simulation.
+// ErrStopped as its process is next woken, pending and newly posted
+// callback events are discarded unexecuted, and Run returns once all
+// processes have unwound. Call it from a process (e.g. a timed
+// watchdog) to end an open-ended simulation.
 func (k *Kernel) Stop() { k.stopped = true }
 
 // Run executes events until the queue is empty: every spawned process
-// has returned and no sleeper remains. It must be called from the
-// goroutine that owns the kernel, and nothing else may use the kernel or
-// its transports while it runs.
+// has returned, every callback has fired and no sleeper remains. It
+// must be called from the goroutine that owns the kernel, and nothing
+// else may use the kernel or its transports while it runs.
 func (k *Kernel) Run() {
 	for len(k.queue) > 0 {
-		ev := heap.Pop(&k.queue).(*event)
+		ev := k.heapPop()
+		if ev.fn != nil && k.stopped {
+			// Draining: discard pending callbacks (unexecuted,
+			// uncounted, unobserved) instead of running them. A
+			// callback has no coroutine to unwind through ErrStopped,
+			// and a self-reposting timer chain would otherwise repost
+			// at the frozen clock forever, staying ahead of every
+			// sleeper's wake event and hanging the drain.
+			continue
+		}
 		if !k.stopped {
 			k.clock.set(ev.at)
 		}
 		k.processed++
 		if k.observer != nil {
-			k.observer(ev.at, ev.seq, ev.p.name)
+			k.observer(ev.at, ev.seq, ev.name)
+		}
+		if ev.fn != nil {
+			// Callback event: plain function call on this goroutine.
+			k.dispatching = true
+			ev.fn()
+			k.dispatching = false
+			continue
 		}
 		k.cur = ev.p
 		ev.p.resume <- struct{}{}
 		<-ev.p.yield
 		k.cur = nil
+		if ev.p.done {
+			ev.p.done = false
+			k.free = append(k.free, ev.p)
+		}
 	}
+	// Drained: release the parked coroutines. Every process has returned
+	// (sleepers always hold a queued wake event, so an empty queue means
+	// none remain), and closing resume ends each pooled goroutine rather
+	// than leaking it parked forever.
+	for i, p := range k.free {
+		close(p.resume)
+		k.free[i] = nil
+	}
+	k.free = k.free[:0]
 }

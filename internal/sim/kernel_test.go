@@ -3,6 +3,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"testing"
 	"time"
 )
@@ -145,5 +146,248 @@ func TestKernelObserverSeesEveryEvent(t *testing.T) {
 	}
 	if len(seen) != 4 { // spawn + 3 sleeps
 		t.Errorf("events = %d, want 4", len(seen))
+	}
+}
+
+func TestPostRunsCallbacksInTimeOrder(t *testing.T) {
+	k := NewKernel(1)
+	var order []string
+	k.PostAt(30*time.Millisecond, "c", func() { order = append(order, "c") })
+	k.At(10*time.Millisecond, "a", func() { order = append(order, "a") })
+	k.PostAt(20*time.Millisecond, "b", func() { order = append(order, "b") })
+	k.Run()
+	if got := fmt.Sprint(order); got != "[a b c]" {
+		t.Errorf("order = %s, want [a b c] (callbacks and processes share one queue)", got)
+	}
+	if k.Now() != 30*time.Millisecond {
+		t.Errorf("final clock = %v, want 30ms", k.Now())
+	}
+}
+
+func TestPostChainsAndSpawns(t *testing.T) {
+	k := NewKernel(1)
+	ticks := 0
+	var fromCallback bool
+	var tick func()
+	tick = func() {
+		ticks++
+		if ticks < 5 {
+			k.Post(time.Millisecond, "tick", tick)
+		} else {
+			// Callbacks may spawn blocking processes.
+			k.Go("proc", func() {
+				if err := k.Sleep(time.Millisecond); err != nil {
+					t.Error(err)
+				}
+				fromCallback = true
+			})
+		}
+	}
+	k.Post(0, "tick", tick)
+	k.Run()
+	if ticks != 5 {
+		t.Errorf("ticks = %d, want 5", ticks)
+	}
+	if !fromCallback {
+		t.Error("process spawned from a callback never ran")
+	}
+	if k.Now() != 5*time.Millisecond {
+		t.Errorf("clock = %v, want 5ms", k.Now())
+	}
+}
+
+func TestSleepFromCallbackPanics(t *testing.T) {
+	k := NewKernel(1)
+	var recovered any
+	k.Post(0, "bad", func() {
+		defer func() { recovered = recover() }()
+		_ = k.Sleep(time.Millisecond)
+	})
+	k.Run()
+	if recovered == nil {
+		t.Fatal("Sleep inside a Post callback must panic (callbacks cannot block)")
+	}
+}
+
+func TestGoArgPassesArgument(t *testing.T) {
+	k := NewKernel(1)
+	var got []uint64
+	fn := func(v uint64) { got = append(got, v) }
+	for i := uint64(0); i < 4; i++ {
+		k.GoArg("p", fn, i*7)
+	}
+	k.Run()
+	if fmt.Sprint(got) != "[0 7 14 21]" {
+		t.Errorf("args = %v, want [0 7 14 21]", got)
+	}
+}
+
+// TestCrossPathDeterminism is the callback fast path's compatibility
+// guarantee: the same logical schedule — n timed work items at the same
+// virtual times — produces a bit-identical event trace and identical
+// side effects whether it is driven by a coroutine process sleeping
+// between items or by a self-reposting callback chain. Both consume
+// one (time, seq, name) event per item, so simulations may migrate
+// non-blocking processes to callbacks without changing results.
+func TestCrossPathDeterminism(t *testing.T) {
+	const items = 64
+	type record struct {
+		at   time.Duration
+		seq  uint64
+		name string
+	}
+	run := func(callback bool) (trace []record, draws []uint64, clock time.Duration) {
+		k := NewKernel(9)
+		k.SetObserver(func(at time.Duration, seq uint64, name string) {
+			trace = append(trace, record{at, seq, name})
+		})
+		rng := rand.New(rand.NewPCG(5, 6))
+		work := func() { draws = append(draws, k.Rand().Uint64()) }
+		gap := func() time.Duration { return time.Duration(rng.IntN(5)+1) * time.Millisecond }
+		if callback {
+			i := 0
+			var tick func()
+			tick = func() {
+				work()
+				i++
+				if i < items {
+					k.Post(gap(), "worker", tick)
+				}
+			}
+			k.PostAt(0, "worker", tick)
+		} else {
+			k.At(0, "worker", func() {
+				for i := 0; i < items; i++ {
+					if i > 0 {
+						if err := k.Sleep(gap()); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+					work()
+				}
+			})
+		}
+		k.Run()
+		return trace, draws, k.Now()
+	}
+	pt, pd, pc := run(false)
+	ct, cd, cc := run(true)
+	if fmt.Sprint(pt) != fmt.Sprint(ct) {
+		t.Errorf("event traces differ:\n proc     %v\n callback %v", pt, ct)
+	}
+	if fmt.Sprint(pd) != fmt.Sprint(cd) {
+		t.Errorf("kernel RNG draw sequences differ")
+	}
+	if pc != cc {
+		t.Errorf("final clocks differ: %v vs %v", pc, cc)
+	}
+	if len(pt) != items {
+		t.Errorf("trace has %d events, want %d (one per work item on either path)", len(pt), items)
+	}
+}
+
+// TestKernelAllocBudget gates the event loop's allocation behaviour:
+// a steady-state callback chain (Post + dispatch) and a pooled-process
+// sleep loop both run without any per-event heap allocation.
+func TestKernelAllocBudget(t *testing.T) {
+	t.Run("post-dispatch", func(t *testing.T) {
+		k := NewKernel(1)
+		const events = 2000
+		i := 0
+		var tick func()
+		tick = func() {
+			i++
+			if i < events {
+				k.Post(time.Microsecond, "tick", tick)
+			}
+		}
+		avg := testing.AllocsPerRun(1, func() {
+			i = 0
+			k.Post(0, "tick", tick)
+			k.Run()
+		})
+		// One queue-slice grow amortizes to ~0 per event.
+		if perEvent := avg / events; perEvent > 0.01 {
+			t.Errorf("callback events allocate %.4f allocs/event, want 0 amortized", perEvent)
+		}
+	})
+	t.Run("proc-sleep", func(t *testing.T) {
+		k := NewKernel(1)
+		const events = 2000
+		avg := testing.AllocsPerRun(1, func() {
+			k.Go("sleeper", func() {
+				for i := 0; i < events; i++ {
+					if k.Sleep(time.Microsecond) != nil {
+						return
+					}
+				}
+			})
+			k.Run()
+		})
+		// The spawn itself may allocate (closure + proc on first use);
+		// the per-sleep fast path must not.
+		if perEvent := avg / events; perEvent > 0.01 {
+			t.Errorf("sleep events allocate %.4f allocs/event, want 0 amortized", perEvent)
+		}
+	})
+}
+
+// TestPooledProcsAreReused checks the spawn pool: after a process
+// finishes, the next spawn reuses its coroutine instead of allocating a
+// proc, two channels and a goroutine.
+func TestPooledProcsAreReused(t *testing.T) {
+	k := NewKernel(1)
+	const spawns = 500
+	i := 0
+	var next func(uint64)
+	next = func(u uint64) {
+		i++
+		if i < spawns {
+			k.GoArg("chain", next, u+1)
+		}
+	}
+	avg := testing.AllocsPerRun(1, func() {
+		i = 0
+		k.GoArg("chain", next, 0)
+		k.Run()
+	})
+	if perSpawn := avg / spawns; perSpawn > 0.05 {
+		t.Errorf("sequential spawns allocate %.4f allocs/spawn, want ~0 (pooled procs)", perSpawn)
+	}
+}
+
+// TestStopDrainsCallbackChains is the regression test for the drain
+// livelock: a self-reposting callback chain must not keep Run alive
+// after Stop — with the clock frozen, each repost would land at the
+// same virtual time, permanently ahead of every sleeper's wake event.
+// Stop discards pending callbacks, so Run returns and the sleeper
+// unwinds through ErrStopped.
+func TestStopDrainsCallbackChains(t *testing.T) {
+	k := NewKernel(1)
+	ticks := 0
+	var tick func()
+	tick = func() {
+		ticks++
+		k.Post(time.Millisecond, "tick", tick)
+	}
+	k.Post(0, "tick", tick)
+	var sleeperErr error
+	k.Go("sleeper", func() {
+		sleeperErr = k.Sleep(time.Hour) // wakes only via the drain
+	})
+	k.At(5*time.Millisecond, "watchdog", func() { k.Stop() })
+	done := make(chan struct{})
+	go func() { k.Run(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after Stop with a reposting callback chain queued")
+	}
+	if !errors.Is(sleeperErr, ErrStopped) {
+		t.Errorf("sleeper saw %v, want ErrStopped", sleeperErr)
+	}
+	if ticks == 0 {
+		t.Error("callback chain never ran before Stop")
 	}
 }

@@ -94,6 +94,10 @@ func NewTransport(opts ...TransportOption) *Transport {
 	}
 	if c, ok := t.model.(Constant); ok {
 		t.constRTT = c.RTT
+		// Arm the meter's constant-latency fast lane: successful calls
+		// under an unshaped constant model charge call count and latency
+		// record in one atomic add (see Meter.ChargeConstSuccess).
+		t.meter.ArmConstLatency(c.RTT)
 	}
 	return t
 }
@@ -200,16 +204,6 @@ func (t *Transport) latencySlow(from, to simnet.NodeID) time.Duration {
 	return d
 }
 
-// wait spends the call's latency: sleeping on the kernel queue inside a
-// process. Without a kernel there is nothing to do — free-running time
-// is derived from the latency records (see Now).
-func (t *Transport) wait(d time.Duration) error {
-	if t.kernel != nil {
-		return t.kernel.Sleep(d)
-	}
-	return nil
-}
-
 // Register implements simnet.Transport.
 func (t *Transport) Register(id simnet.NodeID, h simnet.Handler) error {
 	if h == nil {
@@ -240,13 +234,16 @@ func (t *Transport) Deregister(id simnet.NodeID) {
 // visible to in-flight RPCs.
 func (t *Transport) Call(from, to simnet.NodeID, msg simnet.Message) (simnet.Message, error) {
 	lat := t.constRTT
-	if lat == 0 || t.shaped.Load() {
+	konst := lat != 0 && !t.shaped.Load()
+	if !konst {
 		lat = t.latencySlow(from, to)
 	}
-	if err := t.wait(lat); err != nil {
-		// Kernel draining: surface the transport-closed condition the
-		// protocols already unwind on.
-		return t.fail(from, to, lat, simnet.ErrClosed)
+	if k := t.kernel; k != nil {
+		if err := k.Sleep(lat); err != nil {
+			// Kernel draining: surface the transport-closed condition
+			// the protocols already unwind on.
+			return t.fail(from, to, lat, simnet.ErrClosed)
+		}
 	}
 	if err := t.faults.Check(to); err != nil {
 		return t.fail(from, to, lat, err)
@@ -267,8 +264,14 @@ func (t *Transport) Call(from, to simnet.NodeID, msg simnet.Message) (simnet.Mes
 	if err != nil {
 		return t.fail(from, to, lat, err)
 	}
-	t.meter.ChargeSuccess()
-	t.meter.RecordLatency(lat)
+	if konst {
+		// Unshaped constant model: one atomic add covers the call count
+		// and the latency record — the same meter traffic Direct pays.
+		t.meter.ChargeConstSuccess()
+	} else {
+		t.meter.ChargeSuccess()
+		t.meter.RecordLatency(lat)
+	}
 	return resp, nil
 }
 

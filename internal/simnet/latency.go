@@ -46,10 +46,17 @@ func latencyBucket(nanos int64) int {
 }
 
 // LatencySumNanos returns the total recorded virtual time without
-// snapshotting the buckets — the cheap read behind free-running virtual
+// snapshotting the buckets — the read behind free-running virtual
 // clocks (internal/sim derives "now" from it: with one record per RPC,
-// total recorded latency is exactly the sequential virtual time).
-func (m *Meter) LatencySumNanos() int64 { return m.lat.sum.Load() }
+// total recorded latency is exactly the sequential virtual time). It
+// includes the constant-latency fast lane (count x armed constant).
+func (m *Meter) LatencySumNanos() int64 {
+	sum := m.lat.sum.Load()
+	if c := m.constNanos.Load(); c > 0 {
+		sum += c * m.constLaneCount()
+	}
+	return sum
+}
 
 // Latency is an immutable snapshot of a Meter's latency histogram.
 type Latency struct {
@@ -72,6 +79,15 @@ func (m *Meter) Latency() Latency {
 	for i := range l.Buckets {
 		l.Buckets[i] = m.lat.buckets[i].Load()
 		l.Count += l.Buckets[i]
+	}
+	// Fold in the constant-latency fast lane: n records of exactly the
+	// armed constant.
+	if c := m.constNanos.Load(); c >= 0 {
+		if n := m.constLaneCount(); n > 0 {
+			l.SumNanos += c * n
+			l.Buckets[latencyBucket(c)] += n
+			l.Count += n
+		}
 	}
 	return l
 }

@@ -14,6 +14,7 @@ package simnet
 import (
 	"math/rand/v2"
 	"sync/atomic"
+	"time"
 )
 
 // meterShards is the number of independently updated counter shards in a
@@ -37,10 +38,19 @@ type meterShard struct {
 	calls    atomic.Int64 // completed RPC round trips (latency proxy)
 	extraMsg atomic.Int64 // messages beyond the 2-per-call baseline
 	failures atomic.Int64 // RPCs that failed (dropped or dead destination)
-	_        [128 - 3*8]byte
+	constOK  atomic.Int64 // successes in the constant-latency fast lane
+	_        [128 - 4*8]byte
 }
 
-// Meter accumulates transport costs. It is the hot-path cost sink of the
+// Meter accumulates transport costs. Besides the striped counters it
+// carries an optional constant-latency fast lane (ArmConstLatency): a
+// time-simulating transport whose every successful RPC would record the
+// same round-trip duration charges call count and latency with the one
+// atomic add of ChargeConstSuccess — the same per-RPC atomic traffic as
+// a transport with no latency accounting at all — and Snapshot, Latency
+// and LatencySumNanos fold the lane back into the derived totals.
+//
+// It is the hot-path cost sink of the
 // whole testbed: every h lookup, successor chase and simulated RPC
 // charges it, so under a concurrent sampling engine it is written from
 // many goroutines at once. Counters are striped across meterShards
@@ -59,7 +69,11 @@ type meterShard struct {
 // The zero value is ready to use.
 type Meter struct {
 	shards [meterShards]meterShard
-	lat    latencyHist
+	// constNanos is the armed constant-latency lane's round-trip time
+	// (0 = lane unarmed). Written once by ArmConstLatency before the
+	// transport goes hot; read by the snapshot methods.
+	constNanos atomic.Int64
+	lat        latencyHist
 }
 
 // Cost is an immutable snapshot of a Meter.
@@ -82,12 +96,42 @@ func (m *Meter) Snapshot() Cost {
 	var extra int64
 	for i := range m.shards {
 		s := &m.shards[i]
-		c.Calls += s.calls.Load()
+		c.Calls += s.calls.Load() + s.constOK.Load()
 		extra += s.extraMsg.Load()
 		c.Failures += s.failures.Load()
 	}
 	c.Messages = 2*c.Calls + c.Failures + extra
 	return c
+}
+
+// constLaneCount sums the constant-latency lane's success counter.
+func (m *Meter) constLaneCount() int64 {
+	var n int64
+	for i := range m.shards {
+		n += m.shards[i].constOK.Load()
+	}
+	return n
+}
+
+// ArmConstLatency arms the constant-latency fast lane: every subsequent
+// ChargeConstSuccess records one completed RPC of round-trip duration d
+// with a single atomic add. Arm it once, before the meter goes hot;
+// both lanes may be used side by side (a transport falls back to
+// ChargeSuccess+RecordLatency whenever a call's latency deviates from
+// the constant — shaped links, non-constant models, failures).
+func (m *Meter) ArmConstLatency(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	m.constNanos.Store(int64(d))
+}
+
+// ChargeConstSuccess records one completed RPC whose round trip took
+// exactly the armed constant latency: one round trip, two messages, one
+// latency record — all in a single atomic add, derived at snapshot
+// time.
+func (m *Meter) ChargeConstSuccess() {
+	m.shard().constOK.Add(1)
 }
 
 // Charge records an arbitrary cost. It is used by synthetic backends
@@ -123,6 +167,7 @@ func (m *Meter) Reset() {
 		s.calls.Store(0)
 		s.extraMsg.Store(0)
 		s.failures.Store(0)
+		s.constOK.Store(0)
 	}
 	m.lat.sum.Store(0)
 	for i := range m.lat.buckets {
