@@ -4,7 +4,7 @@
 GO ?= go
 PR ?= 1
 
-.PHONY: all build test race vet fmt-check bench bench-snapshot benchdiff profile alloc-check examples clean
+.PHONY: all build test race vet fmt-check bench bench-snapshot benchdiff cluster-smoke staticcheck vuln profile alloc-check examples clean
 
 all: build test
 
@@ -51,6 +51,23 @@ bench-snapshot:
 # samples/sec, ns/sample and allocs/sample.
 benchdiff:
 	$(GO) run ./cmd/benchdiff
+
+# Multi-process cluster smoke: build randpeerd, spawn a 3-daemon
+# loopback cluster per backend, and run the conformance, determinism,
+# control-plane and kill/restart suites over real sockets.
+cluster-smoke:
+	$(GO) test -run 'TestCluster' -v ./internal/cluster/
+
+# Static analysis beyond vet. CI installs the tool; locally run
+# `go install honnef.co/go/tools/cmd/staticcheck@2024.1.1` once.
+staticcheck:
+	staticcheck ./...
+
+# Known-vulnerability scan over the module and its (stdlib-only)
+# dependency graph. CI installs the tool; locally run
+# `go install golang.org/x/vuln/cmd/govulncheck@v1.1.3` once.
+vuln:
+	govulncheck ./...
 
 # CPU and allocation profiles of the batch-sampling hot path. Inspect
 # with: go tool pprof -top cpu.pprof  (or mem.pprof; -http=: for flames)

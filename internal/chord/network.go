@@ -141,6 +141,31 @@ func (n *Network) Join(id, via ring.Point) (*Node, error) {
 	if err != nil {
 		return nil, fmt.Errorf("chord: join of %v via %v: %w", id, via, err)
 	}
+	return n.finishJoin(id, succ)
+}
+
+// JoinVia adds a locally hosted node to a ring whose bootstrap contact
+// may live on another process: the successor is resolved by routing
+// through bootstrap over the transport (LookupVia) instead of
+// initiating at a local node. It is the join path wire-transport
+// daemons use.
+func (n *Network) JoinVia(id, bootstrap ring.Point) (*Node, error) {
+	n.mu.RLock()
+	_, exists := n.nodes[id]
+	n.mu.RUnlock()
+	if exists {
+		return nil, fmt.Errorf("%w: %v", ErrNodeExists, id)
+	}
+	succ, err := n.LookupVia(id, bootstrap, id)
+	if err != nil {
+		return nil, fmt.Errorf("chord: join of %v via remote %v: %w", id, bootstrap, err)
+	}
+	return n.finishJoin(id, succ)
+}
+
+// finishJoin integrates a freshly resolved joiner below its successor:
+// register the node, adopt the successor's list, and announce.
+func (n *Network) finishJoin(id, succ ring.Point) (*Node, error) {
 	nd, err := n.addNode(id)
 	if err != nil {
 		return nil, err
@@ -219,9 +244,28 @@ func (n *Network) Lookup(from, key ring.Point) (ring.Point, error) {
 	if err != nil {
 		return 0, err
 	}
+	return n.route(initiator, from, key, initiator.handleNextHop(nextHopReq{Key: key}))
+}
+
+// LookupVia resolves the successor of key by routing through start,
+// which may be hosted on another process: the first routing step is an
+// RPC to start instead of a local table read, so no local node is
+// required. from identifies the caller on the transport; it need not
+// be registered anywhere (a joiner uses its own id).
+func (n *Network) LookupVia(from, start, key ring.Point) (ring.Point, error) {
+	raw, err := n.call(from, start, nextHopReq{Key: key})
+	if err != nil {
+		return 0, fmt.Errorf("%w: bootstrap %v unreachable: %v", ErrLookupAborted, start, err)
+	}
+	return n.route(nil, from, key, raw.(*nextHopResp))
+}
+
+// route consumes resp (recycling it) and follows the candidate chain
+// to the key's successor. initiator, when non-nil, has its fingers
+// invalidated as dead hops are discovered.
+func (n *Network) route(initiator *Node, from, key ring.Point, resp *nextHopResp) (ring.Point, error) {
 	req := simnet.Message(nextHopReq{Key: key})
 	var backup [maxCandidates - 1]ring.Point
-	resp := initiator.handleNextHop(nextHopReq{Key: key})
 	for hop := 0; hop < n.cfg.MaxLookupHops; hop++ {
 		if resp.Done {
 			succ := resp.Succ
@@ -242,7 +286,9 @@ func (n *Network) Lookup(from, key ring.Point) (ring.Point, error) {
 				resp = raw.(*nextHopResp)
 				break
 			}
-			initiator.invalidateFingersTo(cur)
+			if initiator != nil {
+				initiator.invalidateFingersTo(cur)
+			}
 			if next >= nBackup {
 				return 0, fmt.Errorf("%w: all routes toward %v failed: %v", ErrLookupAborted, key, err)
 			}
@@ -404,26 +450,48 @@ func (n *Network) anyOtherNode(id ring.Point) (ring.Point, bool) {
 // constructs in seconds instead of the minutes the incremental
 // per-node path would take.
 func BuildStatic(cfg Config, tr simnet.Transport, points []ring.Point) (*Network, error) {
+	return BuildStaticPartition(cfg, tr, points, nil)
+}
+
+// BuildStaticPartition constructs the local shard of a stabilized ring
+// that spans multiple processes: the full membership defines every
+// node's routing state, but only the nodes selected by owned are
+// instantiated and registered on this process's transport. The other
+// points must be hosted by peer processes reachable through the
+// transport (the wire transport routes by node id). A nil owned
+// predicate owns everything, which is exactly BuildStatic.
+//
+// Per-node routing state is a pure function of (sorted membership,
+// index), so every process computes identical state for its shard and
+// the union across processes is bit-identical to the single-process
+// build.
+func BuildStaticPartition(cfg Config, tr simnet.Transport, points []ring.Point, owned func(ring.Point) bool) (*Network, error) {
 	r, err := ring.New(points)
 	if err != nil {
 		return nil, fmt.Errorf("chord: building static ring: %w", err)
 	}
 	n := NewNetwork(cfg, tr)
 	sorted := r.Points()
+	ownedIdx := make([]int, 0, len(sorted))
 	nodes := make([]*Node, len(sorted))
 	n.nodes = make(map[ring.Point]*Node, len(sorted))
 	for i, id := range sorted {
+		if owned != nil && !owned(id) {
+			continue
+		}
 		nd := &Node{id: id, net: n, succs: []ring.Point{id}, alive: true}
 		if err := tr.Register(simnet.NodeID(id), nd.handle); err != nil {
 			return nil, fmt.Errorf("chord: registering node %v: %w", id, err)
 		}
 		n.nodes[id] = nd
 		nodes[i] = nd
+		ownedIdx = append(ownedIdx, i)
 	}
 	n.members = sorted
 	n.epoch++
-	parallel.Shards(len(nodes), parallel.Workers(len(nodes)), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
+	parallel.Shards(len(ownedIdx), parallel.Workers(len(ownedIdx)), func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			i := ownedIdx[j]
 			n.fillStaticNode(nodes[i], r, i)
 		}
 	})

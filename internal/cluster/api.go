@@ -1,0 +1,177 @@
+// Package cluster spawns and drives a multi-process randpeerd cluster
+// over loopback TCP: it builds the daemon binary, starts N processes,
+// waits for readiness, partitions a static overlay across them, and
+// supports killing and restarting individual daemons. The conformance
+// and determinism suites run over it unchanged, which is the
+// executable claim that the wire transport preserves the in-process
+// semantics.
+//
+// This file defines the daemon's control-API types (shared with
+// cmd/randpeerd) and thin HTTP client helpers for them.
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"github.com/dht-sampling/randompeer/internal/ring"
+)
+
+// RouteEntry maps a node point to the host:port of its owning process.
+type RouteEntry struct {
+	Point uint64 `json:"point"`
+	Addr  string `json:"addr"`
+}
+
+// ProvisionRequest installs a static overlay partition on one daemon:
+// the full membership defines every node's routing state, but only the
+// owned subset is registered on that daemon's transport; every other
+// point must appear in Routes.
+type ProvisionRequest struct {
+	Backend string       `json:"backend"` // "chord" or "kademlia"
+	Bucket  int          `json:"bucket,omitempty"`
+	Alpha   int          `json:"alpha,omitempty"`
+	Points  []uint64     `json:"points"`
+	Owned   []uint64     `json:"owned"`
+	Routes  []RouteEntry `json:"routes"`
+}
+
+// JoinRequest splices a fresh node (hosted on the receiving daemon)
+// into the overlay through a bootstrap point reachable via its routes.
+type JoinRequest struct {
+	ID        uint64 `json:"id"`
+	Bootstrap uint64 `json:"bootstrap"`
+}
+
+// LookupRequest resolves the owner of a key from the daemon's view.
+type LookupRequest struct {
+	Key uint64 `json:"key"`
+}
+
+// LookupResponse reports the owner and the metered RPC cost of the
+// lookup.
+type LookupResponse struct {
+	Owner    uint64 `json:"owner"`
+	Calls    int64  `json:"calls"`
+	Messages int64  `json:"messages"`
+}
+
+// NextRequest asks for the immediate clockwise successor of a peer.
+type NextRequest struct {
+	Point uint64 `json:"point"`
+}
+
+// NextResponse carries the successor point.
+type NextResponse struct {
+	Point uint64 `json:"point"`
+}
+
+// SampleRequest draws Count random peers with a King–Saia sampler
+// seeded from Seed.
+type SampleRequest struct {
+	Count int    `json:"count"`
+	Seed  uint64 `json:"seed"`
+}
+
+// SampleResponse lists the drawn peers and the total metered cost.
+type SampleResponse struct {
+	Points []uint64 `json:"points"`
+	Calls  int64    `json:"calls"`
+}
+
+// MetricsResponse is the daemon's meter-snapshot endpoint payload.
+type MetricsResponse struct {
+	Backend       string   `json:"backend"`
+	Owned         []uint64 `json:"owned"`
+	UptimeSeconds float64  `json:"uptime_seconds"`
+	ServedCalls   int64    `json:"served_calls"`
+	Calls         int64    `json:"calls"`
+	Messages      int64    `json:"messages"`
+	Failures      int64    `json:"failures"`
+}
+
+// ctlClient is the shared control-plane HTTP client. Control calls are
+// operator actions, so the deadline is generous relative to RPC
+// timeouts.
+var ctlClient = &http.Client{Timeout: 30 * time.Second}
+
+// postJSON posts in as JSON and decodes the reply into out (skipped
+// when out is nil). Non-200 statuses become errors carrying the body.
+func postJSON(addr, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("cluster: encoding %s request: %w", path, err)
+	}
+	resp, err := ctlClient.Post("http://"+addr+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("cluster: POST %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("cluster: reading %s reply: %w", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: %s: status %d: %s", path, resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("cluster: decoding %s reply: %w", path, err)
+	}
+	return nil
+}
+
+// ProvisionDaemon installs an overlay partition on the daemon at addr.
+func ProvisionDaemon(addr string, req ProvisionRequest) error {
+	return postJSON(addr, "/v1/provision", req, nil)
+}
+
+// JoinAt asks the daemon at addr to join a fresh node via bootstrap.
+func JoinAt(addr string, id, bootstrap ring.Point) error {
+	return postJSON(addr, "/v1/join", JoinRequest{ID: uint64(id), Bootstrap: uint64(bootstrap)}, nil)
+}
+
+// NextAt asks the daemon at addr for p's immediate successor.
+func NextAt(addr string, p ring.Point) (ring.Point, error) {
+	var out NextResponse
+	err := postJSON(addr, "/v1/next", NextRequest{Point: uint64(p)}, &out)
+	return ring.Point(out.Point), err
+}
+
+// LookupAt resolves key's owner from the daemon at addr.
+func LookupAt(addr string, key ring.Point) (LookupResponse, error) {
+	var out LookupResponse
+	err := postJSON(addr, "/v1/lookup", LookupRequest{Key: uint64(key)}, &out)
+	return out, err
+}
+
+// SampleAt draws count peers from the daemon at addr.
+func SampleAt(addr string, count int, seed uint64) (SampleResponse, error) {
+	var out SampleResponse
+	err := postJSON(addr, "/v1/sample", SampleRequest{Count: count, Seed: seed}, &out)
+	return out, err
+}
+
+// MetricsAt fetches the daemon's meter snapshot.
+func MetricsAt(addr string) (MetricsResponse, error) {
+	var out MetricsResponse
+	resp, err := ctlClient.Get("http://" + addr + "/v1/metrics")
+	if err != nil {
+		return out, fmt.Errorf("cluster: GET /v1/metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return out, fmt.Errorf("cluster: /v1/metrics: status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return out, fmt.Errorf("cluster: decoding /v1/metrics: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,259 @@
+package cluster
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"github.com/dht-sampling/randompeer/internal/chord"
+	"github.com/dht-sampling/randompeer/internal/core"
+	"github.com/dht-sampling/randompeer/internal/dht"
+	"github.com/dht-sampling/randompeer/internal/dht/dhttest"
+	"github.com/dht-sampling/randompeer/internal/kademlia"
+	"github.com/dht-sampling/randompeer/internal/ring"
+	"github.com/dht-sampling/randompeer/internal/simnet"
+	"github.com/dht-sampling/randompeer/internal/wire"
+)
+
+// backends under cluster test; both must behave identically to their
+// in-process forms over real sockets.
+var backends = []string{"chord", "kademlia"}
+
+// startCluster spawns an n-daemon cluster and ties its lifetime to the
+// test.
+func startCluster(t *testing.T, n int, clientOpts ...wire.Option) *Cluster {
+	t.Helper()
+	c, err := Start(n, clientOpts...)
+	if err != nil {
+		t.Fatalf("starting %d-daemon cluster: %v", n, err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// TestClusterConformance runs the full DHT conformance suite over a
+// three-process cluster: every routing hop crosses process boundaries
+// on loopback TCP, and the sampler-facing contract — including the
+// metered costs the suite checks — must be exactly what the in-process
+// transports deliver.
+func TestClusterConformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process cluster test")
+	}
+	for _, backend := range backends {
+		backend := backend
+		t.Run(backend, func(t *testing.T) {
+			c := startCluster(t, 3, wire.WithJitterSeed(99))
+			dhttest.Run(t, "cluster-"+backend, func(points []ring.Point) (dht.DHT, error) {
+				return c.Provision(backend, points)
+			})
+		})
+	}
+}
+
+// ownerSeq draws k samples with a King–Saia sampler seeded from seed
+// and returns the chosen owner sequence.
+func ownerSeq(t *testing.T, d dht.DHT, caller dht.Peer, seed uint64, k int) []ring.Point {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, seed^0x2545f4914f6cdd1d))
+	s, err := core.New(d, caller, rng, core.Config{})
+	if err != nil {
+		t.Fatalf("building sampler: %v", err)
+	}
+	out := make([]ring.Point, 0, k)
+	for i := 0; i < k; i++ {
+		peer, err := s.Sample()
+		if err != nil {
+			t.Fatalf("sample %d: %v", i, err)
+		}
+		out = append(out, peer.Point)
+	}
+	return out
+}
+
+// TestClusterDeterminism pins the cluster's end-to-end determinism:
+// the same seed must draw the identical owner sequence whether the
+// overlay lives in one process (simnet.Direct) or is partitioned
+// across three daemons behind wire transports — for both backends.
+func TestClusterDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process cluster test")
+	}
+	const n, seed, k = 48, 17, 120
+	rng := rand.New(rand.NewPCG(seed, seed+1))
+	r, err := ring.Generate(rng, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := r.Points()
+	caller := dht.Peer{Point: points[0], Owner: 0}
+
+	c := startCluster(t, 3, wire.WithJitterSeed(5))
+	for _, backend := range backends {
+		backend := backend
+		t.Run(backend, func(t *testing.T) {
+			var direct dht.DHT
+			switch backend {
+			case "chord":
+				net, err := chord.BuildStatic(chord.Config{}, simnet.NewDirect(), points)
+				if err != nil {
+					t.Fatal(err)
+				}
+				direct, err = net.AsDHT(points[0])
+				if err != nil {
+					t.Fatal(err)
+				}
+			case "kademlia":
+				net, err := kademlia.BuildStatic(kademlia.Config{}, simnet.NewDirect(), points)
+				if err != nil {
+					t.Fatal(err)
+				}
+				direct, err = net.AsDHT(points[0])
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			clustered, err := c.Provision(backend, points)
+			if err != nil {
+				t.Fatalf("provisioning cluster: %v", err)
+			}
+			want := ownerSeq(t, direct, caller, 41, k)
+			got := ownerSeq(t, clustered, caller, 41, k)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("sample %d: cluster drew %v, in-process drew %v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestClusterKillRestart pins the daemon lifecycle semantics: an RPC
+// to a node on a killed daemon fails with ErrNodeDead within the retry
+// budget, and after the daemon restarts on the same port (replaying
+// its provision) the same RPC succeeds again — no routing table
+// rewrites anywhere.
+func TestClusterKillRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process cluster test")
+	}
+	for _, backend := range backends {
+		backend := backend
+		t.Run(backend, func(t *testing.T) {
+			c := startCluster(t, 3,
+				wire.WithJitterSeed(7),
+				wire.WithCallTimeout(500*time.Millisecond),
+				wire.WithRetries(1, 10*time.Millisecond, 40*time.Millisecond))
+			rng := rand.New(rand.NewPCG(23, 29))
+			r, err := ring.Generate(rng, 24)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err := c.Provision(backend, r.Points())
+			if err != nil {
+				t.Fatalf("provisioning: %v", err)
+			}
+			const victim = 2
+			target := dht.Peer{Point: c.Owned(victim)[0]}
+			if _, err := d.Next(target); err != nil {
+				t.Fatalf("next(%v) before kill: %v", target.Point, err)
+			}
+			if err := c.Kill(victim); err != nil {
+				t.Fatalf("killing daemon %d: %v", victim, err)
+			}
+			if _, err := d.Next(target); !errors.Is(err, simnet.ErrNodeDead) {
+				t.Fatalf("next(%v) with daemon %d down: got %v, want ErrNodeDead", target.Point, victim, err)
+			}
+			if err := c.Restart(victim); err != nil {
+				t.Fatalf("restarting daemon %d: %v", victim, err)
+			}
+			// The daemon is healthy and re-provisioned; the next lookup
+			// must succeed within the client's own retry budget.
+			deadline := time.Now().Add(10 * time.Second)
+			for {
+				if _, err := d.Next(target); err == nil {
+					break
+				} else if time.Now().After(deadline) {
+					t.Fatalf("next(%v) still failing after restart: %v", target.Point, err)
+				}
+				time.Sleep(50 * time.Millisecond)
+			}
+		})
+	}
+}
+
+// TestClusterControlPlane exercises the daemon's own control API:
+// daemon-initiated lookups report sensible owners and costs, sampling
+// draws members, and the metrics endpoint reflects the provisioned
+// state and served traffic.
+func TestClusterControlPlane(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process cluster test")
+	}
+	c := startCluster(t, 3, wire.WithJitterSeed(3))
+	rng := rand.New(rand.NewPCG(31, 37))
+	r, err := ring.Generate(rng, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := r.Points()
+	if _, err := c.Provision("chord", points); err != nil {
+		t.Fatalf("provisioning: %v", err)
+	}
+	members := make(map[ring.Point]bool, len(points))
+	for _, p := range points {
+		members[p] = true
+	}
+
+	key := ring.Point(rng.Uint64())
+	look, err := LookupAt(c.Addr(0), key)
+	if err != nil {
+		t.Fatalf("lookup at daemon 0: %v", err)
+	}
+	if want := r.At(r.Successor(key)); ring.Point(look.Owner) != want {
+		t.Fatalf("daemon lookup(%v) = %v, want %v", key, look.Owner, want)
+	}
+	if look.Calls < 1 {
+		t.Fatalf("daemon lookup reported %d calls, want >= 1", look.Calls)
+	}
+
+	first := c.Owned(0)[0]
+	succ, err := NextAt(c.Addr(0), first)
+	if err != nil {
+		t.Fatalf("next at daemon 0: %v", err)
+	}
+	if want := r.At((r.Successor(first) + 1) % len(points)); succ != want {
+		t.Fatalf("daemon next(%v) = %v, want %v", first, succ, want)
+	}
+
+	samp, err := SampleAt(c.Addr(1), 8, 101)
+	if err != nil {
+		t.Fatalf("sample at daemon 1: %v", err)
+	}
+	if len(samp.Points) != 8 {
+		t.Fatalf("sample returned %d points, want 8", len(samp.Points))
+	}
+	for _, p := range samp.Points {
+		if !members[ring.Point(p)] {
+			t.Fatalf("sampled %v is not a member", p)
+		}
+	}
+
+	m, err := MetricsAt(c.Addr(0))
+	if err != nil {
+		t.Fatalf("metrics at daemon 0: %v", err)
+	}
+	if m.Backend != "chord" {
+		t.Fatalf("metrics backend = %q, want chord", m.Backend)
+	}
+	if len(m.Owned) != len(c.Owned(0)) {
+		t.Fatalf("metrics owned = %d points, want %d", len(m.Owned), len(c.Owned(0)))
+	}
+	if m.ServedCalls < 1 {
+		t.Fatalf("metrics served = %d, want >= 1 after cross-daemon lookups", m.ServedCalls)
+	}
+	if m.Calls < 1 {
+		t.Fatalf("metrics calls = %d, want >= 1 (daemon 0 made outgoing lookup hops)", m.Calls)
+	}
+}

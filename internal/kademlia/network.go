@@ -164,6 +164,15 @@ func (n *Network) Join(id, via ring.Point) (*Node, error) {
 	if _, err := n.Node(via); err != nil {
 		return nil, fmt.Errorf("kademlia: join of %v: bootstrap %v: %w", id, via, err)
 	}
+	return n.JoinVia(id, via)
+}
+
+// JoinVia adds a locally hosted node through a bootstrap contact that
+// may live on another process: identical to Join except the bootstrap
+// is not required to be a local node — every interaction with it is an
+// RPC, which the wire transport routes across processes. It is the
+// join path wire-transport daemons use.
+func (n *Network) JoinVia(id, via ring.Point) (*Node, error) {
 	n.mu.RLock()
 	_, exists := n.nodes[id]
 	n.mu.RUnlock()
@@ -743,28 +752,50 @@ func (n *Network) VerifyTables() error {
 // sorted-range trie descent instead of the O(n log n) full scan-and-
 // sort the incremental path would pay per node.
 func BuildStatic(cfg Config, tr simnet.Transport, points []ring.Point) (*Network, error) {
+	return BuildStaticPartition(cfg, tr, points, nil)
+}
+
+// BuildStaticPartition constructs the local shard of a fully populated
+// network that spans multiple processes: the full membership defines
+// every node's buckets and ring pointers, but only the nodes selected
+// by owned are instantiated and registered on this process's
+// transport. The other points must be hosted by peer processes
+// reachable through the transport (the wire transport routes by node
+// id). A nil owned predicate owns everything, which is exactly
+// BuildStatic.
+//
+// Per-node state is a pure function of the sorted membership, so every
+// process computes identical state for its shard and the union across
+// processes is bit-identical to the single-process build.
+func BuildStaticPartition(cfg Config, tr simnet.Transport, points []ring.Point, owned func(ring.Point) bool) (*Network, error) {
 	r, err := ring.New(points)
 	if err != nil {
 		return nil, fmt.Errorf("kademlia: building static network: %w", err)
 	}
 	n := NewNetwork(cfg, tr)
 	sorted := r.Points()
+	ownedIdx := make([]int, 0, len(sorted))
 	nodes := make([]*Node, len(sorted))
 	n.nodes = make(map[ring.Point]*Node, len(sorted))
 	for i, id := range sorted {
+		if owned != nil && !owned(id) {
+			continue
+		}
 		nd := &Node{id: id, net: n, table: newTable(id, n.cfg.BucketSize), succ: id, pred: id, alive: true}
 		if err := tr.Register(simnet.NodeID(id), nd.handle); err != nil {
 			return nil, fmt.Errorf("kademlia: registering node %v: %w", id, err)
 		}
 		n.nodes[id] = nd
 		nodes[i] = nd
+		ownedIdx = append(ownedIdx, i)
 	}
 	n.members = sorted
 	n.epoch++
 	single := r.Len() == 1
-	parallel.Shards(len(nodes), parallel.Workers(len(nodes)), func(lo, hi int) {
+	parallel.Shards(len(ownedIdx), parallel.Workers(len(ownedIdx)), func(lo, hi int) {
 		scratch := make([]ring.Point, 0, n.cfg.BucketSize)
-		for i := lo; i < hi; i++ {
+		for j := lo; j < hi; j++ {
+			i := ownedIdx[j]
 			nd := nodes[i]
 			fillStaticTable(nd, sorted, n.cfg.BucketSize, scratch)
 			if single {

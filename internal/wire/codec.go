@@ -1,0 +1,184 @@
+// Package wire is the real-network transport of the repo: a
+// simnet.Transport carried over HTTP on TCP loopback or LAN sockets.
+// It is the step from simulator to system — the same Chord and
+// Kademlia overlays that run over simnet.Direct and the virtual-clock
+// transport run unmodified across process boundaries, with per-call
+// deadlines, bounded retries with jittered backoff, connection reuse,
+// and network failures mapped into the simnet error taxonomy
+// (timeouts surface as ErrDropped, unreachable nodes as ErrNodeDead).
+//
+// Messages cross the wire through a small self-describing codec:
+// each RPC payload type is registered once under a stable name
+// (RegisterValue / RegisterPointer in the package that owns the type)
+// and travels as a JSON envelope. Registration preserves the exact
+// in-process shape — handlers that type-switch on value types and
+// callers that assert pooled pointer replies both see the same
+// concrete types they see over the in-process transports.
+package wire
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+
+	"github.com/dht-sampling/randompeer/internal/simnet"
+)
+
+// codecEntry decodes one registered payload type.
+type codecEntry struct {
+	name   string
+	decode func(data []byte) (simnet.Message, error)
+}
+
+var (
+	codecMu     sync.RWMutex
+	codecByName = make(map[string]codecEntry)
+	codecByType = make(map[reflect.Type]string)
+)
+
+// RegisterValue registers a payload type that travels as a value: the
+// decoder hands handlers a T, matching type switches on the value.
+// The name must be globally unique and stable across builds (convention:
+// "<package>.<type>"). Registration panics on conflicts, which makes
+// double registration a startup failure instead of silent corruption.
+func RegisterValue[T any](name string) {
+	register(name, reflect.TypeOf((*T)(nil)).Elem(), func(data []byte) (simnet.Message, error) {
+		var v T
+		if err := json.Unmarshal(data, &v); err != nil {
+			return nil, err
+		}
+		return v, nil
+	})
+}
+
+// RegisterPointer registers a payload type that travels as *T: the
+// decoder allocates a fresh T and hands callers the pointer, matching
+// the pooled-reply convention of the overlay RPC layers (the receiving
+// side recycles it into its local pool).
+func RegisterPointer[T any](name string) {
+	register(name, reflect.TypeOf((*T)(nil)), func(data []byte) (simnet.Message, error) {
+		v := new(T)
+		if err := json.Unmarshal(data, v); err != nil {
+			return nil, err
+		}
+		return v, nil
+	})
+}
+
+func register(name string, t reflect.Type, decode func([]byte) (simnet.Message, error)) {
+	codecMu.Lock()
+	defer codecMu.Unlock()
+	if prev, ok := codecByName[name]; ok {
+		panic(fmt.Sprintf("wire: message name %q already registered (%v)", name, prev))
+	}
+	if prev, ok := codecByType[t]; ok {
+		panic(fmt.Sprintf("wire: message type %v already registered as %q", t, prev))
+	}
+	codecByName[name] = codecEntry{name: name, decode: decode}
+	codecByType[t] = name
+}
+
+// encodeMessage serializes a registered payload into its wire name and
+// JSON body. Unregistered types fail loudly: they would be a new RPC
+// added without wiring it for the network transport.
+func encodeMessage(msg simnet.Message) (name string, body []byte, err error) {
+	t := reflect.TypeOf(msg)
+	codecMu.RLock()
+	name, ok := codecByType[t]
+	codecMu.RUnlock()
+	if !ok {
+		return "", nil, fmt.Errorf("wire: message type %T not registered", msg)
+	}
+	body, err = json.Marshal(msg)
+	if err != nil {
+		return "", nil, fmt.Errorf("wire: encoding %T: %w", msg, err)
+	}
+	return name, body, nil
+}
+
+// decodeMessage reconstructs a payload from its wire name and JSON body.
+func decodeMessage(name string, body []byte) (simnet.Message, error) {
+	codecMu.RLock()
+	entry, ok := codecByName[name]
+	codecMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("wire: unknown message name %q", name)
+	}
+	msg, err := entry.decode(body)
+	if err != nil {
+		return nil, fmt.Errorf("wire: decoding %q: %w", name, err)
+	}
+	return msg, nil
+}
+
+// Wire envelope shapes. A request carries the caller and destination
+// node ids plus one encoded payload; a response carries either an
+// encoded payload or a taxonomy-mapped error.
+
+// rpcRequest is the POST body of one RPC.
+type rpcRequest struct {
+	From uint64          `json:"from"`
+	To   uint64          `json:"to"`
+	Type string          `json:"type"`
+	Body json.RawMessage `json:"body"`
+}
+
+// rpcResponse is the reply body of one RPC.
+type rpcResponse struct {
+	Type string          `json:"type,omitempty"`
+	Body json.RawMessage `json:"body,omitempty"`
+	Err  *rpcError       `json:"err,omitempty"`
+}
+
+// rpcError carries a handler or transport error across the wire. Kind
+// identifies the simnet taxonomy sentinel so the caller can rewrap the
+// matching error value; "app" covers handler-level errors outside the
+// taxonomy, which surface verbatim in Msg.
+type rpcError struct {
+	Kind string `json:"kind"`
+	Msg  string `json:"msg"`
+}
+
+// Error kinds on the wire, mapped 1:1 onto the simnet taxonomy.
+const (
+	kindUnknownNode = "unknown"
+	kindNodeDead    = "dead"
+	kindDropped     = "dropped"
+	kindClosed      = "closed"
+	kindApp         = "app"
+)
+
+// errorKind maps an error to its wire kind.
+func errorKind(err error) string {
+	switch {
+	case errors.Is(err, simnet.ErrUnknownNode):
+		return kindUnknownNode
+	case errors.Is(err, simnet.ErrNodeDead):
+		return kindNodeDead
+	case errors.Is(err, simnet.ErrDropped):
+		return kindDropped
+	case errors.Is(err, simnet.ErrClosed):
+		return kindClosed
+	default:
+		return kindApp
+	}
+}
+
+// sentinel returns the simnet taxonomy error a wire kind maps back to,
+// or nil for application-level errors.
+func (e *rpcError) sentinel() error {
+	switch e.Kind {
+	case kindUnknownNode:
+		return simnet.ErrUnknownNode
+	case kindNodeDead:
+		return simnet.ErrNodeDead
+	case kindDropped:
+		return simnet.ErrDropped
+	case kindClosed:
+		return simnet.ErrClosed
+	default:
+		return nil
+	}
+}
