@@ -4,12 +4,18 @@
 GO ?= go
 PR ?= 1
 
+# Build identity stamped into the binaries (reported by randpeerd's
+# /healthz and its randpeerd_build_info metric).
+VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
+COMMIT  ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo unknown)
+LDFLAGS  = -X main.version=$(VERSION) -X main.commit=$(COMMIT)
+
 .PHONY: all build test race vet fmt-check bench bench-snapshot benchdiff cluster-smoke staticcheck vuln profile alloc-check examples clean
 
 all: build test
 
 build:
-	$(GO) build ./...
+	$(GO) build -ldflags '$(LDFLAGS)' ./...
 
 test:
 	$(GO) test ./...

@@ -13,6 +13,11 @@
 // benchdiff prints the regression and exits nonzero, failing `make
 // benchdiff` (and any CI step that runs it).
 //
+// Snapshots record the environment they were measured in (Go version,
+// CPU count, GOMAXPROCS). When the two snapshots disagree, benchdiff
+// warns that the comparison crosses environments — the deltas then
+// measure the machine as much as the code.
+//
 // Usage:
 //
 //	benchdiff [old.json new.json]
@@ -33,15 +38,36 @@ import (
 // kernel/build/churn); those render as "-" and are exempt from the
 // regression gate.
 type Snapshot struct {
-	Benchmark string   `json:"benchmark"`
-	GoVersion string   `json:"go_version"`
-	Peers     int      `json:"peers"`
-	Samples   int      `json:"samples_per_run"`
-	Runs      []Run    `json:"runs"`
-	Transport *Transp  `json:"transport_overhead"`
-	Kernel    *Kernel  `json:"kernel"`
-	Builds    []Build  `json:"builds"`
-	Churn     *ChurnRt `json:"churn"`
+	Benchmark  string   `json:"benchmark"`
+	GoVersion  string   `json:"go_version"`
+	NumCPU     int      `json:"num_cpu"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Peers      int      `json:"peers"`
+	Samples    int      `json:"samples_per_run"`
+	Runs       []Run    `json:"runs"`
+	Transport  *Transp  `json:"transport_overhead"`
+	Kernel     *Kernel  `json:"kernel"`
+	Builds     []Build  `json:"builds"`
+	Churn      *ChurnRt `json:"churn"`
+}
+
+// envMismatches compares the environment benchsnap stamped into two
+// snapshots. Deltas across different toolchains or machines measure the
+// environment, not the code, so benchdiff flags every comparison whose
+// environments differ. Fields a snapshot predates (empty/zero) are not
+// compared.
+func envMismatches(oldSnap, newSnap *Snapshot) []string {
+	var out []string
+	if oldSnap.GoVersion != "" && newSnap.GoVersion != "" && oldSnap.GoVersion != newSnap.GoVersion {
+		out = append(out, fmt.Sprintf("go_version %s -> %s", oldSnap.GoVersion, newSnap.GoVersion))
+	}
+	if oldSnap.NumCPU > 0 && newSnap.NumCPU > 0 && oldSnap.NumCPU != newSnap.NumCPU {
+		out = append(out, fmt.Sprintf("num_cpu %d -> %d", oldSnap.NumCPU, newSnap.NumCPU))
+	}
+	if oldSnap.GOMAXPROCS > 0 && newSnap.GOMAXPROCS > 0 && oldSnap.GOMAXPROCS != newSnap.GOMAXPROCS {
+		out = append(out, fmt.Sprintf("gomaxprocs %d -> %d", oldSnap.GOMAXPROCS, newSnap.GOMAXPROCS))
+	}
+	return out
 }
 
 // Kernel mirrors benchsnap's kernel event-loop section.
@@ -111,6 +137,10 @@ func run(args []string) int {
 	}
 	fmt.Printf("benchdiff: %s (n=%d, k=%d) -> %s (n=%d, k=%d)\n",
 		oldPath, oldSnap.Peers, oldSnap.Samples, newPath, newSnap.Peers, newSnap.Samples)
+	mismatches := envMismatches(oldSnap, newSnap)
+	for _, m := range mismatches {
+		fmt.Fprintln(os.Stderr, "benchdiff: WARNING: cross-environment comparison:", m)
+	}
 	fmt.Printf("%-8s  %14s  %14s  %8s  %12s  %14s\n",
 		"workers", "old samples/s", "new samples/s", "speedup", "new ns/samp", "new allocs/samp")
 	byWorkers := make(map[int]Run, len(oldSnap.Runs))
@@ -166,6 +196,9 @@ func run(args []string) int {
 	if len(regressions) > 0 {
 		for _, r := range regressions {
 			fmt.Fprintln(os.Stderr, "benchdiff: REGRESSION:", r)
+		}
+		if len(mismatches) > 0 {
+			fmt.Fprintln(os.Stderr, "benchdiff: note: the snapshots were taken in different environments (see warnings above); re-measure on one machine before trusting these deltas")
 		}
 		return 1
 	}

@@ -83,3 +83,37 @@ func TestBenchdiffToleratesMissingSections(t *testing.T) {
 		t.Fatalf("exit = %d, want 0 when the old snapshot predates the sections", code)
 	}
 }
+
+func TestBenchdiffEnvMismatchDetection(t *testing.T) {
+	same := &Snapshot{GoVersion: "go1.24.0", NumCPU: 8, GOMAXPROCS: 8}
+	if ms := envMismatches(same, same); len(ms) != 0 {
+		t.Fatalf("identical environments flagged: %v", ms)
+	}
+	other := &Snapshot{GoVersion: "go1.23.1", NumCPU: 4, GOMAXPROCS: 2}
+	if ms := envMismatches(same, other); len(ms) != 3 {
+		t.Fatalf("got %d mismatches, want 3: %v", len(ms), ms)
+	}
+	// Snapshots that predate the environment fields never flag.
+	empty := &Snapshot{}
+	if ms := envMismatches(empty, same); len(ms) != 0 {
+		t.Fatalf("pre-env snapshot flagged: %v", ms)
+	}
+}
+
+func TestBenchdiffWarnsAcrossEnvironmentsButStillPasses(t *testing.T) {
+	dir := t.TempDir()
+	oldP := write(t, dir, "old.json", `{
+  "benchmark": "batch-throughput", "go_version": "go1.23.1", "num_cpu": 4, "gomaxprocs": 4,
+  "peers": 1000, "samples_per_run": 100,
+  "runs": [{"workers": 1, "samples_per_sec": 50000}]
+}`)
+	newP := write(t, dir, "new.json", `{
+  "benchmark": "batch-throughput", "go_version": "go1.24.0", "num_cpu": 8, "gomaxprocs": 8,
+  "peers": 1000, "samples_per_run": 100,
+  "runs": [{"workers": 1, "samples_per_sec": 52000}]
+}`)
+	// A cross-environment comparison warns but does not fail on its own.
+	if code := run([]string{oldP, newP}); code != 0 {
+		t.Fatalf("exit = %d, want 0 (warning only) for cross-environment comparison", code)
+	}
+}

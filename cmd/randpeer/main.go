@@ -107,6 +107,7 @@ func cmdSample(args []string) error {
 		sampler = fs.String("sampler", "king-saia", "king-saia or naive")
 		backend = fs.String("backend", "oracle", "DHT substrate: "+randompeer.BackendNames())
 		latency = fs.String("latency", "", "latency model for simulated time (e.g. constant:1ms); empty = off")
+		trace   = fs.Bool("trace", false, "after the batch, trace one sample hop-by-hop (chord/kademlia backends)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -160,6 +161,32 @@ func cmdSample(args []string) error {
 			(tb.VirtualTime() / time.Duration(*k)).Round(time.Microsecond))
 	}
 	fmt.Printf("rate:      %.0f samples/sec (%v elapsed)\n", persec, res.Elapsed.Round(time.Microsecond))
+	if *trace {
+		return printTrace(tb, s)
+	}
+	return nil
+}
+
+// printTrace draws one extra sample with hop tracing armed and prints
+// the hop-by-hop record plus its reconciliation against the meter.
+func printTrace(tb *randompeer.Testbed, s randompeer.Sampler) error {
+	meter := tb.DHT().Meter()
+	before := meter.Snapshot()
+	peer, tr, err := tb.TraceSample(s)
+	if err != nil {
+		return err
+	}
+	charged := meter.Snapshot().Sub(before).Calls
+	fmt.Printf("trace:     id %#x drew owner %d (point %#x): %d hops, %d ok, meter charged %d calls\n",
+		tr.ID(), peer.Owner, uint64(peer.Point), tr.Len(), tr.OKHops(), charged)
+	for _, h := range tr.Hops() {
+		lat, unit := time.Duration(h.WallNanos), "wall"
+		if tb.SimTime() {
+			lat, unit = time.Duration(h.VirtualNanos), "virtual"
+		}
+		fmt.Printf("  hop %2d: %016x -> %016x  %-30s %-8s %v %s\n",
+			h.Index, h.From, h.To, h.RPC, h.Outcome, lat, unit)
+	}
 	return nil
 }
 

@@ -10,13 +10,17 @@
 // The daemon serves:
 //
 //	POST /wire          node-to-node RPCs (wire transport protocol)
-//	GET  /healthz       readiness probe
+//	GET  /healthz       readiness probe with build identity
+//	GET  /metrics       Prometheus text exposition (obs registry)
+//	GET  /debug/pprof/  runtime profiling (pprof index, profiles)
 //	POST /v1/provision  install an overlay partition (backend, points,
 //	                    owned subset, point->address routes)
 //	POST /v1/join       join a fresh node through a routed bootstrap
 //	POST /v1/lookup     resolve the owner of a key, reporting RPC cost
 //	POST /v1/next       one successor step from a peer
 //	POST /v1/sample     draw K random peers with the King–Saia sampler
+//	POST /v1/trace      run one traced lookup, returning its hop record
+//	GET  /v1/trace?id=N spans this process retained for a trace id
 //	GET  /v1/metrics    meter snapshot, served-call count, uptime
 //
 // On startup it prints "randpeerd: listening on ADDR" to stdout, which
@@ -31,8 +35,11 @@ import (
 	"math/rand/v2"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime/debug"
+	"strconv"
 	"sync"
 	"syscall"
 	"time"
@@ -42,10 +49,40 @@ import (
 	"github.com/dht-sampling/randompeer/internal/core"
 	"github.com/dht-sampling/randompeer/internal/dht"
 	"github.com/dht-sampling/randompeer/internal/kademlia"
+	"github.com/dht-sampling/randompeer/internal/obs"
 	"github.com/dht-sampling/randompeer/internal/ring"
 	"github.com/dht-sampling/randompeer/internal/simnet"
 	"github.com/dht-sampling/randompeer/internal/wire"
 )
+
+// version and commit are stamped at build time via
+//
+//	-ldflags "-X main.version=... -X main.commit=..."
+//
+// (the Makefile's build target does this). Unstamped builds fall back
+// to the VCS revision Go embeds in the build info, then to "unknown".
+var (
+	version = "dev"
+	commit  = ""
+)
+
+// buildIdentity resolves the daemon's version and commit.
+func buildIdentity() (string, string) {
+	v, c := version, commit
+	if c == "" {
+		if bi, ok := debug.ReadBuildInfo(); ok {
+			for _, s := range bi.Settings {
+				if s.Key == "vcs.revision" {
+					c = s.Value
+				}
+			}
+		}
+	}
+	if c == "" {
+		c = "unknown"
+	}
+	return v, c
+}
 
 func main() {
 	os.Exit(run(os.Args[1:]))
@@ -105,11 +142,17 @@ type overlayDHT interface {
 	Self() dht.Peer
 }
 
+// traceLogCapacity bounds the server-side span ring: enough to hold
+// every hop of many concurrent traced lookups without growing.
+const traceLogCapacity = 4096
+
 // daemon holds one provisioned overlay partition and serves the
 // control API over the same HTTP server as the wire RPC endpoint.
 type daemon struct {
 	tr    *wire.Transport
 	start time.Time
+	reg   *obs.Registry
+	tlog  *obs.TraceLog
 
 	mu      sync.Mutex
 	backend string
@@ -119,22 +162,98 @@ type daemon struct {
 }
 
 func newDaemon(tr *wire.Transport) *daemon {
-	return &daemon{tr: tr, start: time.Now()}
+	d := &daemon{
+		tr:    tr,
+		start: time.Now(),
+		reg:   obs.NewRegistry(),
+		tlog:  obs.NewTraceLog(traceLogCapacity),
+	}
+	tr.SetTraceLog(d.tlog)
+	tr.RegisterMetrics(d.reg)
+	v, c := buildIdentity()
+	d.reg.Gauge("randpeerd_build_info",
+		"Build identity; the value is always 1.",
+		obs.Label{Name: "version", Value: v},
+		obs.Label{Name: "commit", Value: c},
+	).Set(1)
+	d.reg.GaugeFunc("randpeerd_uptime_seconds",
+		"Seconds since the daemon started.",
+		func() float64 { return time.Since(d.start).Seconds() })
+	d.reg.GaugeFunc("randpeerd_owned_nodes",
+		"Overlay nodes hosted by this daemon's current partition.",
+		func() float64 {
+			d.mu.Lock()
+			defer d.mu.Unlock()
+			return float64(len(d.owned))
+		})
+	return d
 }
 
 func (d *daemon) mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle(wire.RPCPath, d.tr.RPCHandler())
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("/healthz", d.handleHealthz)
+	mux.Handle("/metrics", d.reg.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/v1/provision", d.handleProvision)
 	mux.HandleFunc("/v1/join", d.handleJoin)
 	mux.HandleFunc("/v1/lookup", d.handleLookup)
 	mux.HandleFunc("/v1/next", d.handleNext)
 	mux.HandleFunc("/v1/sample", d.handleSample)
+	mux.HandleFunc("/v1/trace", d.handleTrace)
 	mux.HandleFunc("/v1/metrics", d.handleMetrics)
 	return mux
+}
+
+func (d *daemon) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	v, c := buildIdentity()
+	writeJSON(w, cluster.HealthResponse{Status: "ok", Version: v, Commit: c})
+}
+
+// handleTrace serves both trace operations: POST runs one traced
+// lookup and returns its client-side hop record; GET ?id=N returns the
+// spans this process retained for a trace id (populated when this
+// daemon served RPCs belonging to a trace someone else ran).
+func (d *daemon) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodGet {
+		id, err := strconv.ParseUint(r.URL.Query().Get("id"), 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "trace: bad or missing id: %v", err)
+			return
+		}
+		writeJSON(w, cluster.TraceSpansResponse{TraceID: id, Spans: d.tlog.ByID(id)})
+		return
+	}
+	var req cluster.TraceRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.view == nil {
+		httpError(w, http.StatusConflict, "trace: daemon not provisioned")
+		return
+	}
+	tr := obs.NewTrace()
+	d.tr.SetTrace(tr)
+	before := d.view.Meter().Snapshot()
+	peer, err := d.view.H(ring.Point(req.Key))
+	cost := d.view.Meter().Snapshot().Sub(before)
+	d.tr.SetTrace(nil)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "trace: %v", err)
+		return
+	}
+	writeJSON(w, cluster.TraceResponse{
+		TraceID: tr.ID(),
+		Owner:   uint64(peer.Point),
+		Calls:   cost.Calls,
+		Hops:    tr.Hops(),
+	})
 }
 
 func (d *daemon) handleProvision(w http.ResponseWriter, r *http.Request) {

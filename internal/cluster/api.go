@@ -19,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/dht-sampling/randompeer/internal/obs"
 	"github.com/dht-sampling/randompeer/internal/ring"
 )
 
@@ -93,6 +94,38 @@ type MetricsResponse struct {
 	Calls         int64    `json:"calls"`
 	Messages      int64    `json:"messages"`
 	Failures      int64    `json:"failures"`
+}
+
+// HealthResponse is the daemon's /healthz payload: liveness plus the
+// build identity stamped into the binary.
+type HealthResponse struct {
+	Status  string `json:"status"`
+	Version string `json:"version"`
+	Commit  string `json:"commit"`
+}
+
+// TraceRequest runs one traced lookup on the daemon: the key's owner
+// is resolved with hop tracing armed on the daemon's transport.
+type TraceRequest struct {
+	Key uint64 `json:"key"`
+}
+
+// TraceResponse reports the traced lookup: the owner, the trace id
+// (usable against every daemon's GET /v1/trace?id=N for the spans each
+// process observed), the meter's charged calls for the lookup, and the
+// client-side hop record.
+type TraceResponse struct {
+	TraceID uint64    `json:"trace_id"`
+	Owner   uint64    `json:"owner"`
+	Calls   int64     `json:"calls"`
+	Hops    []obs.Hop `json:"hops"`
+}
+
+// TraceSpansResponse lists the spans one process retained for a trace
+// id (GET /v1/trace?id=N).
+type TraceSpansResponse struct {
+	TraceID uint64    `json:"trace_id"`
+	Spans   []obs.Hop `json:"spans"`
 }
 
 // ctlClient is the shared control-plane HTTP client. Control calls are
@@ -172,6 +205,48 @@ func MetricsAt(addr string) (MetricsResponse, error) {
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		return out, fmt.Errorf("cluster: decoding /v1/metrics: %w", err)
+	}
+	return out, nil
+}
+
+// HealthAt fetches the daemon's health and build identity.
+func HealthAt(addr string) (HealthResponse, error) {
+	var out HealthResponse
+	resp, err := ctlClient.Get("http://" + addr + "/healthz")
+	if err != nil {
+		return out, fmt.Errorf("cluster: GET /healthz: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return out, fmt.Errorf("cluster: /healthz: status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return out, fmt.Errorf("cluster: decoding /healthz: %w", err)
+	}
+	return out, nil
+}
+
+// TraceAt runs one traced lookup on the daemon at addr.
+func TraceAt(addr string, key ring.Point) (TraceResponse, error) {
+	var out TraceResponse
+	err := postJSON(addr, "/v1/trace", TraceRequest{Key: uint64(key)}, &out)
+	return out, err
+}
+
+// TraceSpansAt fetches the spans the daemon at addr retained for a
+// trace id.
+func TraceSpansAt(addr string, id uint64) (TraceSpansResponse, error) {
+	var out TraceSpansResponse
+	resp, err := ctlClient.Get(fmt.Sprintf("http://%s/v1/trace?id=%d", addr, id))
+	if err != nil {
+		return out, fmt.Errorf("cluster: GET /v1/trace: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return out, fmt.Errorf("cluster: /v1/trace: status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return out, fmt.Errorf("cluster: decoding /v1/trace: %w", err)
 	}
 	return out, nil
 }

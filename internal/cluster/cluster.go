@@ -32,7 +32,10 @@ var (
 
 // DaemonBinary builds cmd/randpeerd once per process (into a temp
 // directory) and returns the binary path. RANDPEERD_BIN overrides the
-// build with a prebuilt binary.
+// build with a prebuilt binary. The build stamps the current commit
+// into the binary when git can report one, mirroring the Makefile's
+// ldflags, so /healthz and the build_info metric identify the build
+// even in test clusters.
 func DaemonBinary() (string, error) {
 	binOnce.Do(func() {
 		if env := os.Getenv("RANDPEERD_BIN"); env != "" {
@@ -50,13 +53,30 @@ func DaemonBinary() (string, error) {
 			return
 		}
 		binPath = filepath.Join(dir, "randpeerd")
-		cmd := exec.Command("go", "build", "-o", binPath, "./cmd/randpeerd")
+		args := []string{"build"}
+		if commit := gitCommit(root); commit != "" {
+			args = append(args, "-ldflags", "-X main.version=test -X main.commit="+commit)
+		}
+		args = append(args, "-o", binPath, "./cmd/randpeerd")
+		cmd := exec.Command("go", args...)
 		cmd.Dir = root
 		if out, err := cmd.CombinedOutput(); err != nil {
 			binErr = fmt.Errorf("cluster: building randpeerd: %v\n%s", err, out)
 		}
 	})
 	return binPath, binErr
+}
+
+// gitCommit returns the short commit hash of the repo at root, or ""
+// when git is unavailable (builds must not fail over a missing VCS).
+func gitCommit(root string) string {
+	cmd := exec.Command("git", "rev-parse", "--short", "HEAD")
+	cmd.Dir = root
+	out, err := cmd.Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
 }
 
 // moduleRoot walks up from the working directory to the go.mod.
@@ -77,11 +97,47 @@ func moduleRoot() (string, error) {
 	}
 }
 
+// stderrTailCap bounds the per-daemon stderr capture.
+const stderrTailCap = 8 << 10
+
+// tailBuffer keeps the most recent cap bytes written to it. It lets
+// harness failure messages carry the crashed daemon's stderr instead
+// of a bare "connection refused". Safe for concurrent use (the daemon
+// process writes while the harness reads on failure).
+type tailBuffer struct {
+	mu  sync.Mutex
+	cap int
+	buf []byte
+}
+
+func newTailBuffer(capacity int) *tailBuffer {
+	return &tailBuffer{cap: capacity}
+}
+
+// Write implements io.Writer, never failing.
+func (t *tailBuffer) Write(p []byte) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.buf = append(t.buf, p...)
+	if over := len(t.buf) - t.cap; over > 0 {
+		t.buf = append(t.buf[:0], t.buf[over:]...)
+	}
+	return len(p), nil
+}
+
+// String returns the captured tail.
+func (t *tailBuffer) String() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return string(t.buf)
+}
+
 // Daemon is one spawned randpeerd process. Its address stays stable
 // across Kill/Restart so routing tables never need rewriting.
 type Daemon struct {
-	addr string
-	cmd  *exec.Cmd
+	addr   string
+	cmd    *exec.Cmd
+	stderr *tailBuffer
 
 	// lastProvision is replayed after a restart so the daemon rejoins
 	// the overlay with its original partition.
@@ -90,6 +146,16 @@ type Daemon struct {
 
 // Addr returns the daemon's host:port.
 func (d *Daemon) Addr() string { return d.addr }
+
+// StderrTail returns the most recent stderr output of the daemon's
+// current (or last) process — the first thing to include in a failure
+// message when the daemon stops answering.
+func (d *Daemon) StderrTail() string {
+	if d.stderr == nil {
+		return ""
+	}
+	return d.stderr.String()
+}
 
 // Cluster is a set of randpeerd processes plus a client-side wire
 // transport hosting the caller's own node, together forming one
@@ -133,7 +199,11 @@ func Start(n int, clientOpts ...wire.Option) (*Cluster, error) {
 // cluster runs are reproducible.
 func spawn(bin, listen string, jitterSeed uint64) (*Daemon, error) {
 	cmd := exec.Command(bin, "-listen", listen, "-jitter-seed", fmt.Sprint(jitterSeed))
-	cmd.Stderr = os.Stderr
+	// Tee stderr: the daemon's output stays visible live, and the tail
+	// is retained so failures can say WHY a daemon died instead of just
+	// "connection refused".
+	tail := newTailBuffer(stderrTailCap)
+	cmd.Stderr = io.MultiWriter(os.Stderr, tail)
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		return nil, err
@@ -146,13 +216,13 @@ func spawn(bin, listen string, jitterSeed uint64) (*Daemon, error) {
 	go func() {
 		sc := bufio.NewScanner(stdout)
 		if !sc.Scan() {
-			errc <- fmt.Errorf("cluster: daemon exited before announcing its address")
+			errc <- fmt.Errorf("cluster: daemon exited before announcing its address%s", stderrSuffix(tail))
 			return
 		}
 		line := sc.Text()
 		const prefix = "randpeerd: listening on "
 		if !strings.HasPrefix(line, prefix) {
-			errc <- fmt.Errorf("cluster: unexpected daemon banner %q", line)
+			errc <- fmt.Errorf("cluster: unexpected daemon banner %q%s", line, stderrSuffix(tail))
 			return
 		}
 		addrc <- strings.TrimSpace(strings.TrimPrefix(line, prefix))
@@ -169,14 +239,24 @@ func spawn(bin, listen string, jitterSeed uint64) (*Daemon, error) {
 	case <-time.After(readyDeadline):
 		_ = cmd.Process.Kill()
 		_ = cmd.Wait()
-		return nil, fmt.Errorf("cluster: daemon did not announce an address within %v", readyDeadline)
+		return nil, fmt.Errorf("cluster: daemon did not announce an address within %v%s", readyDeadline, stderrSuffix(tail))
 	}
 	if err := waitReady(addr, readyDeadline); err != nil {
 		_ = cmd.Process.Kill()
 		_ = cmd.Wait()
-		return nil, err
+		return nil, fmt.Errorf("%w%s", err, stderrSuffix(tail))
 	}
-	return &Daemon{addr: addr, cmd: cmd}, nil
+	return &Daemon{addr: addr, cmd: cmd, stderr: tail}, nil
+}
+
+// stderrSuffix formats a captured stderr tail for inclusion in a
+// failure message ("" when nothing was captured).
+func stderrSuffix(tail *tailBuffer) string {
+	s := strings.TrimSpace(tail.String())
+	if s == "" {
+		return ""
+	}
+	return "\ndaemon stderr:\n" + s
 }
 
 // waitReady polls /healthz until it answers 200 or the deadline runs
@@ -204,6 +284,14 @@ func (c *Cluster) Size() int { return len(c.daemons) }
 
 // Addr returns daemon i's host:port.
 func (c *Cluster) Addr(i int) string { return c.daemons[i].addr }
+
+// StderrTail returns the most recent stderr output of daemon i.
+func (c *Cluster) StderrTail(i int) string { return c.daemons[i].StderrTail() }
+
+// Client returns the caller-side wire transport created by the last
+// Provision (nil before the first). Tests arm traces and register
+// metrics on it.
+func (c *Cluster) Client() *wire.Transport { return c.client }
 
 // Owned returns the points assigned to daemon i by the last Provision.
 func (c *Cluster) Owned(i int) []ring.Point { return c.owned[i] }
@@ -236,7 +324,7 @@ func (c *Cluster) Restart(i int) error {
 	for {
 		nd, err := spawn(c.bin, d.addr, uint64(i+1))
 		if err == nil {
-			d.cmd = nd.cmd
+			d.cmd, d.stderr = nd.cmd, nd.stderr
 			break
 		}
 		if time.Now().After(end) {

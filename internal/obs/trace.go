@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"math/rand/v2"
+	"sync"
+)
+
+// Hop-level lookup tracing. A Trace is armed on a transport
+// (simnet.Direct, the virtual-clock transport in internal/sim, or the
+// wire transport) for the duration of one lookup or sample; the
+// transport records every RPC it carries while the trace is armed —
+// hop index, endpoints, RPC payload type, virtual and wall latency,
+// and the outcome in the simnet error taxonomy. With no trace armed
+// the hook is a single atomic pointer load returning nil, so the
+// sampling hot path stays allocation-free and the alloc-budget tests
+// and benchdiff gate are unaffected.
+//
+// Traces are strictly per-lookup: arm one, run one sequential
+// operation, disarm. Arming a trace while concurrent callers share the
+// transport interleaves their hops into one record — supported (Record
+// is locked) but rarely what an experiment wants.
+
+// Hop is one recorded RPC within a traced lookup.
+type Hop struct {
+	// Index is the hop's position in the trace, assigned by Record.
+	Index int `json:"index"`
+	// From and To are the transport node ids of the RPC endpoints.
+	From uint64 `json:"from"`
+	To   uint64 `json:"to"`
+	// RPC names the payload type (e.g. "chord.nextHopReq").
+	RPC string `json:"rpc"`
+	// VirtualNanos is the simulated round-trip latency (virtual-clock
+	// transports only; zero elsewhere).
+	VirtualNanos int64 `json:"virtual_ns,omitempty"`
+	// WallNanos is the measured wall-clock round trip.
+	WallNanos int64 `json:"wall_ns"`
+	// Outcome classifies the result in the simnet error taxonomy:
+	// "ok", "unknown", "dead", "dropped", "closed" or "app".
+	Outcome string `json:"outcome"`
+	// Remote marks hops that crossed a process boundary (wire
+	// transport only).
+	Remote bool `json:"remote,omitempty"`
+	// Attempts is the number of network attempts the hop consumed
+	// (wire transport only; >1 means retries fired).
+	Attempts int `json:"attempts,omitempty"`
+}
+
+// Trace collects the hops of one traced lookup. Create with NewTrace.
+// All methods are nil-safe: calling Record on a nil *Trace is a no-op,
+// which lets transports pass their (possibly nil) armed trace down
+// helper paths without re-checking.
+type Trace struct {
+	id   uint64
+	mu   sync.Mutex
+	hops []Hop
+}
+
+// NewTrace returns an empty trace with a random nonzero id. The id
+// travels in wire RPC envelopes so serving processes can correlate the
+// hops they observe with the client's trace.
+func NewTrace() *Trace {
+	id := rand.Uint64()
+	if id == 0 {
+		id = 1
+	}
+	return &Trace{id: id}
+}
+
+// ID returns the trace id (zero only on a nil trace).
+func (t *Trace) ID() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.id
+}
+
+// Record appends one hop, assigning its index. No-op on a nil trace.
+func (t *Trace) Record(h Hop) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	h.Index = len(t.hops)
+	t.hops = append(t.hops, h)
+	t.mu.Unlock()
+}
+
+// Hops returns a copy of the recorded hops in order.
+func (t *Trace) Hops() []Hop {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Hop(nil), t.hops...)
+}
+
+// Len returns the number of recorded hops.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.hops)
+}
+
+// OKHops returns the number of hops that completed successfully — the
+// count that reconciles with the meter's charged calls for the same
+// operation (failed hops are charged as meter failures instead).
+func (t *Trace) OKHops() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, h := range t.hops {
+		if h.Outcome == "ok" {
+			n++
+		}
+	}
+	return n
+}
+
+// Traceable is implemented by transports that support hop tracing.
+// SetTrace(nil) disarms.
+type Traceable interface {
+	SetTrace(t *Trace)
+}
+
+// Span is one hop observed by a process other than the trace's owner:
+// a serving-side record correlated by the trace id carried in the wire
+// envelope.
+type Span struct {
+	TraceID uint64 `json:"trace_id"`
+	Hop
+}
+
+// TraceLog is a bounded ring of serving-side spans. The wire transport
+// records every inbound RPC that carries a trace id; /v1/trace?id=N
+// queries the log so a cluster's hop records can be assembled from all
+// processes. The zero value is unusable; create with NewTraceLog.
+type TraceLog struct {
+	mu   sync.Mutex
+	buf  []Span
+	next int
+	full bool
+}
+
+// NewTraceLog returns a log keeping the most recent capacity spans
+// (capacity < 1 is clamped to 1).
+func NewTraceLog(capacity int) *TraceLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &TraceLog{buf: make([]Span, capacity)}
+}
+
+// Record appends one span, evicting the oldest when full.
+func (l *TraceLog) Record(traceID uint64, h Hop) {
+	l.mu.Lock()
+	l.buf[l.next] = Span{TraceID: traceID, Hop: h}
+	l.next++
+	if l.next == len(l.buf) {
+		l.next, l.full = 0, true
+	}
+	l.mu.Unlock()
+}
+
+// ByID returns the retained spans for one trace id, oldest first.
+func (l *TraceLog) ByID(id uint64) []Hop {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Hop
+	scan := func(s Span) {
+		if s.TraceID == id {
+			out = append(out, s.Hop)
+		}
+	}
+	if l.full {
+		for _, s := range l.buf[l.next:] {
+			scan(s)
+		}
+	}
+	for _, s := range l.buf[:l.next] {
+		scan(s)
+	}
+	return out
+}

@@ -140,6 +140,13 @@ type Kernel struct {
 	processed   uint64
 	free        []*proc // parked coroutines ready for reuse
 	observer    func(at time.Duration, seq uint64, proc string)
+
+	// Kernel statistics (see Stats). Plain fields like the rest of the
+	// kernel state: updated only by the event loop's goroutine, read by
+	// Stats between runs.
+	heapHW       int    // high-water event-queue depth
+	procsStarted uint64 // coroutine goroutines created
+	procsReused  uint64 // spawns served from the pool
 }
 
 // NewKernel returns a kernel whose Rand is seeded from seed. Equal seeds
@@ -189,6 +196,9 @@ func eventLess(a, b *event) bool {
 // heapPush appends e and sifts it up.
 func (k *Kernel) heapPush(e event) {
 	q := append(k.queue, e)
+	if len(q) > k.heapHW {
+		k.heapHW = len(q)
+	}
 	i := len(q) - 1
 	for i > 0 {
 		parent := (i - 1) >> 2
@@ -268,9 +278,11 @@ func (k *Kernel) getProc(name string) *proc {
 		p = k.free[n-1]
 		k.free[n-1] = nil
 		k.free = k.free[:n-1]
+		k.procsReused++
 	} else {
 		p = &proc{resume: make(chan struct{}), yield: make(chan struct{})}
 		go p.loop()
+		k.procsStarted++
 	}
 	p.name = name
 	return p

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/dht-sampling/randompeer/internal/obs"
 	"github.com/dht-sampling/randompeer/internal/simnet"
 )
 
@@ -46,9 +47,16 @@ type Transport struct {
 	// load when no slowdowns or link delays are installed.
 	slow  atomic.Pointer[map[simnet.NodeID]float64]
 	delay atomic.Pointer[map[[2]simnet.NodeID]time.Duration]
+
+	// trace, when armed, records one obs.Hop per Call. Disarmed it is
+	// one atomic pointer load on the hot path.
+	trace atomic.Pointer[obs.Trace]
 }
 
-var _ simnet.Transport = (*Transport)(nil)
+var (
+	_ simnet.Transport = (*Transport)(nil)
+	_ obs.Traceable    = (*Transport)(nil)
+)
 
 // TransportOption configures a Transport.
 type TransportOption func(*Transport)
@@ -228,11 +236,41 @@ func (t *Transport) Deregister(id simnet.NodeID) {
 	delete(t.handlers, id)
 }
 
+// SetTrace arms (nil disarms) hop tracing. Traced hops carry both the
+// virtual round trip (from the transport clock) and the wall-clock
+// time the call took to execute. Virtual deltas are per-call accurate
+// for sequential lookups; under a kernel with concurrent processes the
+// clock advances for everyone, so arm traces on quiesced lookups.
+func (t *Transport) SetTrace(tr *obs.Trace) { t.trace.Store(tr) }
+
 // Call implements simnet.Transport. The destination is resolved only
 // after the latency has elapsed, so a node deregistered (crashed) while
 // the message is in flight fails the call — asynchronous churn is
 // visible to in-flight RPCs.
 func (t *Transport) Call(from, to simnet.NodeID, msg simnet.Message) (simnet.Message, error) {
+	if tr := t.trace.Load(); tr != nil {
+		return t.callTraced(tr, from, to, msg)
+	}
+	return t.call(from, to, msg)
+}
+
+// callTraced wraps call with virtual and wall timing plus a hop record.
+func (t *Transport) callTraced(tr *obs.Trace, from, to simnet.NodeID, msg simnet.Message) (simnet.Message, error) {
+	startWall := time.Now()
+	startVirt := t.Now()
+	resp, err := t.call(from, to, msg)
+	tr.Record(obs.Hop{
+		From:         uint64(from),
+		To:           uint64(to),
+		RPC:          simnet.MessageName(msg),
+		VirtualNanos: int64(t.Now() - startVirt),
+		WallNanos:    time.Since(startWall).Nanoseconds(),
+		Outcome:      simnet.ErrorClass(err),
+	})
+	return resp, err
+}
+
+func (t *Transport) call(from, to simnet.NodeID, msg simnet.Message) (simnet.Message, error) {
 	lat := t.constRTT
 	konst := lat != 0 && !t.shaped.Load()
 	if !konst {

@@ -3,6 +3,10 @@ package simnet
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/dht-sampling/randompeer/internal/obs"
 )
 
 // Direct is a synchronous in-process transport: Call invokes the
@@ -15,9 +19,13 @@ type Direct struct {
 	closed   bool
 	meter    Meter
 	faults   *Faults
+	trace    atomic.Pointer[obs.Trace]
 }
 
-var _ Transport = (*Direct)(nil)
+var (
+	_ Transport     = (*Direct)(nil)
+	_ obs.Traceable = (*Direct)(nil)
+)
 
 // DirectOption configures a Direct transport.
 type DirectOption func(*Direct)
@@ -60,9 +68,35 @@ func (d *Direct) Deregister(id NodeID) {
 	delete(d.handlers, id)
 }
 
+// SetTrace arms (nil disarms) hop tracing: while armed, every Call
+// records one obs.Hop. Disarmed, the hook costs one atomic pointer
+// load, keeping the sampling hot path allocation-free.
+func (d *Direct) SetTrace(t *obs.Trace) { d.trace.Store(t) }
+
 // Call implements Transport. The handler runs synchronously with no
 // transport locks held, so handlers may call back into the transport.
 func (d *Direct) Call(from, to NodeID, msg Message) (Message, error) {
+	if tr := d.trace.Load(); tr != nil {
+		return d.callTraced(tr, from, to, msg)
+	}
+	return d.call(from, to, msg)
+}
+
+// callTraced wraps call with wall timing and a hop record.
+func (d *Direct) callTraced(tr *obs.Trace, from, to NodeID, msg Message) (Message, error) {
+	start := time.Now()
+	resp, err := d.call(from, to, msg)
+	tr.Record(obs.Hop{
+		From:      uint64(from),
+		To:        uint64(to),
+		RPC:       MessageName(msg),
+		WallNanos: time.Since(start).Nanoseconds(),
+		Outcome:   ErrorClass(err),
+	})
+	return resp, err
+}
+
+func (d *Direct) call(from, to NodeID, msg Message) (Message, error) {
 	d.mu.RLock()
 	if d.closed {
 		d.mu.RUnlock()

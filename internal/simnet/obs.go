@@ -1,0 +1,43 @@
+package simnet
+
+import (
+	"errors"
+	"reflect"
+)
+
+// ErrorClass classifies an RPC outcome into the transport error
+// taxonomy: "ok" for success, "unknown" / "dead" / "dropped" /
+// "closed" for the four transport errors, and "app" for errors the
+// destination handler returned. The strings are stable: the wire codec
+// carries them in error envelopes and the obs layer uses them as
+// metric label values and trace hop outcomes.
+func ErrorClass(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, ErrUnknownNode):
+		return "unknown"
+	case errors.Is(err, ErrNodeDead):
+		return "dead"
+	case errors.Is(err, ErrDropped):
+		return "dropped"
+	case errors.Is(err, ErrClosed):
+		return "closed"
+	default:
+		return "app"
+	}
+}
+
+// MessageName names an RPC payload type for trace records (e.g.
+// "chord.nextHopReq"). It reflects on the payload, so transports call
+// it only on traced paths.
+func MessageName(msg Message) string {
+	if msg == nil {
+		return "<nil>"
+	}
+	t := reflect.TypeOf(msg)
+	for t.Kind() == reflect.Pointer {
+		t = t.Elem()
+	}
+	return t.String()
+}

@@ -18,7 +18,6 @@ package wire
 
 import (
 	"encoding/json"
-	"errors"
 	"fmt"
 	"reflect"
 	"sync"
@@ -117,12 +116,16 @@ func decodeMessage(name string, body []byte) (simnet.Message, error) {
 // node ids plus one encoded payload; a response carries either an
 // encoded payload or a taxonomy-mapped error.
 
-// rpcRequest is the POST body of one RPC.
+// rpcRequest is the POST body of one RPC. Trace, when nonzero, is the
+// obs trace id of the lookup this RPC belongs to: the serving process
+// records the hop it observes into its trace log under that id, so
+// /v1/trace?id=N can assemble a cluster-wide hop record.
 type rpcRequest struct {
-	From uint64          `json:"from"`
-	To   uint64          `json:"to"`
-	Type string          `json:"type"`
-	Body json.RawMessage `json:"body"`
+	From  uint64          `json:"from"`
+	To    uint64          `json:"to"`
+	Type  string          `json:"type"`
+	Body  json.RawMessage `json:"body"`
+	Trace uint64          `json:"trace,omitempty"`
 }
 
 // rpcResponse is the reply body of one RPC.
@@ -141,7 +144,9 @@ type rpcError struct {
 	Msg  string `json:"msg"`
 }
 
-// Error kinds on the wire, mapped 1:1 onto the simnet taxonomy.
+// Error kinds on the wire, mapped 1:1 onto the simnet taxonomy — the
+// same strings simnet.ErrorClass produces and the obs layer uses as
+// label values.
 const (
 	kindUnknownNode = "unknown"
 	kindNodeDead    = "dead"
@@ -151,20 +156,7 @@ const (
 )
 
 // errorKind maps an error to its wire kind.
-func errorKind(err error) string {
-	switch {
-	case errors.Is(err, simnet.ErrUnknownNode):
-		return kindUnknownNode
-	case errors.Is(err, simnet.ErrNodeDead):
-		return kindNodeDead
-	case errors.Is(err, simnet.ErrDropped):
-		return kindDropped
-	case errors.Is(err, simnet.ErrClosed):
-		return kindClosed
-	default:
-		return kindApp
-	}
-}
+func errorKind(err error) string { return simnet.ErrorClass(err) }
 
 // sentinel returns the simnet taxonomy error a wire kind maps back to,
 // or nil for application-level errors.

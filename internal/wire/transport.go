@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/dht-sampling/randompeer/internal/obs"
 	"github.com/dht-sampling/randompeer/internal/simnet"
 )
 
@@ -63,6 +64,13 @@ type Transport struct {
 	meter  simnet.Meter
 	faults *simnet.Faults
 	served atomic.Int64
+	stats  wireStats
+
+	// trace, when armed, records one obs.Hop per Call (client side);
+	// tlog, when set, records spans for inbound RPCs carrying a trace
+	// id (server side). Both are one atomic pointer load when unused.
+	trace atomic.Pointer[obs.Trace]
+	tlog  atomic.Pointer[obs.TraceLog]
 
 	callTimeout time.Duration
 	maxRetries  int
@@ -78,7 +86,41 @@ type Transport struct {
 	lis    net.Listener
 }
 
-var _ simnet.Transport = (*Transport)(nil)
+var (
+	_ simnet.Transport = (*Transport)(nil)
+	_ obs.Traceable    = (*Transport)(nil)
+)
+
+// wireStats carries the transport's always-on counters: cheap atomic
+// adds beside the meter charges, exposed through RegisterMetrics.
+type wireStats struct {
+	localCalls   atomic.Int64 // calls dispatched to an in-process handler
+	remoteCalls  atomic.Int64 // calls routed to a remote process
+	attempts     atomic.Int64 // network attempts (first tries + retries)
+	retries      atomic.Int64 // attempts beyond a call's first
+	backoffNanos atomic.Int64 // total time spent in retry backoff
+	fails        [5]atomic.Int64
+}
+
+// failKinds indexes wireStats.fails; the order matches failIndex.
+var failKinds = [5]string{kindUnknownNode, kindNodeDead, kindDropped, kindClosed, kindApp}
+
+// failIndex maps a taxonomy class to its wireStats.fails slot.
+func failIndex(class string) int {
+	for i, k := range failKinds {
+		if k == class {
+			return i
+		}
+	}
+	return 4 // "app"
+}
+
+// chargeFailure records a failed call on both the meter and the
+// per-kind counter.
+func (t *Transport) chargeFailure(err error) {
+	t.meter.ChargeFailure()
+	t.stats.fails[failIndex(simnet.ErrorClass(err))].Add(1)
+}
 
 // Option configures a Transport.
 type Option func(*Transport)
@@ -253,63 +295,113 @@ func (t *Transport) Close() error {
 	return nil
 }
 
+// SetTrace arms (nil disarms) client-side hop tracing: while armed,
+// every Call records one obs.Hop, and remote calls carry the trace id
+// in their wire envelope so serving processes log the matching span.
+// Disarmed, the hook is one atomic pointer load.
+func (t *Transport) SetTrace(tr *obs.Trace) { t.trace.Store(tr) }
+
+// SetTraceLog installs the server-side span log: every inbound RPC
+// whose envelope carries a trace id records the hop this process
+// observed (handler wall time, outcome class). The daemon queries the
+// log through /v1/trace?id=N.
+func (t *Transport) SetTraceLog(l *obs.TraceLog) { t.tlog.Store(l) }
+
 // Call implements simnet.Transport.
 func (t *Transport) Call(from, to simnet.NodeID, msg simnet.Message) (simnet.Message, error) {
+	tr := t.trace.Load()
+	if tr == nil {
+		resp, _, _, err := t.call(from, to, msg, 0)
+		return resp, err
+	}
+	start := time.Now()
+	resp, remote, attempts, err := t.call(from, to, msg, tr.ID())
+	tr.Record(obs.Hop{
+		From:      uint64(from),
+		To:        uint64(to),
+		RPC:       simnet.MessageName(msg),
+		WallNanos: time.Since(start).Nanoseconds(),
+		Outcome:   simnet.ErrorClass(err),
+		Remote:    remote,
+		Attempts:  attempts,
+	})
+	return resp, err
+}
+
+// call is the body of Call: one logical RPC, dispatched in-process or
+// over the network. It reports whether the destination was remote and
+// how many network attempts the call consumed (0 for local dispatch),
+// and records the wall round trip of every success into the meter's
+// latency histogram — which is what the wire_rpc_duration_seconds
+// metric exposes, so histogram count reconciles with meter calls by
+// construction.
+func (t *Transport) call(from, to simnet.NodeID, msg simnet.Message, traceID uint64) (simnet.Message, bool, int, error) {
 	t.mu.RLock()
 	closed := t.closed
 	h := t.handlers[to]
 	addr := t.routes[to]
 	t.mu.RUnlock()
 	if closed {
-		return nil, simnet.ErrClosed
+		return nil, false, 0, simnet.ErrClosed
 	}
 	if err := t.faults.Check(to); err != nil {
-		t.meter.ChargeFailure()
-		return nil, fmt.Errorf("call %d->%d: %w", from, to, err)
+		t.chargeFailure(err)
+		return nil, false, 0, fmt.Errorf("call %d->%d: %w", from, to, err)
 	}
 	if h != nil {
 		// In-process destination: dispatch directly, exactly like
 		// simnet.Direct (no transport locks held during the handler).
+		t.stats.localCalls.Add(1)
+		start := time.Now()
 		resp, err := h(from, msg)
 		if err != nil {
-			t.meter.ChargeFailure()
-			return nil, fmt.Errorf("call %d->%d: %w", from, to, err)
+			t.chargeFailure(err)
+			return nil, false, 0, fmt.Errorf("call %d->%d: %w", from, to, err)
 		}
 		t.meter.ChargeSuccess()
-		return resp, nil
+		t.meter.RecordLatency(time.Since(start))
+		return resp, false, 0, nil
 	}
 	if addr == "" {
-		t.meter.ChargeFailure()
-		return nil, fmt.Errorf("call %d->%d: %w", from, to, simnet.ErrUnknownNode)
+		t.chargeFailure(simnet.ErrUnknownNode)
+		return nil, true, 0, fmt.Errorf("call %d->%d: %w", from, to, simnet.ErrUnknownNode)
 	}
-	resp, err := t.callRemote(from, to, addr, msg)
+	t.stats.remoteCalls.Add(1)
+	start := time.Now()
+	resp, attempts, err := t.callRemote(from, to, addr, msg, traceID)
 	if err != nil {
-		t.meter.ChargeFailure()
-		return nil, err
+		t.chargeFailure(err)
+		return nil, true, attempts, err
 	}
 	t.meter.ChargeSuccess()
-	return resp, nil
+	t.meter.RecordLatency(time.Since(start))
+	return resp, true, attempts, nil
 }
 
 // callRemote performs one logical RPC against a remote process:
 // bounded attempts with jittered exponential backoff between them,
-// each attempt under its own deadline.
-func (t *Transport) callRemote(from, to simnet.NodeID, addr string, msg simnet.Message) (simnet.Message, error) {
+// each attempt under its own deadline. It returns the number of
+// attempts consumed.
+func (t *Transport) callRemote(from, to simnet.NodeID, addr string, msg simnet.Message, traceID uint64) (simnet.Message, int, error) {
 	name, body, err := encodeMessage(msg)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	reqBody, err := json.Marshal(rpcRequest{From: uint64(from), To: uint64(to), Type: name, Body: body})
+	reqBody, err := json.Marshal(rpcRequest{From: uint64(from), To: uint64(to), Type: name, Body: body, Trace: traceID})
 	if err != nil {
-		return nil, fmt.Errorf("wire: encoding request envelope: %w", err)
+		return nil, 0, fmt.Errorf("wire: encoding request envelope: %w", err)
 	}
 	url := "http://" + addr + RPCPath
 	var lastErr error
 	attempts := t.maxRetries + 1
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
-			t.sleep(t.backoff(attempt))
+			d := t.backoff(attempt)
+			t.stats.retries.Add(1)
+			t.stats.backoffNanos.Add(int64(d))
+			t.sleep(d)
 		}
+		t.stats.attempts.Add(1)
 		reply, err := t.attempt(url, reqBody)
 		if err != nil {
 			lastErr = err
@@ -319,17 +411,17 @@ func (t *Transport) callRemote(from, to simnet.NodeID, addr string, msg simnet.M
 			// The remote process answered: handler-level and taxonomy
 			// errors are authoritative, not transient — no retry.
 			if sentinel := reply.Err.sentinel(); sentinel != nil {
-				return nil, fmt.Errorf("call %d->%d: %w (remote: %s)", from, to, sentinel, reply.Err.Msg)
+				return nil, attempt + 1, fmt.Errorf("call %d->%d: %w (remote: %s)", from, to, sentinel, reply.Err.Msg)
 			}
-			return nil, fmt.Errorf("call %d->%d: remote: %s", from, to, reply.Err.Msg)
+			return nil, attempt + 1, fmt.Errorf("call %d->%d: remote: %s", from, to, reply.Err.Msg)
 		}
 		resp, err := decodeMessage(reply.Type, reply.Body)
 		if err != nil {
-			return nil, fmt.Errorf("call %d->%d: %w", from, to, err)
+			return nil, attempt + 1, fmt.Errorf("call %d->%d: %w", from, to, err)
 		}
-		return resp, nil
+		return resp, attempt + 1, nil
 	}
-	return nil, fmt.Errorf("call %d->%d: %w (%d attempts to %s: %v)",
+	return nil, attempts, fmt.Errorf("call %d->%d: %w (%d attempts to %s: %v)",
 		from, to, mapNetError(lastErr), attempts, addr, lastErr)
 }
 
@@ -416,7 +508,32 @@ func (t *Transport) RPCHandler() http.Handler {
 }
 
 // serveRPC dispatches one decoded inbound RPC to its local handler.
+// When the request carries a trace id and a trace log is installed,
+// the hop this process observed is recorded under that id.
 func (t *Transport) serveRPC(req *rpcRequest) *rpcResponse {
+	start := time.Now()
+	resp := t.dispatchRPC(req)
+	if req.Trace != 0 {
+		if l := t.tlog.Load(); l != nil {
+			outcome := "ok"
+			if resp.Err != nil {
+				outcome = resp.Err.Kind
+			}
+			l.Record(req.Trace, obs.Hop{
+				From:      req.From,
+				To:        req.To,
+				RPC:       req.Type,
+				WallNanos: time.Since(start).Nanoseconds(),
+				Outcome:   outcome,
+				Remote:    true,
+			})
+		}
+	}
+	return resp
+}
+
+// dispatchRPC is the untraced body of serveRPC.
+func (t *Transport) dispatchRPC(req *rpcRequest) *rpcResponse {
 	to := simnet.NodeID(req.To)
 	t.mu.RLock()
 	closed := t.closed
@@ -441,6 +558,47 @@ func (t *Transport) serveRPC(req *rpcRequest) *rpcResponse {
 		return &rpcResponse{Err: &rpcError{Kind: kindApp, Msg: err.Error()}}
 	}
 	return &rpcResponse{Type: name, Body: body}
+}
+
+// RegisterMetrics exposes the transport's counters and its per-call
+// latency histogram on an obs registry under the wire_ prefix. The
+// histogram is the meter's: every successful Call records its wall
+// round trip there, so the exposed count equals the meter's charged
+// calls — the reconciliation the cluster smoke test asserts.
+func (t *Transport) RegisterMetrics(r *obs.Registry) {
+	r.CounterFunc("wire_rpc_calls_total",
+		"Outbound RPCs by destination locality.",
+		func() float64 { return float64(t.stats.localCalls.Load()) },
+		obs.Label{Name: "dest", Value: "local"})
+	r.CounterFunc("wire_rpc_calls_total",
+		"Outbound RPCs by destination locality.",
+		func() float64 { return float64(t.stats.remoteCalls.Load()) },
+		obs.Label{Name: "dest", Value: "remote"})
+	for i, kind := range failKinds {
+		c := &t.stats.fails[i]
+		r.CounterFunc("wire_rpc_failures_total",
+			"Failed outbound RPCs by simnet taxonomy class.",
+			func() float64 { return float64(c.Load()) },
+			obs.Label{Name: "kind", Value: kind})
+	}
+	r.CounterFunc("wire_rpc_attempts_total",
+		"Network attempts (first tries plus retries) for remote RPCs.",
+		func() float64 { return float64(t.stats.attempts.Load()) })
+	r.CounterFunc("wire_rpc_retries_total",
+		"Retry attempts beyond each remote RPC's first.",
+		func() float64 { return float64(t.stats.retries.Load()) })
+	r.CounterFunc("wire_rpc_backoff_seconds_total",
+		"Total time spent sleeping in retry backoff.",
+		func() float64 { return float64(t.stats.backoffNanos.Load()) / 1e9 })
+	r.CounterFunc("wire_rpc_served_total",
+		"Inbound RPCs served by this process (successfully or not).",
+		func() float64 { return float64(t.served.Load()) })
+	r.HistogramFunc("wire_rpc_duration_seconds",
+		"Wall round-trip time of successful outbound RPCs.",
+		func() obs.HistSnapshot {
+			l := t.meter.Latency()
+			return obs.HistSnapshot{Count: l.Count, SumNanos: l.SumNanos, Buckets: l.Buckets}
+		})
 }
 
 // writeReply serializes one response envelope.

@@ -41,6 +41,7 @@ import (
 	"github.com/dht-sampling/randompeer/internal/core"
 	"github.com/dht-sampling/randompeer/internal/dht"
 	"github.com/dht-sampling/randompeer/internal/kademlia"
+	"github.com/dht-sampling/randompeer/internal/obs"
 	"github.com/dht-sampling/randompeer/internal/ring"
 	"github.com/dht-sampling/randompeer/internal/sim"
 	"github.com/dht-sampling/randompeer/internal/simnet"
@@ -75,6 +76,11 @@ type (
 	// LatencySnapshot is an immutable view of the per-RPC virtual
 	// latency histogram a time-simulating testbed records.
 	LatencySnapshot = simnet.Latency
+	// Trace is a hop-level record of one traced operation (see
+	// TraceSample).
+	Trace = obs.Trace
+	// Hop is one RPC within a Trace.
+	Hop = obs.Hop
 )
 
 // ParseLatencyModel parses a -latency flag spec such as "constant:1ms",
@@ -406,6 +412,50 @@ func (tb *Testbed) VerifyUniformity(nHat float64) (*Assignment, error) {
 		return nil, err
 	}
 	return core.Analyze(tb.r, params.Lambda, params.MaxSteps)
+}
+
+// traceableTransport returns the testbed's transport as an
+// obs.Traceable, or an error for backends with no real transport.
+func (tb *Testbed) traceableTransport() (obs.Traceable, error) {
+	var t simnet.Transport
+	switch tb.backend {
+	case ChordBackend:
+		t = tb.net.Transport()
+	case KademliaBackend:
+		t = tb.knet.Transport()
+	default:
+		return nil, fmt.Errorf("randompeer: tracing requires a transport-backed backend (chord or kademlia), not %s", tb.backend)
+	}
+	tr, ok := t.(obs.Traceable)
+	if !ok {
+		return nil, fmt.Errorf("randompeer: transport %T does not support hop tracing", t)
+	}
+	return tr, nil
+}
+
+// TraceSample draws one peer with hop tracing armed on the testbed's
+// transport: the returned Trace records every RPC the sample issued —
+// hop order, endpoints, RPC name, latency and outcome. The trace's
+// successful hop count equals the meter's charged calls for the same
+// operation. Tracing is available on the Chord and Kademlia backends
+// (the oracle models RPCs without executing them).
+//
+// Tracing is strictly per-operation: TraceSample arms the transport,
+// samples once and disarms, so do not call it concurrently with other
+// work on the same testbed.
+func (tb *Testbed) TraceSample(s Sampler) (Peer, *Trace, error) {
+	tr, err := tb.traceableTransport()
+	if err != nil {
+		return Peer{}, nil, err
+	}
+	trace := obs.NewTrace()
+	tr.SetTrace(trace)
+	defer tr.SetTrace(nil)
+	peer, err := s.Sample()
+	if err != nil {
+		return Peer{}, trace, err
+	}
+	return peer, trace, nil
 }
 
 // ChordNetwork exposes the underlying Chord network for protocol-level

@@ -1,0 +1,104 @@
+package randompeer
+
+import (
+	"testing"
+)
+
+// TestTraceSampleReconcilesWithMeter is the observability ground truth:
+// on both transport-backed backends, the successful hops a trace
+// records must equal the calls the meter charged for the same sample.
+func TestTraceSampleReconcilesWithMeter(t *testing.T) {
+	t.Parallel()
+	for _, tc := range []struct {
+		name    string
+		backend Backend
+	}{
+		{"chord", ChordBackend},
+		{"kademlia", KademliaBackend},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			tb, err := New(WithPeers(64), WithSeed(17), WithBackend(tc.backend))
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := tb.UniformSampler(23)
+			if err != nil {
+				t.Fatal(err)
+			}
+			meter := tb.DHT().Meter()
+			for i := 0; i < 20; i++ {
+				before := meter.Snapshot()
+				peer, trace, err := tb.TraceSample(s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				charged := meter.Snapshot().Sub(before).Calls
+				if got := int64(trace.OKHops()); got != charged {
+					t.Fatalf("sample %d: trace has %d ok hops, meter charged %d calls\nhops: %+v",
+						i, got, charged, trace.Hops())
+				}
+				if trace.Len() > 0 {
+					hops := trace.Hops()
+					for j, h := range hops {
+						if h.Index != j {
+							t.Fatalf("hop %d has index %d", j, h.Index)
+						}
+						if h.RPC == "" {
+							t.Fatalf("hop %d has empty rpc name", j)
+						}
+						if h.Outcome == "" {
+							t.Fatalf("hop %d has empty outcome", j)
+						}
+					}
+				}
+				if peer.Owner < 0 || peer.Owner >= tb.Size() {
+					t.Fatalf("sample %d: owner %d out of range", i, peer.Owner)
+				}
+			}
+		})
+	}
+}
+
+// TestTraceSampleDisarms checks tracing is strictly per-operation: a
+// sample after TraceSample must not grow the previous trace.
+func TestTraceSampleDisarms(t *testing.T) {
+	t.Parallel()
+	tb, err := New(WithPeers(32), WithSeed(5), WithBackend(ChordBackend))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := tb.UniformSampler(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, trace, err := tb.TraceSample(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := trace.Len()
+	if _, err := s.Sample(); err != nil {
+		t.Fatal(err)
+	}
+	if trace.Len() != n {
+		t.Fatalf("trace grew after disarm: %d -> %d hops", n, trace.Len())
+	}
+}
+
+// TestTraceSampleOracleRejected checks the oracle backend (which models
+// RPC costs without executing RPCs) refuses to trace.
+func TestTraceSampleOracleRejected(t *testing.T) {
+	t.Parallel()
+	tb, err := New(WithPeers(32), WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := tb.UniformSampler(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := tb.TraceSample(s); err == nil {
+		t.Fatal("oracle backend should refuse tracing")
+	}
+}
