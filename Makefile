@@ -10,7 +10,7 @@ VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 COMMIT  ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo unknown)
 LDFLAGS  = -X main.version=$(VERSION) -X main.commit=$(COMMIT)
 
-.PHONY: all build test race vet fmt-check bench bench-snapshot benchdiff cluster-smoke staticcheck vuln profile alloc-check examples clean
+.PHONY: all build test race vet fmt-check bench bench-snapshot benchdiff cluster-smoke slo-report staticcheck vuln profile alloc-check examples clean
 
 all: build test
 
@@ -63,6 +63,13 @@ benchdiff:
 # control-plane and kill/restart suites over real sockets.
 cluster-smoke:
 	$(GO) test -run 'TestCluster' -v ./internal/cluster/
+
+# E28 per-backend SLO report (quick mode) — the markdown artifact the
+# CI slo job uploads. Drop -quick (edit here or run the command by
+# hand) for the full 512-peer scenario.
+slo-report:
+	$(GO) run ./cmd/experiments -run E28 -quick -slo-report slo-report.md
+	@echo "wrote slo-report.md"
 
 # Static analysis beyond vet. CI installs the tool; locally run
 # `go install honnef.co/go/tools/cmd/staticcheck@2024.1.1` once.

@@ -3,7 +3,9 @@
 // per-worker-count deltas — samples/sec, ns/sample and allocs/sample —
 // plus the scenario-scale sections: kernel events/sec (proc and
 // callback paths), per-backend construction peers/sec, async-churn
-// events/sec and the sim-transport overhead. With no arguments it picks
+// events/sec, the per-backend E28 SLO records (p99 latency, error
+// budget and objective verdict — where higher is worse, the gate
+// inverts) and the sim-transport overhead. With no arguments it picks
 // the two highest-numbered BENCH_*.json in the current directory, so
 // `make benchdiff` always reports the latest PR-over-PR change in the
 // perf trajectory.
@@ -49,6 +51,7 @@ type Snapshot struct {
 	Kernel     *Kernel  `json:"kernel"`
 	Builds     []Build  `json:"builds"`
 	Churn      *ChurnRt `json:"churn"`
+	SLO        []SLORec `json:"slo"`
 }
 
 // envMismatches compares the environment benchsnap stamped into two
@@ -88,6 +91,22 @@ type Build struct {
 type ChurnRt struct {
 	Peers        int     `json:"peers"`
 	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// SLORec mirrors benchsnap's per-backend E28 SLO section. The latency,
+// availability and budget fields are deterministic functions of the
+// scenario (not wall-clock measurements), so their gate catches
+// behavioral regressions — a slower walk, a less effective maintenance
+// sweep — that throughput noise would hide. RequestsPerSecWall is the
+// section's one wall-clock rate and gates like the other rates.
+type SLORec struct {
+	Backend            string  `json:"backend"`
+	Peers              int     `json:"peers"`
+	P99Ms              float64 `json:"p99_ms"`
+	Availability       float64 `json:"availability"`
+	BudgetConsumedPct  float64 `json:"budget_consumed_pct"`
+	RequestsPerSecWall float64 `json:"requests_per_sec_wall"`
+	Met                bool    `json:"met"`
 }
 
 // Run is one timed configuration of a snapshot. The per-sample fields
@@ -177,6 +196,19 @@ func run(args []string) int {
 				fmt.Sprintf("%s regressed %.1f%% (%.0f -> %.0f)", name, 100*(1-newV/oldV), oldV, newV))
 		}
 	}
+	// checkUp gates metrics where higher is worse (latency, budget
+	// burn): the newer snapshot regresses when it exceeds the old value
+	// by more than the tolerance.
+	checkUp := func(name string, oldV, newV float64) {
+		if oldV <= 0 || newV <= 0 {
+			return
+		}
+		fmt.Printf("%-28s  %14.2f  %14.2f  %6.2fx\n", name, oldV, newV, newV/oldV)
+		if newV > oldV*(1+regressionTolerance) {
+			regressions = append(regressions,
+				fmt.Sprintf("%s regressed %.1f%% (%.2f -> %.2f)", name, 100*(newV/oldV-1), oldV, newV))
+		}
+	}
 	if oldSnap.Kernel != nil && newSnap.Kernel != nil {
 		check("kernel proc events/sec", oldSnap.Kernel.ProcEventsPerSec, newSnap.Kernel.ProcEventsPerSec)
 		check("kernel callback events/sec", oldSnap.Kernel.CallbackEventsPerSec, newSnap.Kernel.CallbackEventsPerSec)
@@ -192,6 +224,24 @@ func run(args []string) int {
 	}
 	if oldSnap.Churn != nil && newSnap.Churn != nil && oldSnap.Churn.Peers == newSnap.Churn.Peers {
 		check("churn events/sec", oldSnap.Churn.EventsPerSec, newSnap.Churn.EventsPerSec)
+	}
+	oldSLO := make(map[string]SLORec, len(oldSnap.SLO))
+	for _, s := range oldSnap.SLO {
+		oldSLO[s.Backend] = s
+	}
+	for _, ns := range newSnap.SLO {
+		prev, ok := oldSLO[ns.Backend]
+		if !ok || prev.Peers != ns.Peers {
+			continue
+		}
+		check("slo "+ns.Backend+" req/sec wall", prev.RequestsPerSecWall, ns.RequestsPerSecWall)
+		checkUp("slo "+ns.Backend+" p99 ms", prev.P99Ms, ns.P99Ms)
+		checkUp("slo "+ns.Backend+" budget %", prev.BudgetConsumedPct, ns.BudgetConsumedPct)
+		if prev.Met && !ns.Met {
+			regressions = append(regressions,
+				fmt.Sprintf("slo %s: objectives previously met, now missed (availability %.4f -> %.4f)",
+					ns.Backend, prev.Availability, ns.Availability))
+		}
 	}
 	if len(regressions) > 0 {
 		for _, r := range regressions {

@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strconv"
 	"testing"
 )
 
@@ -81,6 +82,53 @@ func TestBenchdiffToleratesMissingSections(t *testing.T) {
 	newP := write(t, dir, "new.json", baseSnap)
 	if code := run([]string{oldP, newP}); code != 0 {
 		t.Fatalf("exit = %d, want 0 when the old snapshot predates the sections", code)
+	}
+}
+
+// sloSnap builds a one-section snapshot around an E28 SLO record.
+func sloSnap(p99, budget, reqPerSec float64, met bool) string {
+	return `{
+  "benchmark": "batch-throughput", "peers": 1000, "samples_per_run": 100,
+  "runs": [{"workers": 1, "samples_per_sec": 50000}],
+  "slo": [{"backend": "chord", "peers": 512,
+    "p99_ms": ` + strconv.FormatFloat(p99, 'f', -1, 64) + `,
+    "availability": 0.99,
+    "budget_consumed_pct": ` + strconv.FormatFloat(budget, 'f', -1, 64) + `,
+    "requests_per_sec_wall": ` + strconv.FormatFloat(reqPerSec, 'f', -1, 64) + `,
+    "met": ` + strconv.FormatBool(met) + `}]
+}`
+}
+
+func TestBenchdiffSLOGateInvertsForLatencyAndBudget(t *testing.T) {
+	dir := t.TempDir()
+	oldP := write(t, dir, "old.json", sloSnap(800, 40, 900, true))
+
+	// Faster p99, less budget burned, higher wall rate: an improvement.
+	better := write(t, dir, "better.json", sloSnap(700, 30, 1000, true))
+	if code := run([]string{oldP, better}); code != 0 {
+		t.Fatalf("exit = %d, want 0 for an SLO improvement", code)
+	}
+
+	// p99 up 20%: higher is worse, the inverted gate must fire.
+	slower := write(t, dir, "slower.json", sloSnap(960, 40, 900, true))
+	if code := run([]string{oldP, slower}); code != 1 {
+		t.Fatalf("exit = %d, want 1 for a >10%% p99 regression", code)
+	}
+
+	// Budget consumed up 20% at unchanged latency: also a regression.
+	burned := write(t, dir, "burned.json", sloSnap(800, 48, 900, true))
+	if code := run([]string{oldP, burned}); code != 1 {
+		t.Fatalf("exit = %d, want 1 for a >10%% budget-burn regression", code)
+	}
+}
+
+func TestBenchdiffSLOGateFailsOnMetFlip(t *testing.T) {
+	dir := t.TempDir()
+	oldP := write(t, dir, "old.json", sloSnap(800, 40, 900, true))
+	// Same rates, but the objectives flipped from met to missed.
+	missed := write(t, dir, "missed.json", sloSnap(800, 40, 900, false))
+	if code := run([]string{oldP, missed}); code != 1 {
+		t.Fatalf("exit = %d, want 1 when objectives flip from met to missed", code)
 	}
 }
 

@@ -76,6 +76,7 @@ type Snapshot struct {
 	Builds     []BuildBench       `json:"builds,omitempty"`
 	Churn      *ChurnBench        `json:"churn,omitempty"`
 	E27        *E27Scale          `json:"e27,omitempty"`
+	SLO        []SLOBench         `json:"slo,omitempty"`
 	Note       string             `json:"note,omitempty"`
 }
 
@@ -101,6 +102,7 @@ func run(args []string) int {
 		churnEv  = fs.Int("churn-events", 2000, "async churn events to drive")
 		e27N     = fs.Int("e27-n", 1_000_000, "chord network size for the E27 scenario run (0 disables)")
 		e27Ev    = fs.Int("e27-events", 48, "churn events in the E27 scenario run")
+		sloOn    = fs.Bool("slo", true, "run the E28 SLO scenarios (open-loop load under churn, both backends)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -133,6 +135,13 @@ func run(args []string) int {
 	}
 	if *e27N > 0 {
 		snap.E27, err = measureE27(*e27N, *e27Ev, 200, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsnap:", err)
+			return 1
+		}
+	}
+	if *sloOn {
+		snap.SLO, err = measureSLO([]string{"chord", "kademlia"}, *seed)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchsnap:", err)
 			return 1

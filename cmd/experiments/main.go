@@ -1,5 +1,5 @@
 // Command experiments regenerates every table and figure-series of the
-// King–Saia reproduction (experiments E1-E27, indexed in DESIGN.md).
+// King–Saia reproduction (experiments E1-E28, indexed in DESIGN.md).
 // The substrate experiments enumerate randompeer.Backends(), so a new
 // DHT backend shows up in their tables without any change here.
 //
@@ -46,6 +46,7 @@ func run(args []string) int {
 		list    = fs.Bool("list", false, "list experiments and exit")
 		workers = fs.Int("workers", runtime.GOMAXPROCS(0), "goroutines for experiments and their sweep points")
 		latency = fs.String("latency", "", "latency model for the simulated-time experiments (default constant:1ms)")
+		sloOut  = fs.String("slo-report", "", "also write the per-backend E28 SLO report (markdown) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -92,10 +93,48 @@ func run(args []string) int {
 			}
 		}
 	}
+	if *sloOut != "" {
+		if err := writeSLOReport(*sloOut, *seed, *quick, *latency); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			failures++
+		} else {
+			fmt.Printf("wrote SLO report to %s\n", *sloOut)
+		}
+	}
 	if failures > 0 {
 		return 1
 	}
 	return 0
+}
+
+// writeSLOReport runs the E28 scenario per backend with the same seed
+// derivation the E28 table uses and writes the full markdown report —
+// the artifact the CI smoke job uploads. Same seed, same mode: the
+// report's numbers match the table's.
+func writeSLOReport(path string, seed uint64, quick bool, latency string) error {
+	model, err := exp.RunConfig{Latency: latency}.LatencyModel()
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("creating %s: %w", path, err)
+	}
+	defer f.Close()
+	for _, backend := range []string{"chord", "kademlia"} {
+		sc := exp.DefaultSLOScenario(backend, quick, model, seed^0x28^uint64(len(backend)))
+		res, err := exp.RunSLOScenario(sc)
+		if err != nil {
+			return fmt.Errorf("E28 %s: %w", backend, err)
+		}
+		if err := res.WriteMarkdownReport(f); err != nil {
+			return fmt.Errorf("writing %s: %w", path, err)
+		}
+		if _, err := fmt.Fprintln(f); err != nil {
+			return err
+		}
+	}
+	return f.Close()
 }
 
 func selectExperiments(spec string) ([]exp.Experiment, error) {

@@ -6,6 +6,7 @@
 //
 //	randpeerd [-listen ADDR] [-call-timeout D] [-retries N]
 //	          [-backoff-base D] [-backoff-cap D] [-jitter-seed S]
+//	          [-slo-window D]
 //
 // The daemon serves:
 //
@@ -22,6 +23,9 @@
 //	POST /v1/trace      run one traced lookup, returning its hop record
 //	GET  /v1/trace?id=N spans this process retained for a trace id
 //	GET  /v1/metrics    meter snapshot, served-call count, uptime
+//	GET  /v1/slo        live windowed SLO report (?flush=1 cuts the
+//	                    current partial window first; -slo-window sets
+//	                    the cadence, 0 disables)
 //
 // On startup it prints "randpeerd: listening on ADDR" to stdout, which
 // the cluster harness parses to discover the bound port.
@@ -96,6 +100,7 @@ func run(args []string) int {
 	backoffBase := fs.Duration("backoff-base", wire.DefaultBackoffBase, "pre-jitter delay before the first retry")
 	backoffCap := fs.Duration("backoff-cap", wire.DefaultBackoffCap, "pre-jitter retry delay cap")
 	jitterSeed := fs.Uint64("jitter-seed", 0, "backoff jitter seed (0 seeds from entropy)")
+	sloWindow := fs.Duration("slo-window", 5*time.Second, "live SLO recorder window (0 disables /v1/slo)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -108,6 +113,10 @@ func run(args []string) int {
 		opts = append(opts, wire.WithJitterSeed(*jitterSeed))
 	}
 	d := newDaemon(wire.NewTransport(opts...))
+	if *sloWindow > 0 {
+		d.slor = startSLORecorder(d.reg, *sloWindow)
+		defer d.slor.Stop()
+	}
 
 	lis, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -153,6 +162,7 @@ type daemon struct {
 	start time.Time
 	reg   *obs.Registry
 	tlog  *obs.TraceLog
+	slor  *sloRecorder // nil when -slo-window is 0
 
 	mu      sync.Mutex
 	backend string
@@ -206,6 +216,7 @@ func (d *daemon) mux() *http.ServeMux {
 	mux.HandleFunc("/v1/sample", d.handleSample)
 	mux.HandleFunc("/v1/trace", d.handleTrace)
 	mux.HandleFunc("/v1/metrics", d.handleMetrics)
+	mux.HandleFunc("/v1/slo", d.handleSLO)
 	return mux
 }
 
@@ -446,6 +457,14 @@ func (d *daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Messages:      cost.Messages,
 		Failures:      cost.Failures,
 	})
+}
+
+func (d *daemon) handleSLO(w http.ResponseWriter, r *http.Request) {
+	if d.slor == nil {
+		httpError(w, http.StatusConflict, "slo: recorder disabled (-slo-window 0)")
+		return
+	}
+	d.slor.handle(w, r)
 }
 
 func toPoints(raw []uint64) []ring.Point {

@@ -21,6 +21,7 @@ import (
 
 	"github.com/dht-sampling/randompeer/internal/obs"
 	"github.com/dht-sampling/randompeer/internal/ring"
+	"github.com/dht-sampling/randompeer/internal/slo"
 )
 
 // RouteEntry maps a node point to the host:port of its owning process.
@@ -128,6 +129,18 @@ type TraceSpansResponse struct {
 	Spans   []obs.Hop `json:"spans"`
 }
 
+// SLOResponse is GET /v1/slo's payload: the daemon's live windowed SLO
+// report, evaluated over the wall-clock windows its background
+// recorder has cut from the metrics registry since startup. With
+// ?flush=1 the daemon also cuts the current partial window first, so a
+// test (or an operator mid-incident) sees traffic that arrived since
+// the last window boundary.
+type SLOResponse struct {
+	WindowSeconds float64    `json:"window_seconds"`
+	Windows       int        `json:"windows"`
+	Report        slo.Report `json:"report"`
+}
+
 // ctlClient is the shared control-plane HTTP client. Control calls are
 // operator actions, so the deadline is generous relative to RPC
 // timeouts.
@@ -222,6 +235,28 @@ func HealthAt(addr string) (HealthResponse, error) {
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		return out, fmt.Errorf("cluster: decoding /healthz: %w", err)
+	}
+	return out, nil
+}
+
+// SLOAt fetches the daemon's live SLO report; flush asks the daemon to
+// cut the current partial window before evaluating.
+func SLOAt(addr string, flush bool) (SLOResponse, error) {
+	var out SLOResponse
+	url := "http://" + addr + "/v1/slo"
+	if flush {
+		url += "?flush=1"
+	}
+	resp, err := ctlClient.Get(url)
+	if err != nil {
+		return out, fmt.Errorf("cluster: GET /v1/slo: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return out, fmt.Errorf("cluster: /v1/slo: status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return out, fmt.Errorf("cluster: decoding /v1/slo: %w", err)
 	}
 	return out, nil
 }

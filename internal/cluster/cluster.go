@@ -198,7 +198,10 @@ func Start(n int, clientOpts ...wire.Option) (*Cluster, error) {
 // waits for /healthz. jitterSeed pins the daemon's backoff schedule so
 // cluster runs are reproducible.
 func spawn(bin, listen string, jitterSeed uint64) (*Daemon, error) {
-	cmd := exec.Command(bin, "-listen", listen, "-jitter-seed", fmt.Sprint(jitterSeed))
+	// The short SLO window keeps the live /v1/slo report responsive in
+	// tests; production deployments keep the daemon's 5s default.
+	cmd := exec.Command(bin, "-listen", listen, "-jitter-seed", fmt.Sprint(jitterSeed),
+		"-slo-window", "1s")
 	// Tee stderr: the daemon's output stays visible live, and the tail
 	// is retained so failures can say WHY a daemon died instead of just
 	// "connection refused".

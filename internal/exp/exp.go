@@ -1,6 +1,6 @@
 // Package exp is the experiment harness that regenerates every
 // quantitative claim of King & Saia's paper as a table or figure-series.
-// DESIGN.md carries the experiment index (E1-E27); EXPERIMENTS.md records
+// DESIGN.md carries the experiment index (E1-E28); EXPERIMENTS.md records
 // paper-claim versus measured output for each. Each experiment supports
 // a Quick mode (small sweeps, used by tests and smoke runs) and a Full
 // mode (the sweeps recorded in EXPERIMENTS.md).
@@ -255,6 +255,7 @@ func All() []Experiment {
 		expE25(),
 		expE26(),
 		expE27(),
+		expE28(),
 	}
 	sort.Slice(exps, func(i, j int) bool { return idOrder(exps[i].ID) < idOrder(exps[j].ID) })
 	return exps

@@ -18,11 +18,11 @@ import (
 	"github.com/dht-sampling/randompeer/internal/stats"
 )
 
-// latencyModel resolves the run's latency model: the -latency flag spec
+// LatencyModel resolves the run's latency model: the -latency flag spec
 // when given, else a constant 1ms round trip — the model under which
 // per-sample virtual latency is exactly (sequential RPCs) x 1ms, making
 // the O(log n) latency bound directly readable.
-func (cfg RunConfig) latencyModel() (sim.Model, error) {
+func (cfg RunConfig) LatencyModel() (sim.Model, error) {
 	if cfg.Latency == "" {
 		return sim.Constant{RTT: time.Millisecond}, nil
 	}
@@ -49,7 +49,7 @@ func expE25() Experiment {
 		Title: "Latency CDF of choose-random-peer on simulated time (Theorem 7, in time units)",
 		Claim: "per-sample virtual latency is O(log n) on every backend under a constant-latency link model",
 		Run: func(cfg RunConfig) (*Table, error) {
-			model, err := cfg.latencyModel()
+			model, err := cfg.LatencyModel()
 			if err != nil {
 				return nil, err
 			}
@@ -187,7 +187,7 @@ func expE26() Experiment {
 		Title: "Sampling under asynchronous churn at varying event rates (kernel-driven)",
 		Claim: "failures grow as events outpace repair, yet uniformity over survivors is restored once churn stops",
 		Run: func(cfg RunConfig) (*Table, error) {
-			model, err := cfg.latencyModel()
+			model, err := cfg.LatencyModel()
 			if err != nil {
 				return nil, err
 			}

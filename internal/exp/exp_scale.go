@@ -183,7 +183,7 @@ func expE27() Experiment {
 		Title: "Scenario scale: churn + latency at the largest feasible n per backend (kernel-driven)",
 		Claim: "million-peer scenarios build in seconds and sustain concurrent churn + sampling on the event kernel",
 		Run: func(cfg RunConfig) (*Table, error) {
-			model, err := cfg.latencyModel()
+			model, err := cfg.LatencyModel()
 			if err != nil {
 				return nil, err
 			}

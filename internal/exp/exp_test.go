@@ -10,8 +10,8 @@ import (
 func TestAllRegistered(t *testing.T) {
 	t.Parallel()
 	exps := All()
-	if len(exps) != 27 {
-		t.Fatalf("registered %d experiments, want 27", len(exps))
+	if len(exps) != 28 {
+		t.Fatalf("registered %d experiments, want 28", len(exps))
 	}
 	seen := make(map[string]bool, len(exps))
 	for _, e := range exps {

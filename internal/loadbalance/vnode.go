@@ -1,0 +1,86 @@
+package loadbalance
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// Virtual-node load-variance comparison: the same per-point request
+// loads (e.g. the per-owner tally of an open-loop workload run) viewed
+// two ways. With vnodes off every ring point is its own physical host,
+// so one hot arc is one hot machine. With vnodes on, each physical
+// host owns V points scattered pseudo-randomly around the ring, so a
+// host's load is the sum of V nearly-independent point loads and the
+// relative spread shrinks by ~1/sqrt(V) — the standard argument for
+// virtual nodes, measured here on real workload tallies (E28) instead
+// of assumed.
+
+// Spread summarizes a per-host load distribution.
+type Spread struct {
+	// Hosts is the number of physical hosts.
+	Hosts int `json:"hosts"`
+	// MaxLoad is the heaviest host's load.
+	MaxLoad int64 `json:"max_load"`
+	// MeanLoad is total load / hosts.
+	MeanLoad float64 `json:"mean_load"`
+	// Imbalance is MaxLoad/MeanLoad (1.0 = perfectly even).
+	Imbalance float64 `json:"imbalance"`
+	// CV is the coefficient of variation (stddev/mean) of host loads.
+	CV float64 `json:"cv"`
+}
+
+// spreadOf computes the summary of one host-load vector.
+func spreadOf(loads []int64) Spread {
+	s := Spread{Hosts: len(loads)}
+	var total int64
+	for _, l := range loads {
+		total += l
+		if l > s.MaxLoad {
+			s.MaxLoad = l
+		}
+	}
+	if len(loads) == 0 || total == 0 {
+		return s
+	}
+	s.MeanLoad = float64(total) / float64(len(loads))
+	s.Imbalance = float64(s.MaxLoad) / s.MeanLoad
+	var sq float64
+	for _, l := range loads {
+		d := float64(l) - s.MeanLoad
+		sq += d * d
+	}
+	s.CV = math.Sqrt(sq/float64(len(loads))) / s.MeanLoad
+	return s
+}
+
+// VnodeCompare views one per-point load vector at host granularity
+// with virtual nodes off (every point its own host) and on (each host
+// owns vnodesPerHost points, chosen by a seeded pseudo-random grouping
+// — the deterministic stand-in for hashing host replicas onto the
+// ring). len(loads) must be divisible by vnodesPerHost so both views
+// cover the same points with whole hosts.
+func VnodeCompare(loads []int64, vnodesPerHost int, seed uint64) (off, on Spread, err error) {
+	if len(loads) == 0 {
+		return off, on, fmt.Errorf("loadbalance: VnodeCompare needs a non-empty load vector")
+	}
+	if vnodesPerHost < 1 {
+		return off, on, fmt.Errorf("loadbalance: vnodesPerHost %d < 1", vnodesPerHost)
+	}
+	if len(loads)%vnodesPerHost != 0 {
+		return off, on, fmt.Errorf("loadbalance: %d points not divisible by %d vnodes per host", len(loads), vnodesPerHost)
+	}
+	off = spreadOf(loads)
+
+	// Scatter: a seeded shuffle of point indices models each host's V
+	// replicas landing at unrelated ring positions, then host h owns
+	// the h-th chunk of the shuffled order.
+	perm := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)).Perm(len(loads))
+	hosts := len(loads) / vnodesPerHost
+	hostLoads := make([]int64, hosts)
+	for i, p := range perm {
+		hostLoads[i/vnodesPerHost] += loads[p]
+	}
+	on = spreadOf(hostLoads)
+	return off, on, nil
+}

@@ -1,0 +1,71 @@
+package loadbalance
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestVnodeCompareShrinksSpread(t *testing.T) {
+	// Skewed per-point loads: exponential-ish tail over 256 points.
+	rng := rand.New(rand.NewPCG(1, 2))
+	loads := make([]int64, 256)
+	for i := range loads {
+		loads[i] = int64(rng.ExpFloat64() * 100)
+	}
+	off, on, err := VnodeCompare(loads, 16, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Hosts != 256 || on.Hosts != 16 {
+		t.Fatalf("hosts: off %d on %d; want 256/16", off.Hosts, on.Hosts)
+	}
+	// Averaging 16 iid-ish point loads must shrink the relative spread
+	// substantially (theory: ~4x for V=16).
+	if on.CV >= off.CV/2 {
+		t.Fatalf("vnodes on CV %.3f not well below off CV %.3f", on.CV, off.CV)
+	}
+	if on.Imbalance >= off.Imbalance {
+		t.Fatalf("vnodes on imbalance %.2f not below off %.2f", on.Imbalance, off.Imbalance)
+	}
+	// Mass conservation: both views distribute the same total.
+	if offTotal, onTotal := off.MeanLoad*float64(off.Hosts), on.MeanLoad*float64(on.Hosts); offTotal != onTotal {
+		t.Fatalf("total load differs: off %.0f on %.0f", offTotal, onTotal)
+	}
+}
+
+func TestVnodeCompareDeterministic(t *testing.T) {
+	loads := []int64{9, 1, 4, 7, 2, 8, 3, 6}
+	off1, on1, err := VnodeCompare(loads, 2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off2, on2, err := VnodeCompare(loads, 2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off1 != off2 || on1 != on2 {
+		t.Fatalf("same seed differs: %+v/%+v vs %+v/%+v", off1, on1, off2, on2)
+	}
+}
+
+func TestVnodeCompareRejectsBadShapes(t *testing.T) {
+	if _, _, err := VnodeCompare(nil, 4, 1); err == nil {
+		t.Error("empty loads accepted")
+	}
+	if _, _, err := VnodeCompare([]int64{1, 2, 3}, 2, 1); err == nil {
+		t.Error("non-divisible grouping accepted")
+	}
+	if _, _, err := VnodeCompare([]int64{1, 2}, 0, 1); err == nil {
+		t.Error("zero vnodes accepted")
+	}
+}
+
+func TestSpreadOfEdgeCases(t *testing.T) {
+	if s := spreadOf([]int64{0, 0}); s.Imbalance != 0 || s.CV != 0 {
+		t.Fatalf("all-zero loads: %+v; want zero spread stats", s)
+	}
+	s := spreadOf([]int64{5, 5, 5, 5})
+	if s.Imbalance != 1 || s.CV != 0 {
+		t.Fatalf("uniform loads: imbalance %.2f cv %.3f; want 1/0", s.Imbalance, s.CV)
+	}
+}

@@ -18,6 +18,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"github.com/dht-sampling/randompeer/internal/obs"
 )
 
 // Sample is one parsed exposition line: a metric name, its label set
@@ -330,6 +332,81 @@ func renderSorted(labels map[string]string, skip ...string) string {
 // sampleKey renders a sample's identity (name plus sorted labels).
 func sampleKey(s Sample) string {
 	return s.Name + renderSorted(s.Labels)
+}
+
+// Key renders the sample's identity — its name plus sorted labels,
+// e.g. `wire_rpc_calls_total{dest="remote"}` — the series key the
+// cluster scrape-delta helpers aggregate by.
+func (s Sample) Key() string { return sampleKey(s) }
+
+// SeriesKey renders a series identity from a name and label set using
+// the same form Key does.
+func SeriesKey(name string, labels map[string]string) string {
+	return name + renderSorted(labels)
+}
+
+// Family resolves a sample name to its declared family and TYPE:
+// histogram child samples (_bucket/_sum/_count) resolve to their
+// histogram family; everything else is its own family. The type is ""
+// when the exposition never declared one.
+func (e *Exposition) Family(name string) (family, typ string) {
+	family = familyOf(name, e.Types)
+	return family, e.Types[family]
+}
+
+// HistSnapshot reconstructs an obs histogram reading from a scraped
+// histogram family: the exposition's cumulative power-of-two `le`
+// bounds (2^i nanoseconds, rendered in seconds) invert exactly onto
+// obs bucket indices, so a scrape-side delta can reuse the same
+// Sub/Quantile/CountAbove arithmetic the in-process recorder uses.
+// labels selects one series of the family (exact match, minus le); ok
+// is false when the family or series is absent.
+func (e *Exposition) HistSnapshot(name string, labels map[string]string) (obs.HistSnapshot, bool) {
+	if e.Types[name] != "histogram" {
+		return obs.HistSnapshot{}, false
+	}
+	want := renderSorted(labels)
+	var h obs.HistSnapshot
+	type bkt struct {
+		idx int
+		cum int64
+	}
+	var bs []bkt
+	found := false
+	for _, s := range e.Samples {
+		if renderSorted(s.Labels, "le") != want {
+			continue
+		}
+		switch s.Name {
+		case name + "_count":
+			h.Count = int64(s.Value)
+			found = true
+		case name + "_sum":
+			h.SumNanos = int64(math.Round(s.Value * 1e9))
+		case name + "_bucket":
+			le, err := parseValue(s.Labels["le"])
+			if err != nil || math.IsInf(le, 1) {
+				continue
+			}
+			idx := int(math.Round(math.Log2(le * 1e9)))
+			if idx < 0 || idx >= len(h.Buckets) {
+				continue
+			}
+			bs = append(bs, bkt{idx: idx, cum: int64(s.Value)})
+		}
+	}
+	if !found {
+		return obs.HistSnapshot{}, false
+	}
+	// Cumulative counts at ascending bounds back to per-bucket counts;
+	// bounds the writer skipped held no observations.
+	sort.Slice(bs, func(i, j int) bool { return bs[i].idx < bs[j].idx })
+	var prev int64
+	for _, b := range bs {
+		h.Buckets[b.idx] = b.cum - prev
+		prev = b.cum
+	}
+	return h, true
 }
 
 // Value returns the value of the series with the given name and exact

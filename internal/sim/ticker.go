@@ -1,0 +1,52 @@
+package sim
+
+import "time"
+
+// Ticker is a repeating callback timer: Every schedules its function at
+// a fixed virtual-time period until Stop. It rides the callback event
+// fast path — each firing is one inline function call plus one queue
+// slot for the re-post, no coroutine and no per-tick allocation beyond
+// that slot — which is what makes a high-frequency recorder affordable
+// next to millions of workload events.
+type Ticker struct {
+	k        *Kernel
+	name     string
+	interval time.Duration
+	fn       func(now time.Duration)
+	stopped  bool
+}
+
+// Every schedules fn to run as a callback event first at virtual time
+// start (clamped to now) and then every interval thereafter, until the
+// returned Ticker is stopped or the kernel drains. fn receives the
+// firing's virtual time and runs under the Post callback contract: it
+// must not block (no Sleep, no kernel-bound transport calls). An
+// interval of zero or less panics — the re-posting chain would freeze
+// virtual time.
+func (k *Kernel) Every(start, interval time.Duration, name string, fn func(now time.Duration)) *Ticker {
+	if interval <= 0 {
+		panic("sim: Every with non-positive interval")
+	}
+	t := &Ticker{k: k, name: name, interval: interval, fn: fn}
+	k.PostAt(start, name, t.tick)
+	return t
+}
+
+// tick fires the callback and re-posts the next occurrence. A stopped
+// ticker's pending event still pops but does nothing and breaks the
+// chain.
+func (t *Ticker) tick() {
+	if t.stopped {
+		return
+	}
+	t.fn(t.k.Now())
+	if !t.stopped { // fn may have called Stop
+		t.k.Post(t.interval, t.name, t.tick)
+	}
+}
+
+// Stop ends the ticker: the next pending occurrence (already queued) is
+// a no-op and nothing further is scheduled. Safe to call from the
+// ticker's own callback or from any other event; calling it twice is
+// harmless.
+func (t *Ticker) Stop() { t.stopped = true }

@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTickerFiresAtFixedPeriod(t *testing.T) {
+	k := NewKernel(1)
+	var fires []time.Duration
+	tk := k.Every(10*time.Millisecond, 5*time.Millisecond, "tick", func(now time.Duration) {
+		fires = append(fires, now)
+	})
+	k.Go("deadline", func() {
+		_ = k.Sleep(32 * time.Millisecond)
+		tk.Stop()
+	})
+	k.Run()
+	want := []time.Duration{10, 15, 20, 25, 30}
+	if len(fires) != len(want) {
+		t.Fatalf("fired %d times (%v); want %d", len(fires), fires, len(want))
+	}
+	for i, at := range want {
+		if fires[i] != at*time.Millisecond {
+			t.Fatalf("fire %d at %v; want %v", i, fires[i], at*time.Millisecond)
+		}
+	}
+}
+
+func TestTickerStopFromOwnCallback(t *testing.T) {
+	k := NewKernel(1)
+	n := 0
+	var tk *Ticker
+	tk = k.Every(0, time.Millisecond, "tick", func(time.Duration) {
+		n++
+		if n == 3 {
+			tk.Stop()
+		}
+	})
+	k.Run()
+	if n != 3 {
+		t.Fatalf("fired %d times; want exactly 3 (Stop from callback must break the chain)", n)
+	}
+}
+
+func TestTickerStoppedPendingEventIsNoop(t *testing.T) {
+	k := NewKernel(1)
+	n := 0
+	tk := k.Every(5*time.Millisecond, 5*time.Millisecond, "tick", func(time.Duration) { n++ })
+	// Stop before the first occurrence pops: the queued event must do
+	// nothing and the kernel must still drain.
+	k.PostAt(time.Millisecond, "stopper", tk.Stop)
+	k.Run()
+	if n != 0 {
+		t.Fatalf("stopped ticker fired %d times; want 0", n)
+	}
+}
+
+func TestTickerSurvivesKernelStop(t *testing.T) {
+	k := NewKernel(1)
+	k.Every(0, time.Millisecond, "tick", func(time.Duration) {})
+	k.Go("watchdog", func() {
+		_ = k.Sleep(10 * time.Millisecond)
+		k.Stop()
+	})
+	done := make(chan struct{})
+	go func() { k.Run(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("kernel failed to drain with a live ticker after Stop")
+	}
+}

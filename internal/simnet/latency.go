@@ -92,6 +92,19 @@ func (m *Meter) Latency() Latency {
 	return l
 }
 
+// LatencyWindow returns the latency recorded since the cursor's last
+// reading and advances the cursor to the current snapshot. Starting
+// from a zero-valued cursor, successive calls partition the meter's
+// history into contiguous windows — the read behind the windowed
+// recorder's per-window quantiles. Each caller must own its cursor;
+// distinct cursors window the same meter independently.
+func (m *Meter) LatencyWindow(cursor *Latency) Latency {
+	cur := m.Latency()
+	delta := cur.Sub(*cursor)
+	*cursor = cur
+	return delta
+}
+
 // Sub returns the component-wise difference l - prev, used to measure
 // the latency distribution of one operation between two snapshots.
 func (l Latency) Sub(prev Latency) Latency {

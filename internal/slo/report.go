@@ -1,0 +1,63 @@
+package slo
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Report writers: the markdown form is the human artifact (E28 output,
+// CI artifact, README sample); the JSON form is the machine artifact
+// (benchsnap's slo section, randpeerd's /v1/slo body). Both render the
+// same Report, so a committed sample and a scraped report never drift.
+
+// WriteJSON writes the report as indented JSON.
+func (r Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteMarkdown renders the report: the summary line, the objective
+// table and the per-window series.
+func (r Report) WriteMarkdown(w io.Writer) error {
+	status := "✅ met"
+	if !r.Met {
+		status = "❌ missed"
+	}
+	if r.TotalRequests == 0 {
+		status = "∅ no traffic"
+	}
+	if _, err := fmt.Fprintf(w, "## SLO report — %s\n\n", status); err != nil {
+		return err
+	}
+	obj := r.Objectives
+	fmt.Fprintf(w, "| objective | target | realized |\n|---|---|---|\n")
+	fmt.Fprintf(w, "| p%g latency | ≤ %s | %s |\n", obj.LatencyQuantile*100, fmtDur(obj.LatencyTarget), fmtDur(r.LatencyOverall))
+	fmt.Fprintf(w, "| availability | ≥ %.4f | %.4f |\n\n", obj.Availability, r.Availability)
+	fmt.Fprintf(w, "requests %d · failed %d · latency breaches %d · error budget %.1f bad events · consumed %.1f%% · max burn %.2f · fast-burn windows %d · slow-burn windows %d\n\n",
+		r.TotalRequests, r.TotalFailed, r.TotalBreaches, r.ErrorBudget, r.BudgetConsumed*100, r.MaxBurnRate, r.FastBurnWindows, r.SlowBurnWindows)
+	fmt.Fprintf(w, "| window | requests | failed | p50 | p95 | p99 | bad | burn | flags |\n|---|---|---|---|---|---|---|---|---|\n")
+	for _, win := range r.Windows {
+		flags := ""
+		if win.FastBurn {
+			flags = "FAST"
+		} else if win.SlowBurn {
+			flags = "slow"
+		}
+		if _, err := fmt.Fprintf(w, "| [%s, %s) | %d | %d | %s | %s | %s | %d | %.2f | %s |\n",
+			fmtDur(win.Start), fmtDur(win.End), win.Requests, win.Failed,
+			fmtDur(win.P50), fmtDur(win.P95), fmtDur(win.P99),
+			win.BadEvents, win.BurnRate, flags); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fmtDur renders a duration in milliseconds with enough precision for
+// sub-millisecond latencies.
+func fmtDur(d time.Duration) string {
+	return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+}

@@ -1,0 +1,164 @@
+package slo_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/dht-sampling/randompeer/internal/obs"
+	"github.com/dht-sampling/randompeer/internal/slo"
+)
+
+// histOf builds a histogram delta from explicit latencies.
+func histOf(lats ...time.Duration) obs.HistSnapshot {
+	var h obs.Histogram
+	for _, d := range lats {
+		h.Observe(d)
+	}
+	return h.Snapshot()
+}
+
+// repeat observes d n times.
+func repeat(d time.Duration, n int) []time.Duration {
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = d
+	}
+	return out
+}
+
+func TestEvaluateCleanRunMeetsObjectives(t *testing.T) {
+	obj := slo.Objectives{
+		LatencyQuantile: 0.99,
+		LatencyTarget:   50 * time.Millisecond,
+		Availability:    0.99,
+	}
+	var wins []slo.WindowInput
+	for i := 0; i < 4; i++ {
+		wins = append(wins, slo.WindowInput{
+			Start:   time.Duration(i) * time.Second,
+			End:     time.Duration(i+1) * time.Second,
+			OK:      100,
+			Latency: histOf(repeat(2*time.Millisecond, 100)...),
+		})
+	}
+	rep := slo.Evaluate(obj, wins)
+	if !rep.Met {
+		t.Fatalf("clean run not met: %s", rep)
+	}
+	if rep.TotalRequests != 400 || rep.TotalBad != 0 {
+		t.Fatalf("totals: %d requests %d bad; want 400/0", rep.TotalRequests, rep.TotalBad)
+	}
+	if rep.BudgetConsumed != 0 || rep.MaxBurnRate != 0 {
+		t.Fatalf("budget consumed %.2f burn %.2f; want zeros", rep.BudgetConsumed, rep.MaxBurnRate)
+	}
+	if rep.Availability != 1 {
+		t.Fatalf("availability %.4f; want 1", rep.Availability)
+	}
+}
+
+func TestEvaluateFailureBurstBurnsBudget(t *testing.T) {
+	obj := slo.Objectives{
+		LatencyQuantile: 0.99,
+		LatencyTarget:   50 * time.Millisecond,
+		Availability:    0.999, // allowed rate 0.001
+	}
+	good := slo.WindowInput{
+		Start: 0, End: time.Second,
+		OK:      1000,
+		Latency: histOf(repeat(time.Millisecond, 1000)...),
+	}
+	// Burst window: 5% failures = 50x the allowed rate — a fast burn.
+	burst := slo.WindowInput{
+		Start: time.Second, End: 2 * time.Second,
+		OK: 950, Failed: 50,
+		Latency: histOf(repeat(time.Millisecond, 1000)...),
+	}
+	rep := slo.Evaluate(obj, []slo.WindowInput{good, burst, good})
+	if rep.Met {
+		t.Fatalf("burst run reported met: %s", rep)
+	}
+	if rep.FastBurnWindows != 1 {
+		t.Fatalf("fast-burn windows %d; want exactly the burst", rep.FastBurnWindows)
+	}
+	if rep.Windows[1].BurnRate < 45 || rep.Windows[1].BurnRate > 55 {
+		t.Fatalf("burst burn rate %.1f; want ~50", rep.Windows[1].BurnRate)
+	}
+	if rep.Windows[0].FastBurn || rep.Windows[2].SlowBurn {
+		t.Fatal("quiet windows flagged")
+	}
+	// Budget: 3000 requests x 0.001 = 3 allowed bad events; 50 spent.
+	if rep.BudgetConsumed < 16 || rep.BudgetConsumed > 17 {
+		t.Fatalf("budget consumed %.2fx; want ~16.7x", rep.BudgetConsumed)
+	}
+}
+
+func TestEvaluateLatencyBreachesCountAgainstBudget(t *testing.T) {
+	obj := slo.Objectives{
+		LatencyQuantile: 0.95,
+		LatencyTarget:   4 * time.Millisecond,
+		Availability:    0.9,
+	}
+	// 80 fast + 20 very slow: p95 breaches and ~20 breach events.
+	lats := append(repeat(time.Millisecond, 80), repeat(64*time.Millisecond, 20)...)
+	rep := slo.Evaluate(obj, []slo.WindowInput{{
+		Start: 0, End: time.Second, OK: 100, Latency: histOf(lats...),
+	}})
+	if rep.Met {
+		t.Fatalf("latency-breaching run reported met: %s", rep)
+	}
+	if rep.TotalBreaches < 15 || rep.TotalBreaches > 25 {
+		t.Fatalf("breaches %d; want ~20", rep.TotalBreaches)
+	}
+	if rep.LatencyOverall <= obj.LatencyTarget {
+		t.Fatalf("realized p95 %v under target %v despite slow tail", rep.LatencyOverall, obj.LatencyTarget)
+	}
+	if rep.TotalFailed != 0 {
+		t.Fatalf("failed %d; latency breaches must not count as request failures", rep.TotalFailed)
+	}
+}
+
+func TestEvaluateEmptyAndQuietWindows(t *testing.T) {
+	rep := slo.Evaluate(slo.DefaultObjectives(), nil)
+	if rep.Met || rep.TotalRequests != 0 {
+		t.Fatalf("empty evaluation: met=%v requests=%d", rep.Met, rep.TotalRequests)
+	}
+	// A quiet window (zero requests) must not flag or divide by zero.
+	rep = slo.Evaluate(slo.DefaultObjectives(), []slo.WindowInput{{Start: 0, End: time.Second}})
+	if rep.Windows[0].BurnRate != 0 || rep.Windows[0].FastBurn {
+		t.Fatalf("quiet window burn %.2f fast=%v; want zeros", rep.Windows[0].BurnRate, rep.Windows[0].FastBurn)
+	}
+}
+
+func TestReportWriters(t *testing.T) {
+	obj := slo.DefaultObjectives()
+	rep := slo.Evaluate(obj, []slo.WindowInput{{
+		Start: 0, End: time.Second, OK: 99, Failed: 1,
+		Latency: histOf(repeat(2*time.Millisecond, 100)...),
+	}})
+
+	var md bytes.Buffer
+	if err := rep.WriteMarkdown(&md); err != nil {
+		t.Fatal(err)
+	}
+	out := md.String()
+	for _, want := range []string{"SLO report", "availability", "p99 latency", "| window |"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+
+	var js bytes.Buffer
+	if err := rep.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var back slo.Report
+	if err := json.Unmarshal(js.Bytes(), &back); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if back.TotalRequests != rep.TotalRequests || back.MaxBurnRate != rep.MaxBurnRate || len(back.Windows) != 1 {
+		t.Fatalf("JSON round trip lost data: %+v", back)
+	}
+}
