@@ -5,7 +5,11 @@
 // callback paths), per-backend construction peers/sec, async-churn
 // events/sec, the per-backend E28 SLO records (p99 latency, error
 // budget and objective verdict — where higher is worse, the gate
-// inverts) and the sim-transport overhead. With no arguments it picks
+// inverts), the per-backend adversarial records (mitigation bias,
+// audit price and eclipse capture, all gated higher-is-worse, plus the
+// standalone invariant that the swap mitigation's TV stays below the
+// attacked naive sampler's) and the sim-transport overhead. With no
+// arguments it picks
 // the two highest-numbered BENCH_*.json in the current directory, so
 // `make benchdiff` always reports the latest PR-over-PR change in the
 // perf trajectory.
@@ -52,6 +56,7 @@ type Snapshot struct {
 	Builds     []Build  `json:"builds"`
 	Churn      *ChurnRt `json:"churn"`
 	SLO        []SLORec `json:"slo"`
+	Adversary  []AdvRec `json:"adversary"`
 }
 
 // envMismatches compares the environment benchsnap stamped into two
@@ -107,6 +112,23 @@ type SLORec struct {
 	BudgetConsumedPct  float64 `json:"budget_consumed_pct"`
 	RequestsPerSecWall float64 `json:"requests_per_sec_wall"`
 	Met                bool    `json:"met"`
+}
+
+// AdvRec mirrors benchsnap's per-backend adversarial section. All of
+// its gated fields are deterministic functions of the seed and gate
+// with higher-is-worse: more accepted bias through the mitigation, a
+// pricier audit, or a larger eclipse capture each mean the adversarial
+// posture regressed. The naive TV is context (the attack's strength),
+// not a gate. Independently of the old snapshot, the mitigation
+// invariant swap_tv < naive_tv must hold within each new record.
+type AdvRec struct {
+	Backend        string  `json:"backend"`
+	Peers          int     `json:"peers"`
+	Fraction       float64 `json:"fraction"`
+	NaiveTV        float64 `json:"naive_tv"`
+	SwapTV         float64 `json:"swap_tv"`
+	SwapFailRate   float64 `json:"swap_fail_rate"`
+	EclipseCapture float64 `json:"eclipse_capture"`
 }
 
 // Run is one timed configuration of a snapshot. The per-sample fields
@@ -242,6 +264,24 @@ func run(args []string) int {
 				fmt.Sprintf("slo %s: objectives previously met, now missed (availability %.4f -> %.4f)",
 					ns.Backend, prev.Availability, ns.Availability))
 		}
+	}
+	oldAdv := make(map[string]AdvRec, len(oldSnap.Adversary))
+	for _, a := range oldSnap.Adversary {
+		oldAdv[a.Backend] = a
+	}
+	for _, na := range newSnap.Adversary {
+		if na.SwapTV >= na.NaiveTV && na.NaiveTV > 0 {
+			regressions = append(regressions,
+				fmt.Sprintf("adversary %s: mitigation no longer holds (swap TV %.4f >= naive TV %.4f)",
+					na.Backend, na.SwapTV, na.NaiveTV))
+		}
+		prev, ok := oldAdv[na.Backend]
+		if !ok || prev.Peers != na.Peers || prev.Fraction != na.Fraction {
+			continue
+		}
+		checkUp("adversary "+na.Backend+" swap tv", prev.SwapTV, na.SwapTV)
+		checkUp("adversary "+na.Backend+" swap fail rate", prev.SwapFailRate, na.SwapFailRate)
+		checkUp("adversary "+na.Backend+" eclipse capture", prev.EclipseCapture, na.EclipseCapture)
 	}
 	if len(regressions) > 0 {
 		for _, r := range regressions {

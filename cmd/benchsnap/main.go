@@ -59,7 +59,8 @@ type TransportOverhead struct {
 }
 
 // Snapshot is the committed benchmark record. The kernel, build, churn
-// and E27 sections were added with the scenario-scale pass (BENCH_5);
+// and E27 sections were added with the scenario-scale pass (BENCH_5)
+// and the adversary section with the fault-suite pass (BENCH_9);
 // earlier snapshots simply lack them.
 type Snapshot struct {
 	Benchmark  string             `json:"benchmark"`
@@ -77,6 +78,7 @@ type Snapshot struct {
 	Churn      *ChurnBench        `json:"churn,omitempty"`
 	E27        *E27Scale          `json:"e27,omitempty"`
 	SLO        []SLOBench         `json:"slo,omitempty"`
+	Adversary  []AdversaryBench   `json:"adversary,omitempty"`
 	Note       string             `json:"note,omitempty"`
 }
 
@@ -103,6 +105,7 @@ func run(args []string) int {
 		e27N     = fs.Int("e27-n", 1_000_000, "chord network size for the E27 scenario run (0 disables)")
 		e27Ev    = fs.Int("e27-events", 48, "churn events in the E27 scenario run")
 		sloOn    = fs.Bool("slo", true, "run the E28 SLO scenarios (open-loop load under churn, both backends)")
+		advOn    = fs.Bool("adversary", true, "run the adversarial scenarios (route-bias bias + eclipse capture, both backends)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -142,6 +145,13 @@ func run(args []string) int {
 	}
 	if *sloOn {
 		snap.SLO, err = measureSLO([]string{"chord", "kademlia"}, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsnap:", err)
+			return 1
+		}
+	}
+	if *advOn {
+		snap.Adversary, err = measureAdversary(*seed)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchsnap:", err)
 			return 1

@@ -46,8 +46,8 @@ func TestSelectExperiments(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(all) != 28 {
-		t.Errorf("all = %d experiments, want 28", len(all))
+	if len(all) != 29 {
+		t.Errorf("all = %d experiments, want 29", len(all))
 	}
 	two, err := selectExperiments("E1, E2")
 	if err != nil {

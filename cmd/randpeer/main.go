@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	randpeer sample   [-n N] [-seed S] [-k K] [-workers W] [-sampler king-saia|naive] [-backend oracle|chord|kademlia] [-latency MODEL]
+//	randpeer sample   [-n N] [-seed S] [-k K] [-workers W] [-sampler king-saia|naive|swap] [-backend oracle|chord|kademlia] [-latency MODEL]
+//	                  [-drop-rate P] [-partition F] [-adversary KIND:FRAC]
 //	randpeer estimate [-n N] [-seed S] [-c1 C] [-callers K]
 //	randpeer verify   [-n N] [-seed S]
 //	randpeer arcs     [-n N] [-seed S]
@@ -16,6 +17,17 @@
 // latencies. estimate runs the paper's size estimator from K callers;
 // verify computes the exact Theorem 6 measure partition; arcs prints
 // the structural statistics (Lemmas 1 and 4, Theorem 8).
+//
+// The fault flags (chord/kademlia backends only) exercise the sampler
+// under injected failures and Byzantine subversion: -drop-rate drops
+// each RPC with probability P, -partition cuts a random fraction F of
+// peers off from the caller's side of the network, and -adversary arms
+// a seeded Byzantine attack — one of route-bias:F, eclipse:F or
+// censor:F with F the subverted fraction of the membership (e.g.
+// -adversary route-bias:0.2). Under any fault flag the batch loop
+// tolerates per-sample failures and reports the failure rate next to
+// the bias of what survived; -sampler swap selects the PeerSwap-style
+// audited sampler, the mitigation E29 measures against route-bias.
 package main
 
 import (
@@ -25,6 +37,7 @@ import (
 	"math/rand/v2"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"github.com/dht-sampling/randompeer"
@@ -100,14 +113,18 @@ func newTestbed(n int, seed uint64, backend, latency string) (*randompeer.Testbe
 func cmdSample(args []string) error {
 	fs := flag.NewFlagSet("sample", flag.ContinueOnError)
 	var (
-		n       = fs.Int("n", 1024, "network size")
-		seed    = fs.Uint64("seed", 1, "placement seed")
-		k       = fs.Int("k", 10000, "samples to draw")
-		workers = fs.Int("workers", runtime.GOMAXPROCS(0), "parallel sampling workers")
-		sampler = fs.String("sampler", "king-saia", "king-saia or naive")
-		backend = fs.String("backend", "oracle", "DHT substrate: "+randompeer.BackendNames())
-		latency = fs.String("latency", "", "latency model for simulated time (e.g. constant:1ms); empty = off")
-		trace   = fs.Bool("trace", false, "after the batch, trace one sample hop-by-hop (chord/kademlia backends)")
+		n        = fs.Int("n", 1024, "network size")
+		seed     = fs.Uint64("seed", 1, "placement seed")
+		k        = fs.Int("k", 10000, "samples to draw")
+		workers  = fs.Int("workers", runtime.GOMAXPROCS(0), "parallel sampling workers")
+		sampler  = fs.String("sampler", "king-saia", "king-saia, naive or swap (audited mitigation)")
+		backend  = fs.String("backend", "oracle", "DHT substrate: "+randompeer.BackendNames())
+		latency  = fs.String("latency", "", "latency model for simulated time (e.g. constant:1ms); empty = off")
+		trace    = fs.Bool("trace", false, "after the batch, trace one sample hop-by-hop (chord/kademlia backends)")
+		dropRate = fs.Float64("drop-rate", 0, "drop each RPC with this probability (transport backends)")
+		partFrac = fs.Float64("partition", 0, "cut this fraction of peers off from the caller's side (transport backends)")
+		advSpec  = fs.String("adversary", "", "arm a Byzantine attack, kind:fraction with kind one of "+
+			strings.Join(randompeer.AdversaryKinds(), ", ")+" (e.g. route-bias:0.2)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -125,8 +142,47 @@ func cmdSample(args []string) error {
 		}
 	case "naive":
 		s = tb.NaiveSampler(*seed + 1)
+	case "swap":
+		s, err = tb.SwapSampler(*seed+1, 2)
+		if err != nil {
+			return err
+		}
 	default:
 		return fmt.Errorf("unknown sampler %q", *sampler)
+	}
+	faulty := *dropRate > 0 || *partFrac > 0 || *advSpec != ""
+	if *dropRate > 0 {
+		plan := tb.FaultPlan()
+		if plan == nil {
+			return fmt.Errorf("-drop-rate needs a transport backend (chord or kademlia), not %s", *backend)
+		}
+		plan.SetDropRate(*dropRate)
+		fmt.Printf("faults:    dropping each RPC with probability %v\n", *dropRate)
+	}
+	if *partFrac > 0 {
+		if err := tb.PartitionFraction("cli", *partFrac, *seed+7); err != nil {
+			return err
+		}
+		fmt.Printf("faults:    partitioned a random %v of peers away from the caller\n", *partFrac)
+	}
+	if *advSpec != "" {
+		// The swap sampler's audit vantages are assumed honest by the
+		// threat model; keep them out of the coalition.
+		var exclude []int
+		if *sampler == "swap" {
+			exclude = tb.SwapVantages(2)
+		}
+		adv, err := tb.InstallAdversary(*advSpec, *seed+9, exclude...)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("faults:    %s adversary subverting %d of %d peers\n", adv.Kind(), adv.NumNodes(), tb.Size())
+	}
+	if faulty {
+		// Injected faults make individual samples fail by design; the
+		// deterministic batch engine treats any error as fatal, so run a
+		// failure-tolerant loop instead and report the failure rate.
+		return sampleTolerant(tb, s, *k, *backend)
 	}
 	res, err := tb.SampleN(context.Background(), s, *k,
 		randompeer.WithWorkers(*workers),
@@ -164,6 +220,42 @@ func cmdSample(args []string) error {
 	if *trace {
 		return printTrace(tb, s)
 	}
+	return nil
+}
+
+// sampleTolerant draws k samples sequentially, tolerating per-sample
+// failures (dropped RPCs, partitioned routes, exhausted swap audits)
+// and summarizing the bias of the samples that survived.
+func sampleTolerant(tb *randompeer.Testbed, s randompeer.Sampler, k int, backend string) error {
+	tally := make([]int64, tb.Size())
+	fails := 0
+	start := time.Now()
+	for i := 0; i < k; i++ {
+		p, err := s.Sample()
+		if err != nil {
+			fails++
+			continue
+		}
+		tally[p.Owner]++
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("sampler:   %s over %d peers (%s backend, fault-tolerant loop)\n", s.Name(), tb.Size(), backend)
+	fmt.Printf("samples:   %d attempted, %d failed (rate %.4f)\n", k, fails, float64(fails)/float64(k))
+	if fails == k {
+		fmt.Println("verdict:   no sample survived the injected faults")
+		return nil
+	}
+	stat, pvalue, err := stats.ChiSquareUniform(tally)
+	if err != nil {
+		return err
+	}
+	tvd, err := stats.TotalVariationUniform(tally)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("chi2:      %.2f (p = %.4f)  [p >= 0.05 is consistent with uniform]\n", stat, pvalue)
+	fmt.Printf("tvd:       %.4f  [bias of the surviving samples]\n", tvd)
+	fmt.Printf("rate:      %.0f samples/sec (%v elapsed)\n", float64(k)/elapsed.Seconds(), elapsed.Round(time.Microsecond))
 	return nil
 }
 

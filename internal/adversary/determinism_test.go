@@ -1,0 +1,144 @@
+package adversary_test
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand/v2"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/dht-sampling/randompeer/internal/adversary"
+	"github.com/dht-sampling/randompeer/internal/chord"
+	"github.com/dht-sampling/randompeer/internal/churn"
+	"github.com/dht-sampling/randompeer/internal/ring"
+	"github.com/dht-sampling/randompeer/internal/sim"
+)
+
+// The adversarial counterpart of internal/sim's determinism pin: a
+// Byzantine coalition lying under asynchronous churn must still
+// produce a bit-identical event trace at any GOMAXPROCS. Every
+// steering decision is a pure hash of the call's own arguments, so
+// the kernel's single-process guarantee extends over the attack.
+
+type advOutcome struct {
+	traceHash uint64
+	events    uint64
+	clock     time.Duration
+	samples   []uint64
+	fails     int
+	churned   int
+}
+
+// runAdversarialScenario executes a fixed route-bias-under-churn
+// scenario on the event kernel and fingerprints it.
+func runAdversarialScenario(t *testing.T, seed uint64) advOutcome {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, seed+1))
+	r, err := ring.Generate(rng, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sim.NewKernel(seed)
+	tr := sim.NewTransport(
+		sim.WithKernel(k),
+		sim.WithStreamSeed(seed+2),
+		sim.WithModel(sim.Uniform{Min: time.Millisecond, Max: 3 * time.Millisecond}),
+	)
+	net, err := chord.BuildStatic(chord.Config{}, tr, r.Points())
+	if err != nil {
+		t.Fatal(err)
+	}
+	caller := r.At(0)
+	plan, err := adversary.New(net.Members(), adversary.Config{
+		Kind: adversary.RouteBias, Fraction: 0.25, Seed: seed + 9, Exclude: []ring.Point{caller},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.SetInterceptor(plan.ChordInterceptor())
+	d, err := net.AsDHT(caller)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driver, err := churn.NewDriver(churn.Chord(net), rand.New(rand.NewPCG(seed+3, seed+4)), churn.Config{
+		Events:    10,
+		Protected: map[ring.Point]bool{caller: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := driver.Schedule(k, churn.AsyncConfig{
+		MeanInterval:        8 * time.Millisecond,
+		MaintenanceInterval: 5 * time.Millisecond,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := fnv.New64a()
+	k.SetObserver(func(at time.Duration, seq uint64, proc string) {
+		fmt.Fprintf(h, "%d/%d/%s;", at, seq, proc)
+	})
+	out := advOutcome{}
+	srng := rand.New(rand.NewPCG(seed+5, seed+6))
+	k.Go("sampler", func() {
+		for !run.Done() {
+			p, err := d.H(ring.Point(srng.Uint64()))
+			if err != nil {
+				out.fails++
+			} else {
+				out.samples = append(out.samples, uint64(p.Point))
+			}
+			if k.Sleep(time.Millisecond) != nil {
+				return
+			}
+		}
+	})
+	k.Run()
+	out.traceHash = h.Sum64()
+	out.events = k.Processed()
+	out.clock = k.Now()
+	out.churned = len(run.Events) + run.StepErrors
+	return out
+}
+
+func TestAdversaryDeterminismAcrossGOMAXPROCS(t *testing.T) {
+	const seed = 777
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	procs := []int{1, 4, 8}
+	runtime.GOMAXPROCS(procs[0])
+	one := runAdversarialScenario(t, seed)
+	if one.events == 0 || len(one.samples) == 0 || one.churned == 0 {
+		t.Errorf("degenerate scenario: %d events, %d samples, %d churn events",
+			one.events, len(one.samples), one.churned)
+	}
+	for _, p := range procs[1:] {
+		runtime.GOMAXPROCS(p)
+		many := runAdversarialScenario(t, seed)
+		if one.traceHash != many.traceHash || one.events != many.events {
+			t.Errorf("GOMAXPROCS=%d: event trace differs: %x/%d vs %x/%d",
+				p, one.traceHash, one.events, many.traceHash, many.events)
+		}
+		if one.clock != many.clock {
+			t.Errorf("GOMAXPROCS=%d: final clock differs: %v vs %v", p, one.clock, many.clock)
+		}
+		if one.fails != many.fails || len(one.samples) != len(many.samples) {
+			t.Fatalf("GOMAXPROCS=%d: sample counts differ: %d/%d vs %d/%d",
+				p, len(one.samples), one.fails, len(many.samples), many.fails)
+		}
+		for i := range one.samples {
+			if one.samples[i] != many.samples[i] {
+				t.Fatalf("GOMAXPROCS=%d: sample %d differs: %d vs %d", p, i, one.samples[i], many.samples[i])
+			}
+		}
+	}
+}
+
+func TestAdversaryDeterminismSeedSensitivity(t *testing.T) {
+	a := runAdversarialScenario(t, 777)
+	b := runAdversarialScenario(t, 778)
+	if a.traceHash == b.traceHash {
+		t.Error("different seeds produced identical adversarial event traces")
+	}
+}

@@ -1,0 +1,219 @@
+package baseline
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+
+	"github.com/dht-sampling/randompeer/internal/dht"
+	"github.com/dht-sampling/randompeer/internal/ring"
+)
+
+// Swap is a PeerSwap-style mitigation sampler (Aradhya, Gouissem &
+// Eugster's PeerSwap motivates the design: peers exchange sampling
+// duties so no single subverted path decides a sample). Each sample
+// draws one uniform key and resolves it from two distinct vantage
+// peers drawn from a pool — the vantages "swap" audit duty — and the
+// candidate is accepted only when both vantages agree on the owner.
+//
+// Plain double-resolution is not enough on a routed overlay, so the
+// audit stacks two defenses on top of it:
+//
+//   - Key-splitting with nearest-claim repair. Lookups for the same
+//     key from any two vantages converge on a shared route tail near
+//     the key, so one subverted node on that tail serves the same
+//     forged answer to both auditors and the audit agrees on a lie.
+//     The second vantage therefore resolves a skewed key y = x -
+//     delta, with delta drawn uniformly from [1, Skew] and Skew far
+//     below the mean owner arc: honest resolutions still agree — x
+//     and y fall in the same owner's arc except for a ~Skew*n/2^65
+//     boundary-crossing tax — while a per-key forged reply names a
+//     different peer for y than for x and the claims conflict.
+//     Conflicts are repaired, not rejected: the true owner is the
+//     first node clockwise of x, so the nearer of two conflicting
+//     claims is the honest one whenever either resolution was honest.
+//     (Rejecting outright would shadow every key whose route is
+//     deterministically subverted, skewing the accepted distribution
+//     worse than the lies themselves — keys owned through a subverted
+//     route tail would simply never be sampled.)
+//   - A distance-plausibility cap. Key-splitting cannot reject a lie
+//     that is consistent across keys, such as a coalition member just
+//     clockwise of x claiming ownership through widest-interval ring-
+//     pointer forgeries. Those lies share a statistical fingerprint:
+//     the claimed owner sits much farther clockwise of the key than
+//     the ~2^64/n mean arc (the nearest colluder is ~1/f mean arcs
+//     away). With MaxOwnerDist set to a small multiple of the mean arc
+//     — calibrated from the paper's own Estimate n in a deployment —
+//     the audit rejects implausibly wide ownership claims, at an
+//     honest false-rejection rate of e^-t for a cap of t mean arcs.
+//
+// Against Byzantine routing that subverts a lookup with probability q,
+// the accepted bias falls from the naive sampler's q toward the floor
+// the caps leave, at the cost of rejected samples (disagreements
+// surface as retries and, eventually, sample failures — the failure
+// rate the adversarial experiments measure as the mitigation's price).
+//
+// Concurrency contract: safe for unsynchronized concurrent use; the
+// mutex guards only RNG draws. For reproducible parallel batches give
+// each goroutine its own Fork.
+type Swap struct {
+	views []dht.DHT
+	cfg   SwapConfig
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	rejected atomic.Int64
+	failed   atomic.Int64
+}
+
+var _ dht.Sampler = (*Swap)(nil)
+
+// SwapConfig tunes the audit.
+type SwapConfig struct {
+	// Retries bounds how many fresh keys one Sample may try after
+	// audit rejections or lookup failures before giving up (0 selects
+	// the default of 3).
+	Retries int
+	// Skew is the maximum key perturbation of the key-split audit; it
+	// should sit well below the mean owner arc 2^64/n (a small
+	// multiple of 2^64/(64*n) keeps the honest false-rejection rate
+	// around 1%). 0 disables key-splitting and degrades the audit to
+	// same-key double-resolution.
+	Skew uint64
+	// MaxOwnerDist caps the clockwise distance from the drawn key to
+	// the accepted owner; candidates claiming a wider arc are
+	// rejected. A few multiples of the mean arc 2^64/n catches
+	// widest-interval pointer lies at a small e^-t honest cost. 0
+	// disables the cap.
+	MaxOwnerDist uint64
+	// Bisect bounds the probe lookups spent narrowing a wide
+	// ownership claim before the cap is applied: each probe resolves
+	// a key halfway into the claimed interval, and any honest probe
+	// resolution surfaces a nearer node when the claim skipped one.
+	// Misses and lies are key-specific, so probing distinct keys
+	// converges on the true owner instead of shadowing the key. 0
+	// disables probing.
+	Bisect int
+}
+
+// NewSwap builds the swap sampler over at least two vantage views of
+// the same DHT (for routed overlays, per-caller adapters rooted at
+// different peers — distinct vantages keep the audits' route prefixes
+// independent).
+func NewSwap(views []dht.DHT, cfg SwapConfig, rng *rand.Rand) (*Swap, error) {
+	if len(views) < 2 {
+		return nil, fmt.Errorf("baseline: swap needs >= 2 vantage views, got %d", len(views))
+	}
+	if cfg.Retries <= 0 {
+		cfg.Retries = 3
+	}
+	return &Swap{views: views, cfg: cfg, rng: rng}, nil
+}
+
+// Sample implements dht.Sampler: draw a key, resolve it and its
+// skewed twin from two distinct vantages, accept on agreement, redraw
+// on disagreement or failure.
+func (s *Swap) Sample() (dht.Peer, error) { return s.sample(&s.mu, s.rng) }
+
+// sample runs the audit loop over the given RNG (the parent's or a
+// fork's), guarding draws with its matching mutex.
+func (s *Swap) sample(mu *sync.Mutex, rng *rand.Rand) (dht.Peer, error) {
+	var lastErr error
+	for attempt := 0; attempt <= s.cfg.Retries; attempt++ {
+		mu.Lock()
+		x := ring.Point(rng.Uint64())
+		y := x
+		if s.cfg.Skew > 0 {
+			y = x - ring.Point(1+rng.Uint64N(s.cfg.Skew)) // wraps on the circle
+		}
+		i := rng.IntN(len(s.views))
+		j := rng.IntN(len(s.views) - 1)
+		mu.Unlock()
+		if j >= i {
+			j++
+		}
+		p1, err1 := s.views[i].H(x)
+		p2, err2 := s.views[j].H(y)
+		if err1 != nil || err2 != nil {
+			lastErr = err1
+			if lastErr == nil {
+				lastErr = err2
+			}
+			continue
+		}
+		// On disagreement, repair rather than reject: the true owner is
+		// the first node clockwise of x, so of two conflicting claims
+		// the nearer one is the honest one whenever either resolution
+		// was honest. Rejecting outright would shadow every key with a
+		// deterministically subverted route, skewing the accepted
+		// distribution worse than the lies themselves.
+		best := p1
+		if d2 := uint64(p2.Point - x); p1.Point != p2.Point && d2 < uint64(p1.Point-x) {
+			best = p2
+		}
+		// A claim spanning more than half the plausibility cap gets
+		// bisection-probed: resolve keys successively deeper inside
+		// the claimed interval, adopting any nearer node a probe
+		// surfaces. A lie or a lookup miss is specific to the probed
+		// key, so distinct probes converge on the true owner.
+		if s.cfg.MaxOwnerDist > 0 {
+			probe := uint64(best.Point - x)
+			for step := 0; step < s.cfg.Bisect && probe > s.cfg.MaxOwnerDist/2; step++ {
+				probe /= 2
+				pm, err := s.views[(i+step)%len(s.views)].H(x + ring.Point(probe))
+				if err != nil {
+					break
+				}
+				if dm := uint64(pm.Point - x); dm < uint64(best.Point-x) {
+					best = pm
+				}
+			}
+		}
+		if d := uint64(best.Point - x); s.cfg.MaxOwnerDist > 0 && d > s.cfg.MaxOwnerDist {
+			s.rejected.Add(1)
+			lastErr = fmt.Errorf("baseline: swap owner %v implausibly far from key %v (%d > %d)",
+				best.Point, x, d, s.cfg.MaxOwnerDist)
+			continue
+		}
+		if p1.Point != p2.Point {
+			s.rejected.Add(1) // the audit caught and repaired a lie
+		}
+		return best, nil
+	}
+	s.failed.Add(1)
+	return dht.Peer{}, fmt.Errorf("baseline: swap exhausted %d attempts: %w", s.cfg.Retries+1, lastErr)
+}
+
+// Name implements dht.Sampler.
+func (s *Swap) Name() string { return "swap" }
+
+// Rejected returns how many candidate samples the cross-audit has
+// rejected (disagreeing vantages) across this sampler and every Fork.
+func (s *Swap) Rejected() int64 { return s.rejected.Load() }
+
+// Failed returns how many Sample calls exhausted their retries.
+func (s *Swap) Failed() int64 { return s.failed.Load() }
+
+// Fork returns an independent swap sampler over the same vantage views
+// with its own PCG stream seeded from seed. Audit counters stay shared
+// with the parent, so whole-batch totals accumulate in one place. It
+// makes no DHT calls.
+func (s *Swap) Fork(seed uint64) (dht.Sampler, error) {
+	return &swapFork{
+		Swap: s,
+		rng:  rand.New(rand.NewPCG(seed, seed^0xa54ff53a5f1d36f1)),
+	}, nil
+}
+
+// swapFork is a per-goroutine clone: it shares the parent's views and
+// counters but draws from its own stream.
+type swapFork struct {
+	*Swap
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// Sample mirrors Swap.Sample over the fork's private stream.
+func (f *swapFork) Sample() (dht.Peer, error) { return f.Swap.sample(&f.mu, f.rng) }

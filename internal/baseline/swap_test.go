@@ -1,0 +1,231 @@
+package baseline
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"github.com/dht-sampling/randompeer/internal/dht"
+	"github.com/dht-sampling/randompeer/internal/ring"
+)
+
+// lyingView wraps an honest oracle view and forges h(x) for the keys
+// its lie function claims; everything else stays honest. It stands in
+// for a vantage whose route is Byzantine-subverted.
+type lyingView struct {
+	*dht.Oracle
+	lie func(x ring.Point) (dht.Peer, bool)
+}
+
+func (v *lyingView) H(x ring.Point) (dht.Peer, error) {
+	if p, ok := v.lie(x); ok {
+		return p, nil
+	}
+	return v.Oracle.H(x)
+}
+
+func swapViews(o *dht.Oracle, lies ...func(x ring.Point) (dht.Peer, bool)) []dht.DHT {
+	views := make([]dht.DHT, len(lies))
+	for i, lie := range lies {
+		if lie == nil {
+			views[i] = o
+		} else {
+			views[i] = &lyingView{Oracle: o, lie: lie}
+		}
+	}
+	return views
+}
+
+func swapCfg(n int) SwapConfig {
+	meanArc := ^uint64(0) / uint64(n)
+	return SwapConfig{Skew: meanArc/64 + 1, MaxOwnerDist: meanArc, Bisect: 4}
+}
+
+func TestSwapHonestFloor(t *testing.T) {
+	t.Parallel()
+	// Two honest vantages: the audit must stay out of the way. The
+	// one-mean-arc cap rejects an e^-1 share of attempts (keys landing
+	// in wide arcs), so with the default 4 attempts the failure rate is
+	// about e^-4 — well under 5%.
+	const n = 64
+	o := newOracle(t, 91, n)
+	s, err := NewSwap(swapViews(o, nil, nil), swapCfg(n), rand.New(rand.NewPCG(1, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const samples = 4000
+	fails := 0
+	for i := 0; i < samples; i++ {
+		p, err := s.Sample()
+		if err != nil {
+			fails++
+			continue
+		}
+		if p.Owner < 0 || p.Owner >= n {
+			t.Fatalf("owner %d out of range", p.Owner)
+		}
+	}
+	if rate := float64(fails) / samples; rate > 0.05 {
+		t.Errorf("honest failure rate %.4f, want < 0.05", rate)
+	}
+	if s.Failed() != int64(fails) {
+		t.Errorf("Failed() = %d, observed %d", s.Failed(), fails)
+	}
+}
+
+func TestSwapRepairsOneSidedLies(t *testing.T) {
+	t.Parallel()
+	// One vantage always forges the coalition magnet; the other is
+	// honest. Nearest-claim repair must side with the honest claim (the
+	// true owner is the first peer clockwise of the key, so it is the
+	// nearer of the two except when the key lands just below the
+	// magnet), keeping the magnet's share of accepted samples near its
+	// honest arc share instead of the ~50% a trusting pick would give.
+	const n = 64
+	o := newOracle(t, 92, n)
+	magnet := o.PeerByIndex(17)
+	alwaysMagnet := func(ring.Point) (dht.Peer, bool) { return magnet, true }
+	s, err := NewSwap(swapViews(o, alwaysMagnet, nil), swapCfg(n), rand.New(rand.NewPCG(2, 2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const samples = 3000
+	got, hits := 0, 0
+	for i := 0; i < samples; i++ {
+		p, err := s.Sample()
+		if err != nil {
+			continue
+		}
+		got++
+		if p.Owner == magnet.Owner {
+			hits++
+		}
+	}
+	if got < samples/2 {
+		t.Fatalf("only %d/%d samples accepted", got, samples)
+	}
+	if rate := float64(hits) / float64(got); rate > 0.05 {
+		t.Errorf("magnet claimed %.4f of accepted samples despite an honest vantage", rate)
+	}
+}
+
+func TestSwapCapStopsConsistentLies(t *testing.T) {
+	t.Parallel()
+	// Both vantages forge the same magnet for every key — the
+	// key-independent lie a cross-resolution audit cannot see (the
+	// claims agree). Only the distance-plausibility cap catches it:
+	// every accepted sample must sit within MaxOwnerDist of its key,
+	// so the forgery survives only on the sliver of keys just below
+	// the magnet and almost every Sample call must fail instead.
+	const n = 64
+	o := newOracle(t, 93, n)
+	magnet := o.PeerByIndex(3)
+	alwaysMagnet := func(ring.Point) (dht.Peer, bool) { return magnet, true }
+	s, err := NewSwap(swapViews(o, alwaysMagnet, alwaysMagnet), swapCfg(n), rand.New(rand.NewPCG(3, 3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const samples = 2000
+	fails, accepted := 0, 0
+	for i := 0; i < samples; i++ {
+		p, err := s.Sample()
+		if err != nil {
+			fails++
+			continue
+		}
+		accepted++
+		if p.Owner != magnet.Owner {
+			t.Fatalf("accepted non-magnet peer %d from two magnet-forging views", p.Owner)
+		}
+	}
+	// Keys within one mean arc below the magnet are 1/n of the circle;
+	// per-attempt acceptance is ~1/64, so over 4 attempts ~6% of calls
+	// slip through and the rest must fail.
+	if rate := float64(fails) / samples; rate < 0.80 {
+		t.Errorf("failure rate %.4f under a total consistent forgery, want > 0.80", rate)
+	}
+	if accepted > samples/5 {
+		t.Errorf("%d/%d consistent lies accepted; the cap should reject implausibly wide claims", accepted, samples)
+	}
+}
+
+func TestSwapKeySplitDetectsPerKeyForgery(t *testing.T) {
+	t.Parallel()
+	// Both vantages forge a lie that depends only on the exact key
+	// queried. With key-splitting the two vantages resolve different
+	// keys, their forged claims conflict, and the audit registers a
+	// repair on nearly every draw; with Skew=0 both resolve the same
+	// key, receive the same forged claim, and the audit is blind. The
+	// cap and probing are disabled to isolate the key-split mechanism.
+	const n = 64
+	o := newOracle(t, 94, n)
+	perKey := func(x ring.Point) (dht.Peer, bool) {
+		h := uint64(x) * 0x9e3779b97f4a7c15
+		return o.PeerByIndex(int(h % n)), true
+	}
+	meanArc := ^uint64(0) / uint64(n)
+	run := func(skew uint64, seed uint64) (*Swap, int) {
+		s, err := NewSwap(swapViews(o, perKey, perKey), SwapConfig{Skew: skew}, rand.New(rand.NewPCG(seed, seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		const samples = 1000
+		for i := 0; i < samples; i++ {
+			if _, err := s.Sample(); err != nil {
+				t.Fatalf("with the cap disabled every sample is accepted: %v", err)
+			}
+		}
+		return s, samples
+	}
+	split, samples := run(meanArc/64+1, 4)
+	if got := split.Rejected(); got < int64(samples)/2 {
+		t.Errorf("key-split audit flagged %d/%d per-key forgeries, want a majority", got, samples)
+	}
+	blind, _ := run(0, 5)
+	if got := blind.Rejected(); got != 0 {
+		t.Errorf("same-key double resolution flagged %d forgeries; identical lies should agree", got)
+	}
+}
+
+func TestSwapForkSharesCounters(t *testing.T) {
+	t.Parallel()
+	const n = 32
+	o := newOracle(t, 95, n)
+	s, err := NewSwap(swapViews(o, nil, nil), swapCfg(n), rand.New(rand.NewPCG(6, 6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := s.Fork(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name() != "swap" {
+		t.Errorf("fork Name = %q", f.Name())
+	}
+	for i := 0; i < 200; i++ {
+		if _, err := f.Sample(); err != nil {
+			// Rare cap-exhaustion failures are fine; the counter check
+			// below is what this test pins.
+			continue
+		}
+	}
+	if s.Failed() == 0 && s.Rejected() == 0 {
+		// Statistically the cap rejects ~37% of attempts, so 200
+		// samples leave a trace in the shared counters.
+		t.Error("fork activity not visible in parent counters")
+	}
+}
+
+func TestSwapValidation(t *testing.T) {
+	t.Parallel()
+	o := newOracle(t, 96, 8)
+	if _, err := NewSwap(swapViews(o, nil), SwapConfig{}, rand.New(rand.NewPCG(8, 8))); err == nil {
+		t.Error("one vantage should fail")
+	}
+	s, err := NewSwap(swapViews(o, nil, nil), SwapConfig{}, rand.New(rand.NewPCG(9, 9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "swap" {
+		t.Errorf("Name = %q", s.Name())
+	}
+}

@@ -290,7 +290,10 @@ func (n *Network) route(initiator *Node, from, key ring.Point, resp *nextHopResp
 				initiator.invalidateFingersTo(cur)
 			}
 			if next >= nBackup {
-				return 0, fmt.Errorf("%w: all routes toward %v failed: %v", ErrLookupAborted, key, err)
+				// Double-wrap so callers can match both the lookup
+				// abort and the transport-level cause (ErrDropped,
+				// ErrPartitioned) behind it.
+				return 0, fmt.Errorf("%w: all routes toward %v failed: %w", ErrLookupAborted, key, err)
 			}
 			cur = backup[next]
 			next++

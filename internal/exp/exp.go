@@ -256,6 +256,7 @@ func All() []Experiment {
 		expE26(),
 		expE27(),
 		expE28(),
+		expE29(),
 	}
 	sort.Slice(exps, func(i, j int) bool { return idOrder(exps[i].ID) < idOrder(exps[j].ID) })
 	return exps

@@ -1,0 +1,249 @@
+package sim_test
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"github.com/dht-sampling/randompeer/internal/chord"
+	"github.com/dht-sampling/randompeer/internal/churn"
+	"github.com/dht-sampling/randompeer/internal/ring"
+	"github.com/dht-sampling/randompeer/internal/sim"
+	"github.com/dht-sampling/randompeer/internal/simnet"
+)
+
+// Virtual-time fault-plan tests: named partitions scheduled and healed
+// on the simulation kernel while lookups are in flight, and random
+// in-flight drops racing asynchronous churn crashes — both
+// deterministic replays of the same seed.
+
+// TestPartitionHealsMidLookup schedules a partition cutting an island
+// off the ring and a heal event 50ms later, with a virtual-time client
+// retrying RPCs across the cut the whole time. The client must see
+// ErrPartitioned-classified failures while the cut holds and a success
+// only after the heal fires.
+func TestPartitionHealsMidLookup(t *testing.T) {
+	t.Parallel()
+	const seed = 41
+	const healAt = 50 * time.Millisecond
+	rng := rand.New(rand.NewPCG(seed, seed+1))
+	r, err := ring.Generate(rng, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sim.NewKernel(seed)
+	faults := simnet.NewFaults(nil)
+	tr := sim.NewTransport(
+		sim.WithKernel(k),
+		sim.WithStreamSeed(seed+2),
+		sim.WithModel(sim.Uniform{Min: time.Millisecond, Max: 3 * time.Millisecond}),
+		sim.WithFaults(faults),
+	)
+	net, err := chord.BuildStatic(chord.Config{}, tr, r.Points())
+	if err != nil {
+		t.Fatal(err)
+	}
+	caller := r.At(0)
+	// Island: four contiguous nodes on the far side of the ring.
+	island := make([]simnet.NodeID, 0, 4)
+	mainland := make([]simnet.NodeID, 0, 28)
+	for i := 0; i < 32; i++ {
+		if i >= 16 && i < 20 {
+			island = append(island, simnet.NodeID(r.At(i)))
+		} else {
+			mainland = append(mainland, simnet.NodeID(r.At(i)))
+		}
+	}
+	faults.Partition("island", island, mainland)
+	if !faults.Partitioned(simnet.NodeID(caller), island[0]) {
+		t.Fatal("partition not in effect")
+	}
+
+	target := ring.Point(island[0])
+	var partitionedFails int
+	var successAt time.Duration
+	var firstErr error
+	k.Go("client", func() {
+		for {
+			// One pointer RPC straight across the cut.
+			_, err := net.Successor(caller, target)
+			if err == nil {
+				successAt = k.Now()
+				return
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+			if errors.Is(err, simnet.ErrPartitioned) {
+				partitionedFails++
+			}
+			if k.Sleep(5*time.Millisecond) != nil {
+				return
+			}
+		}
+	})
+	k.PostAt(healAt, "heal", func() { faults.Heal("island") })
+	k.Run()
+
+	if partitionedFails == 0 {
+		t.Errorf("no partition-classified failures before heal (first err: %v)", firstErr)
+	}
+	if successAt == 0 {
+		t.Fatal("RPC across the healed cut never succeeded")
+	}
+	if successAt < healAt {
+		t.Errorf("success at %v predates the heal at %v", successAt, healAt)
+	}
+	if faults.Partitioned(simnet.NodeID(caller), island[0]) {
+		t.Error("Partitioned still true after heal")
+	}
+}
+
+// TestRoutedLookupAcrossPartition drives full routed lookups (not just
+// single RPCs) against keys owned by the island: while the cut holds,
+// routes touching island fingers fail; after the heal, the same lookup
+// succeeds and resolves to the island owner.
+func TestRoutedLookupAcrossPartition(t *testing.T) {
+	t.Parallel()
+	const seed = 43
+	const healAt = 40 * time.Millisecond
+	rng := rand.New(rand.NewPCG(seed, seed+1))
+	r, err := ring.Generate(rng, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sim.NewKernel(seed)
+	faults := simnet.NewFaults(nil)
+	tr := sim.NewTransport(
+		sim.WithKernel(k),
+		sim.WithStreamSeed(seed+2),
+		sim.WithModel(sim.Uniform{Min: time.Millisecond, Max: 3 * time.Millisecond}),
+		sim.WithFaults(faults),
+	)
+	net, err := chord.BuildStatic(chord.Config{}, tr, r.Points())
+	if err != nil {
+		t.Fatal(err)
+	}
+	caller := r.At(0)
+	// Cut the caller's half from the far half: far-side keys cannot
+	// route without crossing the cut.
+	var near, far []simnet.NodeID
+	for i := 0; i < 32; i++ {
+		if i < 16 {
+			near = append(near, simnet.NodeID(r.At(i)))
+		} else {
+			far = append(far, simnet.NodeID(r.At(i)))
+		}
+	}
+	faults.Partition("split", near, far)
+	farKey := ring.Point(far[len(far)/2]) // owned by a far-side node
+
+	var failsBeforeHeal int
+	var gotOwner ring.Point
+	var successAt time.Duration
+	k.Go("client", func() {
+		for {
+			owner, err := net.Lookup(caller, farKey)
+			if err == nil {
+				gotOwner, successAt = owner, k.Now()
+				return
+			}
+			failsBeforeHeal++
+			if k.Sleep(5*time.Millisecond) != nil {
+				return
+			}
+		}
+	})
+	k.PostAt(healAt, "heal", func() { faults.Heal("split") })
+	k.Run()
+
+	if failsBeforeHeal == 0 {
+		t.Error("routed lookup never failed while partitioned")
+	}
+	if successAt == 0 {
+		t.Fatal("routed lookup never succeeded after heal")
+	}
+	if successAt < healAt {
+		t.Errorf("success at %v predates the heal at %v", successAt, healAt)
+	}
+	if gotOwner != farKey {
+		t.Errorf("lookup resolved to %v, want the far-side owner %v", gotOwner, farKey)
+	}
+}
+
+// TestDropsRacingChurn runs random in-flight drops concurrently with
+// asynchronous churn crashes and maintenance, twice with the same
+// seed: the run must finish (drops never wedge the kernel) and both
+// replays must agree event for event.
+func TestDropsRacingChurn(t *testing.T) {
+	t.Parallel()
+	run := func(seed uint64) (events uint64, clock time.Duration, ok, fail int, rpcFails int64) {
+		rng := rand.New(rand.NewPCG(seed, seed+1))
+		r, err := ring.Generate(rng, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := sim.NewKernel(seed)
+		faults := simnet.NewFaults(rand.New(rand.NewPCG(seed+7, seed+8)))
+		faults.SetDropRate(0.15)
+		tr := sim.NewTransport(
+			sim.WithKernel(k),
+			sim.WithStreamSeed(seed+2),
+			sim.WithModel(sim.Uniform{Min: time.Millisecond, Max: 3 * time.Millisecond}),
+			sim.WithFaults(faults),
+		)
+		net, err := chord.BuildStatic(chord.Config{}, tr, r.Points())
+		if err != nil {
+			t.Fatal(err)
+		}
+		caller := r.At(0)
+		d, err := net.AsDHT(caller)
+		if err != nil {
+			t.Fatal(err)
+		}
+		driver, err := churn.NewDriver(churn.Chord(net), rand.New(rand.NewPCG(seed+3, seed+4)), churn.Config{
+			Events:    10,
+			Protected: map[ring.Point]bool{caller: true},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		arun, err := driver.Schedule(k, churn.AsyncConfig{
+			MeanInterval:        8 * time.Millisecond,
+			MaintenanceInterval: 5 * time.Millisecond,
+		}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srng := rand.New(rand.NewPCG(seed+5, seed+6))
+		k.Go("sampler", func() {
+			for !arun.Done() {
+				if _, err := d.H(ring.Point(srng.Uint64())); err != nil {
+					fail++
+				} else {
+					ok++
+				}
+				if k.Sleep(time.Millisecond) != nil {
+					return
+				}
+			}
+		})
+		k.Run()
+		return k.Processed(), k.Now(), ok, fail, tr.Meter().Snapshot().Failures
+	}
+	e1, c1, ok1, fail1, rf1 := run(97)
+	e2, c2, ok2, fail2, rf2 := run(97)
+	if ok1 == 0 {
+		t.Error("no lookup ever succeeded under drops and churn")
+	}
+	// Individual RPCs must be dropping even when chord's backup
+	// candidates save the end-to-end lookups.
+	if rf1 == 0 {
+		t.Error("15% drops plus crashes produced zero failed RPCs (faults inactive?)")
+	}
+	if e1 != e2 || c1 != c2 || ok1 != ok2 || fail1 != fail2 || rf1 != rf2 {
+		t.Errorf("same seed, different runs: %d/%v/%d/%d/%d vs %d/%v/%d/%d/%d",
+			e1, c1, ok1, fail1, rf1, e2, c2, ok2, fail2, rf2)
+	}
+}

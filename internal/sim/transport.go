@@ -51,11 +51,15 @@ type Transport struct {
 	// trace, when armed, records one obs.Hop per Call. Disarmed it is
 	// one atomic pointer load on the hot path.
 	trace atomic.Pointer[obs.Trace]
+	// byz, when armed, rewrites handler outcomes (Byzantine nodes).
+	// Disarmed it is one atomic pointer load on the hot path.
+	byz atomic.Pointer[simnet.Interceptor]
 }
 
 var (
-	_ simnet.Transport = (*Transport)(nil)
-	_ obs.Traceable    = (*Transport)(nil)
+	_ simnet.Transport     = (*Transport)(nil)
+	_ obs.Traceable        = (*Transport)(nil)
+	_ simnet.Interceptable = (*Transport)(nil)
 )
 
 // TransportOption configures a Transport.
@@ -84,8 +88,8 @@ func WithKernel(k *Kernel) TransportOption {
 
 // WithFaults attaches a fault-injection plan (shared with the simnet
 // transports). Combine with Kernel.At to script time-based faults:
-// schedule a process that flips SetDead, SetDropRate, SetNodeSlowdown
-// or SetLinkDelay at chosen virtual times.
+// schedule a process that flips SetDead, SetDropRate, SetNodeSlowdown,
+// SetLinkDelay or Partition/Heal at chosen virtual times.
 func WithFaults(f *simnet.Faults) TransportOption {
 	return func(t *Transport) { t.faults = f }
 }
@@ -243,6 +247,18 @@ func (t *Transport) Deregister(id simnet.NodeID) {
 // clock advances for everyone, so arm traces on quiesced lookups.
 func (t *Transport) SetTrace(tr *obs.Trace) { t.trace.Store(tr) }
 
+// SetInterceptor arms (nil disarms) the Byzantine hook: while armed,
+// every RPC's handler outcome passes through ic before metering and
+// delivery — after the latency has elapsed and the fault plan has let
+// the call through. Disarmed, the hook costs one atomic pointer load.
+func (t *Transport) SetInterceptor(ic simnet.Interceptor) {
+	if ic == nil {
+		t.byz.Store(nil)
+		return
+	}
+	t.byz.Store(&ic)
+}
+
 // Call implements simnet.Transport. The destination is resolved only
 // after the latency has elapsed, so a node deregistered (crashed) while
 // the message is in flight fails the call — asynchronous churn is
@@ -283,7 +299,7 @@ func (t *Transport) call(from, to simnet.NodeID, msg simnet.Message) (simnet.Mes
 			return t.fail(from, to, lat, simnet.ErrClosed)
 		}
 	}
-	if err := t.faults.Check(to); err != nil {
+	if err := t.faults.Check(from, to, msg); err != nil {
 		return t.fail(from, to, lat, err)
 	}
 	t.mu.RLock()
@@ -299,6 +315,9 @@ func (t *Transport) call(from, to simnet.NodeID, msg simnet.Message) (simnet.Mes
 		return nil, fmt.Errorf("%w: %d", simnet.ErrUnknownNode, to)
 	}
 	resp, err := h(from, msg)
+	if bz := t.byz.Load(); bz != nil {
+		resp, err = (*bz)(from, to, msg, resp, err)
+	}
 	if err != nil {
 		return t.fail(from, to, lat, err)
 	}

@@ -3,6 +3,7 @@ package simnet
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Chan is a goroutine-per-node transport: every registered node runs a
@@ -22,9 +23,13 @@ type Chan struct {
 	meter   Meter
 	faults  *Faults
 	bufSize int
+	byz     atomic.Pointer[Interceptor]
 }
 
-var _ Transport = (*Chan)(nil)
+var (
+	_ Transport     = (*Chan)(nil)
+	_ Interceptable = (*Chan)(nil)
+)
 
 type envelope struct {
 	from  NodeID
@@ -117,7 +122,7 @@ func (c *Chan) Call(from, to NodeID, msg Message) (Message, error) {
 		c.meter.ChargeFailure()
 		return nil, fmt.Errorf("%w: %d", ErrUnknownNode, to)
 	}
-	if err := c.faults.Check(to); err != nil {
+	if err := c.faults.Check(from, to, msg); err != nil {
 		c.meter.ChargeFailure()
 		return nil, fmt.Errorf("call %d->%d: %w", from, to, err)
 	}
@@ -130,6 +135,9 @@ func (c *Chan) Call(from, to NodeID, msg Message) (Message, error) {
 		return nil, fmt.Errorf("call %d->%d: %w", from, to, err)
 	}
 	res := <-reply
+	if bz := c.byz.Load(); bz != nil {
+		res.msg, res.err = (*bz)(from, to, msg, res.msg, res.err)
+	}
 	if res.err != nil {
 		c.meter.ChargeFailure()
 		return nil, fmt.Errorf("call %d->%d: %w", from, to, res.err)
@@ -148,6 +156,18 @@ func (c *Chan) send(inbox chan envelope, env envelope) (err error) {
 	}()
 	inbox <- env
 	return nil
+}
+
+// SetInterceptor arms (nil disarms) the Byzantine hook. The hook runs
+// in the calling goroutine once the destination's reply arrives, so a
+// node's serialized handler order is unaffected; disarmed it costs one
+// atomic pointer load per call.
+func (c *Chan) SetInterceptor(ic Interceptor) {
+	if ic == nil {
+		c.byz.Store(nil)
+		return
+	}
+	c.byz.Store(&ic)
 }
 
 // Meter implements Transport.

@@ -20,11 +20,13 @@ type Direct struct {
 	meter    Meter
 	faults   *Faults
 	trace    atomic.Pointer[obs.Trace]
+	byz      atomic.Pointer[Interceptor]
 }
 
 var (
 	_ Transport     = (*Direct)(nil)
 	_ obs.Traceable = (*Direct)(nil)
+	_ Interceptable = (*Direct)(nil)
 )
 
 // DirectOption configures a Direct transport.
@@ -73,6 +75,17 @@ func (d *Direct) Deregister(id NodeID) {
 // load, keeping the sampling hot path allocation-free.
 func (d *Direct) SetTrace(t *obs.Trace) { d.trace.Store(t) }
 
+// SetInterceptor arms (nil disarms) the Byzantine hook: while armed,
+// every RPC's handler outcome passes through ic before metering and
+// delivery. Disarmed, the hook costs one atomic pointer load.
+func (d *Direct) SetInterceptor(ic Interceptor) {
+	if ic == nil {
+		d.byz.Store(nil)
+		return
+	}
+	d.byz.Store(&ic)
+}
+
 // Call implements Transport. The handler runs synchronously with no
 // transport locks held, so handlers may call back into the transport.
 func (d *Direct) Call(from, to NodeID, msg Message) (Message, error) {
@@ -108,11 +121,14 @@ func (d *Direct) call(from, to NodeID, msg Message) (Message, error) {
 		d.meter.ChargeFailure()
 		return nil, fmt.Errorf("%w: %d", ErrUnknownNode, to)
 	}
-	if err := d.faults.Check(to); err != nil {
+	if err := d.faults.Check(from, to, msg); err != nil {
 		d.meter.ChargeFailure()
 		return nil, fmt.Errorf("call %d->%d: %w", from, to, err)
 	}
 	resp, err := h(from, msg)
+	if bz := d.byz.Load(); bz != nil {
+		resp, err = (*bz)(from, to, msg, resp, err)
+	}
 	if err != nil {
 		d.meter.ChargeFailure()
 		return nil, fmt.Errorf("call %d->%d: %w", from, to, err)

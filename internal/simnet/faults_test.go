@@ -86,9 +86,10 @@ func TestFaultsDropRateBothTransports(t *testing.T) {
 	}
 }
 
-// TestFaultsDropRateNeedsRNG: a plan built with a nil generator never
-// drops probabilistically, whatever the configured rate.
-func TestFaultsDropRateNeedsRNG(t *testing.T) {
+// TestFaultsDropRateNilRNG: a plan built with a nil generator lazily
+// seeds a deterministic PCG, so a configured drop rate always drops —
+// NewFaults(nil) + SetDropRate silently dropping nothing was a bug.
+func TestFaultsDropRateNilRNG(t *testing.T) {
 	t.Parallel()
 	faults := NewFaults(nil)
 	faults.SetDropRate(1)
@@ -97,8 +98,32 @@ func TestFaultsDropRateNeedsRNG(t *testing.T) {
 	if err := tr.Register(1, echoHandler); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := tr.Call(2, 1, "x"); err != nil {
-		t.Errorf("nil-rng plan dropped a message: %v", err)
+	if _, err := tr.Call(2, 1, "x"); !errors.Is(err, ErrDropped) {
+		t.Errorf("nil-rng plan with rate 1: err = %v, want ErrDropped", err)
+	}
+	// Fractional rates must drop too, and reproducibly: two fresh
+	// nil-rng plans see identical decision streams.
+	decisions := func() []bool {
+		f := NewFaults(nil)
+		f.SetDropRate(0.5)
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = f.Check(1, 2, "x") != nil
+		}
+		return out
+	}
+	a, b := decisions(), decisions()
+	var drops int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs between identical plans", i)
+		}
+		if a[i] {
+			drops++
+		}
+	}
+	if drops == 0 || drops == len(a) {
+		t.Errorf("rate 0.5 dropped %d/%d, want a mix", drops, len(a))
 	}
 }
 
@@ -107,18 +132,18 @@ func TestFaultsDropRateNeedsRNG(t *testing.T) {
 func TestFaultsCheckDirectly(t *testing.T) {
 	t.Parallel()
 	var nilPlan *Faults
-	if err := nilPlan.Check(1); err != nil {
+	if err := nilPlan.Check(0, 1, "x"); err != nil {
 		t.Errorf("nil plan injected %v", err)
 	}
 	faults := NewFaults(nil)
-	if err := faults.Check(1); err != nil {
+	if err := faults.Check(0, 1, "x"); err != nil {
 		t.Errorf("empty plan injected %v", err)
 	}
 	faults.SetDead(1, true)
-	if err := faults.Check(1); !errors.Is(err, ErrNodeDead) {
+	if err := faults.Check(0, 1, "x"); !errors.Is(err, ErrNodeDead) {
 		t.Errorf("Check(dead) = %v, want ErrNodeDead", err)
 	}
-	if err := faults.Check(2); err != nil {
+	if err := faults.Check(0, 2, "x"); err != nil {
 		t.Errorf("Check(other) = %v, want nil", err)
 	}
 }

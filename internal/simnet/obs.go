@@ -7,7 +7,7 @@ import (
 
 // ErrorClass classifies an RPC outcome into the transport error
 // taxonomy: "ok" for success, "unknown" / "dead" / "dropped" /
-// "closed" for the four transport errors, and "app" for errors the
+// "partitioned" / "closed" for the transport errors, and "app" for errors the
 // destination handler returned. The strings are stable: the wire codec
 // carries them in error envelopes and the obs layer uses them as
 // metric label values and trace hop outcomes.
@@ -21,6 +21,8 @@ func ErrorClass(err error) string {
 		return "dead"
 	case errors.Is(err, ErrDropped):
 		return "dropped"
+	case errors.Is(err, ErrPartitioned):
+		return "partitioned"
 	case errors.Is(err, ErrClosed):
 		return "closed"
 	default:

@@ -2,8 +2,6 @@ package simnet
 
 import (
 	"errors"
-	"math/rand/v2"
-	"sync"
 )
 
 // NodeID identifies a node on the simulated network. Chord uses the
@@ -41,70 +39,27 @@ var (
 	ErrUnknownNode = errors.New("simnet: unknown node")
 	ErrNodeDead    = errors.New("simnet: node is dead")
 	ErrDropped     = errors.New("simnet: message dropped")
+	ErrPartitioned = errors.New("simnet: network partitioned")
 	ErrClosed      = errors.New("simnet: transport closed")
 	ErrDuplicateID = errors.New("simnet: node id already registered")
 )
 
-// Faults injects failures into a transport. The zero value injects
-// nothing. All methods are safe for concurrent use.
-type Faults struct {
-	mu       sync.Mutex
-	dead     map[NodeID]bool
-	dropRate float64
-	rng      *rand.Rand
-}
+// Interceptor is a Byzantine hook: it observes every RPC after the
+// destination handler has produced (resp, err) and may replace either —
+// modelling nodes that lie rather than crash. from, to and msg identify
+// the call; the returned pair is what the caller sees (and what the
+// meter charges). Implementations run on every transport goroutine
+// concurrently, so they must be safe for concurrent use, and for
+// reproducible simulations they must be stateless: decide from hashes
+// of the call's own arguments, never from a shared rng, so the outcome
+// is independent of goroutine interleaving.
+type Interceptor func(from, to NodeID, msg Message, resp Message, err error) (Message, error)
 
-// NewFaults returns a fault plan using rng for drop decisions. A nil rng
-// disables probabilistic drops (only explicit dead nodes fail).
-func NewFaults(rng *rand.Rand) *Faults {
-	return &Faults{dead: make(map[NodeID]bool), rng: rng}
-}
-
-// SetDead marks a node dead or alive. RPCs to a dead node fail with
-// ErrNodeDead without reaching its handler.
-func (f *Faults) SetDead(id NodeID, dead bool) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if f.dead == nil {
-		f.dead = make(map[NodeID]bool)
-	}
-	if dead {
-		f.dead[id] = true
-	} else {
-		delete(f.dead, id)
-	}
-}
-
-// SetDropRate sets the probability that any RPC is dropped in flight
-// (failing with ErrDropped). Requires a rng; rates outside [0,1] are
-// clamped.
-func (f *Faults) SetDropRate(rate float64) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if rate < 0 {
-		rate = 0
-	}
-	if rate > 1 {
-		rate = 1
-	}
-	f.dropRate = rate
-}
-
-// Check returns the error the fault plan injects for an RPC to "to", or
-// nil to let it through. Transports call it once per RPC; it is exported
-// so that transports outside this package (internal/sim) share the same
-// fault plans.
-func (f *Faults) Check(to NodeID) error {
-	if f == nil {
-		return nil
-	}
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if f.dead[to] {
-		return ErrNodeDead
-	}
-	if f.dropRate > 0 && f.rng != nil && f.rng.Float64() < f.dropRate {
-		return ErrDropped
-	}
-	return nil
+// Interceptable is implemented by transports whose RPCs a Byzantine
+// adversary can intercept (all three in-process transports: Direct,
+// Chan and sim.Transport). SetInterceptor arms (nil disarms) the hook;
+// disarmed it costs one atomic pointer load per call, keeping the
+// honest hot path allocation-free.
+type Interceptable interface {
+	SetInterceptor(Interceptor)
 }

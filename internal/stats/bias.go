@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+)
+
+// Sampling-bias measurement over owner tallies. The adversarial
+// experiments (E29) draw many samples, count how often each peer was
+// returned, and ask two questions of the tally: how far is the
+// empirical distribution from uniform (total-variation distance, with
+// a bootstrap confidence interval quantifying the estimate's noise),
+// and is the deviation statistically significant (Pearson chi-square)?
+// BiasReport bundles both so every consumer reads the same analysis.
+
+// BiasReport summarizes how far an owner tally deviates from the
+// uniform distribution.
+type BiasReport struct {
+	// Samples is the tally total.
+	Samples int64
+	// TV is the total-variation distance between the empirical
+	// distribution and uniform, in [0, 1-1/k] for k categories.
+	TV float64
+	// TVLo and TVHi bound TV's bootstrap confidence interval
+	// (percentile method at the requested level).
+	TVLo, TVHi float64
+	// ChiSq and PValue are Pearson's goodness-of-fit statistic against
+	// uniform and its chi-square survival probability.
+	ChiSq, PValue float64
+}
+
+// BiasOptions tunes BiasAgainstUniform.
+type BiasOptions struct {
+	// Bootstrap is the number of multinomial resamples behind the TV
+	// confidence interval (default 200; 0 uses the default, negative
+	// disables the interval, collapsing it onto the point estimate).
+	Bootstrap int
+	// Level is the confidence level (default 0.95).
+	Level float64
+	// Seed roots the resampling stream, making the interval a pure
+	// function of (counts, options).
+	Seed uint64
+}
+
+// BiasAgainstUniform computes the full bias analysis of one owner
+// tally: point TV distance, a seeded-bootstrap confidence interval for
+// it, and the chi-square test. Counts must be non-negative with a
+// positive total.
+func BiasAgainstUniform(counts []int64, opt BiasOptions) (BiasReport, error) {
+	tv, err := TotalVariationUniform(counts)
+	if err != nil {
+		return BiasReport{}, err
+	}
+	chi, p, err := ChiSquareUniform(counts)
+	if err != nil {
+		return BiasReport{}, err
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	rep := BiasReport{Samples: total, TV: tv, TVLo: tv, TVHi: tv, ChiSq: chi, PValue: p}
+	boot := opt.Bootstrap
+	if boot == 0 {
+		boot = 200
+	}
+	if boot < 0 {
+		return rep, nil
+	}
+	level := opt.Level
+	if level == 0 {
+		level = 0.95
+	}
+	if level <= 0 || level >= 1 {
+		return BiasReport{}, fmt.Errorf("stats: confidence level %v outside (0,1)", level)
+	}
+	lo, hi, err := bootstrapTV(counts, total, boot, level, opt.Seed)
+	if err != nil {
+		return BiasReport{}, err
+	}
+	// Widen the percentile interval to bracket the point estimate: at
+	// the TV = 0 boundary every resample lands strictly above it, so
+	// the raw percentiles would exclude the very value they qualify.
+	rep.TVLo, rep.TVHi = math.Min(lo, tv), math.Max(hi, tv)
+	return rep, nil
+}
+
+// bootstrapTV resamples the empirical distribution boot times
+// (multinomial draws of the same sample size) and returns the
+// percentile interval of the TV-distance statistic at the given level.
+func bootstrapTV(counts []int64, total int64, boot int, level float64, seed uint64) (float64, float64, error) {
+	// Cumulative tally for inverse-CDF draws from the empirical
+	// distribution.
+	cum := make([]int64, len(counts))
+	var run int64
+	for i, c := range counts {
+		if c < 0 {
+			return 0, 0, fmt.Errorf("stats: negative count %d at %d", c, i)
+		}
+		run += c
+		cum[i] = run
+	}
+	rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+	resample := make([]int64, len(counts))
+	tvs := make([]float64, boot)
+	for b := 0; b < boot; b++ {
+		for i := range resample {
+			resample[i] = 0
+		}
+		for s := int64(0); s < total; s++ {
+			u := rng.Int64N(total)
+			// First category whose cumulative tally exceeds u.
+			idx := sort.Search(len(cum), func(i int) bool { return cum[i] > u })
+			resample[idx]++
+		}
+		tv, err := TotalVariationUniform(resample)
+		if err != nil {
+			return 0, 0, err
+		}
+		tvs[b] = tv
+	}
+	sort.Float64s(tvs)
+	alpha := (1 - level) / 2
+	return Percentile(tvs, alpha), Percentile(tvs, 1-alpha), nil
+}

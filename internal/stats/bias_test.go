@@ -1,0 +1,151 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// Closed-form checks of the bias module: exact TV distances for known
+// skews, chi-square p-value sanity at both extremes, TV bounds, and
+// bootstrap determinism/coverage.
+
+func TestBiasUniformTally(t *testing.T) {
+	t.Parallel()
+	// A perfectly uniform tally: TV = 0 exactly, chi-square stat 0,
+	// p-value 1.
+	counts := []int64{100, 100, 100, 100}
+	rep, err := BiasAgainstUniform(counts, BiasOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TV != 0 {
+		t.Errorf("TV = %v, want 0", rep.TV)
+	}
+	if rep.ChiSq != 0 || rep.PValue < 0.999 {
+		t.Errorf("chi = %v p = %v, want 0 and ~1", rep.ChiSq, rep.PValue)
+	}
+	if rep.Samples != 400 {
+		t.Errorf("samples = %d, want 400", rep.Samples)
+	}
+	if rep.TVLo > rep.TV || rep.TVHi < rep.TV {
+		t.Errorf("CI [%v, %v] excludes point estimate %v", rep.TVLo, rep.TVHi, rep.TV)
+	}
+}
+
+func TestBiasKnownSkew(t *testing.T) {
+	t.Parallel()
+	// Two categories at (3/4, 1/4): TV = (|3/4-1/2| + |1/4-1/2|)/2 = 1/4.
+	rep, err := BiasAgainstUniform([]int64{300, 100}, BiasOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.TV-0.25) > 1e-12 {
+		t.Errorf("TV = %v, want 0.25", rep.TV)
+	}
+	// Chi-square: sum (o-e)^2/e with e=200 → (100^2+100^2)/200 = 100;
+	// wildly significant.
+	if math.Abs(rep.ChiSq-100) > 1e-9 {
+		t.Errorf("chi = %v, want 100", rep.ChiSq)
+	}
+	if rep.PValue > 1e-6 {
+		t.Errorf("p = %v, want ~0", rep.PValue)
+	}
+	// One category holding everything among k: TV = 1 - 1/k, the upper
+	// bound.
+	rep, err = BiasAgainstUniform([]int64{1000, 0, 0, 0}, BiasOptions{Bootstrap: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.TV-0.75) > 1e-12 {
+		t.Errorf("concentrated TV = %v, want 0.75", rep.TV)
+	}
+}
+
+func TestBiasTVBounds(t *testing.T) {
+	t.Parallel()
+	// Any tally's TV lies in [0, 1-1/k]; spot-check a spread of shapes.
+	for _, counts := range [][]int64{
+		{1, 2, 3, 4, 5},
+		{10, 0, 10, 0},
+		{7, 7},
+		{0, 0, 1},
+		{5, 5, 5, 5, 5, 5, 5, 4},
+	} {
+		rep, err := BiasAgainstUniform(counts, BiasOptions{Bootstrap: -1})
+		if err != nil {
+			t.Fatalf("%v: %v", counts, err)
+		}
+		k := float64(len(counts))
+		if rep.TV < 0 || rep.TV > 1-1/k+1e-12 {
+			t.Errorf("%v: TV = %v outside [0, %v]", counts, rep.TV, 1-1/k)
+		}
+	}
+}
+
+func TestBiasErrors(t *testing.T) {
+	t.Parallel()
+	if _, err := BiasAgainstUniform(nil, BiasOptions{}); err == nil {
+		t.Error("empty tally must fail")
+	}
+	if _, err := BiasAgainstUniform([]int64{0, 0}, BiasOptions{}); err == nil {
+		t.Error("zero-total tally must fail")
+	}
+	if _, err := BiasAgainstUniform([]int64{1, -1}, BiasOptions{}); err == nil {
+		t.Error("negative count must fail")
+	}
+	if _, err := BiasAgainstUniform([]int64{1, 1}, BiasOptions{Level: 1.5}); err == nil {
+		t.Error("bad confidence level must fail")
+	}
+}
+
+func TestBiasBootstrapDeterministicAndOrdered(t *testing.T) {
+	t.Parallel()
+	counts := []int64{120, 95, 80, 105}
+	a, err := BiasAgainstUniform(counts, BiasOptions{Bootstrap: 100, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BiasAgainstUniform(counts, BiasOptions{Bootstrap: 100, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same seed, different reports: %+v vs %+v", a, b)
+	}
+	if a.TVLo > a.TVHi {
+		t.Errorf("interval inverted: [%v, %v]", a.TVLo, a.TVHi)
+	}
+	c, err := BiasAgainstUniform(counts, BiasOptions{Bootstrap: 100, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TVLo == c.TVLo && a.TVHi == c.TVHi {
+		t.Error("different seeds produced identical intervals (suspicious)")
+	}
+	// The interval must be a genuine spread around a noisy estimate.
+	if a.TVHi == a.TVLo {
+		t.Error("degenerate interval from 100 resamples")
+	}
+}
+
+// TestBiasBootstrapCoverage: resampling a genuinely uniform source many
+// times, the true TV (0 against the source, small against any finite
+// draw) should sit near the interval — a loose sanity bound, not a
+// sharp coverage test.
+func TestBiasBootstrapCoverage(t *testing.T) {
+	t.Parallel()
+	// 4 categories, 400 samples, mild noise.
+	counts := []int64{104, 96, 99, 101}
+	rep, err := BiasAgainstUniform(counts, BiasOptions{Bootstrap: 300, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The point estimate for this tally is 5/400 = 0.0125; the interval
+	// must bracket values of that magnitude and stay below gross bias.
+	if rep.TVHi > 0.2 {
+		t.Errorf("TVHi = %v implausibly wide for a near-uniform tally", rep.TVHi)
+	}
+	if rep.TVLo > rep.TV {
+		t.Errorf("TVLo %v above point estimate %v", rep.TVLo, rep.TV)
+	}
+}

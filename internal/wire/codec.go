@@ -151,6 +151,7 @@ const (
 	kindUnknownNode = "unknown"
 	kindNodeDead    = "dead"
 	kindDropped     = "dropped"
+	kindPartitioned = "partitioned"
 	kindClosed      = "closed"
 	kindApp         = "app"
 )
@@ -168,6 +169,8 @@ func (e *rpcError) sentinel() error {
 		return simnet.ErrNodeDead
 	case kindDropped:
 		return simnet.ErrDropped
+	case kindPartitioned:
+		return simnet.ErrPartitioned
 	case kindClosed:
 		return simnet.ErrClosed
 	default:

@@ -12,6 +12,7 @@ import (
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"github.com/dht-sampling/randompeer/internal/obs"
@@ -99,11 +100,11 @@ type wireStats struct {
 	attempts     atomic.Int64 // network attempts (first tries + retries)
 	retries      atomic.Int64 // attempts beyond a call's first
 	backoffNanos atomic.Int64 // total time spent in retry backoff
-	fails        [5]atomic.Int64
+	fails        [6]atomic.Int64
 }
 
 // failKinds indexes wireStats.fails; the order matches failIndex.
-var failKinds = [5]string{kindUnknownNode, kindNodeDead, kindDropped, kindClosed, kindApp}
+var failKinds = [6]string{kindUnknownNode, kindNodeDead, kindDropped, kindPartitioned, kindClosed, kindApp}
 
 // failIndex maps a taxonomy class to its wireStats.fails slot.
 func failIndex(class string) int {
@@ -112,7 +113,7 @@ func failIndex(class string) int {
 			return i
 		}
 	}
-	return 4 // "app"
+	return len(failKinds) - 1 // "app"
 }
 
 // chargeFailure records a failed call on both the meter and the
@@ -344,7 +345,7 @@ func (t *Transport) call(from, to simnet.NodeID, msg simnet.Message, traceID uin
 	if closed {
 		return nil, false, 0, simnet.ErrClosed
 	}
-	if err := t.faults.Check(to); err != nil {
+	if err := t.faults.Check(from, to, msg); err != nil {
 		t.chargeFailure(err)
 		return nil, false, 0, fmt.Errorf("call %d->%d: %w", from, to, err)
 	}
@@ -473,8 +474,14 @@ func (t *Transport) backoff(attempt int) time.Duration {
 
 // mapNetError maps an exhausted network-level failure into the simnet
 // taxonomy: deadline expiries mean the message (or its reply) was lost
-// in flight — ErrDropped; everything else (connection refused/reset,
-// mid-call EOF) means the destination process is gone — ErrNodeDead.
+// in flight — ErrDropped; unreachable-network/host errors are
+// partition-shaped — the destination process may be fine but no route
+// reaches it — ErrPartitioned; everything else (connection
+// refused/reset, mid-call EOF) means the destination process is gone —
+// ErrNodeDead. The distinction matters operationally: a burst of
+// "partitioned" failures in randpeerd's wire_rpc_failures_total metric
+// points at the network (or an adversary segmenting it), not at
+// crashed peers.
 func mapNetError(err error) error {
 	if err == nil {
 		return simnet.ErrNodeDead
@@ -485,6 +492,10 @@ func mapNetError(err error) error {
 	var netErr net.Error
 	if errors.As(err, &netErr) && netErr.Timeout() {
 		return simnet.ErrDropped
+	}
+	if errors.Is(err, syscall.ENETUNREACH) || errors.Is(err, syscall.EHOSTUNREACH) ||
+		errors.Is(err, syscall.ENETDOWN) {
+		return simnet.ErrPartitioned
 	}
 	return simnet.ErrNodeDead
 }

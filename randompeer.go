@@ -166,6 +166,11 @@ type Testbed struct {
 	kview  *kademlia.DHT
 	r      *ring.Ring
 
+	// faults is the always-attached fault plan of transport-backed
+	// backends (nil for the oracle). Empty plans cost one atomic load
+	// per RPC, so attachment is unconditional.
+	faults *simnet.Faults
+
 	vnow  func() time.Duration // non-nil when simulated time is on
 	model sim.Model
 }
@@ -240,13 +245,16 @@ func New(opts ...Option) (*Testbed, error) {
 	}
 	// transport builds the RPC fabric the protocol backends run on:
 	// virtual-clock when simulated time is requested, Direct otherwise.
+	// Either carries the testbed's fault plan (see FaultPlan).
 	transport := func() simnet.Transport {
+		tb.faults = simnet.NewFaults(nil)
 		if !cfg.simTime {
-			return simnet.NewDirect()
+			return simnet.NewDirect(simnet.WithFaults(tb.faults))
 		}
 		st := sim.NewTransport(
 			sim.WithModel(cfg.latency),
 			sim.WithStreamSeed(cfg.seed^0x71e0),
+			sim.WithFaults(tb.faults),
 		)
 		tb.vnow = st.Now
 		tb.model = cfg.latency
