@@ -10,7 +10,7 @@ VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 COMMIT  ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo unknown)
 LDFLAGS  = -X main.version=$(VERSION) -X main.commit=$(COMMIT)
 
-.PHONY: all build test race vet fmt-check bench bench-snapshot benchdiff cluster-smoke slo-report staticcheck vuln profile alloc-check examples clean
+.PHONY: all build test race vet fmt-check bench bench-snapshot benchdiff cluster-smoke slo-report staticcheck vuln profile alloc-check storage-check examples clean
 
 all: build test
 
@@ -94,6 +94,13 @@ profile:
 # kademlia hot paths and the uniform sampler.
 alloc-check:
 	$(GO) test -run 'TestAllocBudget' -v ./internal/dht/ ./internal/core/ ./internal/chord/ ./internal/kademlia/
+
+# The flat-storage invariants alone (they also run as part of `make
+# test` and, counted, under the CI race matrix): GC-settled per-node
+# memory budgets, slot recycling across crash/join cycles, and the
+# copy-on-write membership snapshot contract.
+storage-check:
+	$(GO) test -v ./internal/scale/
 
 # Build and run every example program.
 examples:

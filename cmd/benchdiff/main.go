@@ -3,7 +3,10 @@
 // per-worker-count deltas — samples/sec, ns/sample and allocs/sample —
 // plus the scenario-scale sections: kernel events/sec (proc and
 // callback paths), per-backend construction peers/sec, async-churn
-// events/sec, the per-backend E28 SLO records (p99 latency, error
+// events/sec, the per-backend flat-storage capacity records (heap
+// bytes/node and bulk build time, both gated higher-is-worse — the
+// capacity headline regresses when either grows), the per-backend E28
+// SLO records (p99 latency, error
 // budget and objective verdict — where higher is worse, the gate
 // inverts), the per-backend adversarial records (mitigation bias,
 // audit price and eclipse capture, all gated higher-is-worse, plus the
@@ -55,6 +58,7 @@ type Snapshot struct {
 	Kernel     *Kernel  `json:"kernel"`
 	Builds     []Build  `json:"builds"`
 	Churn      *ChurnRt `json:"churn"`
+	Mem        []MemRec `json:"mem"`
 	SLO        []SLORec `json:"slo"`
 	Adversary  []AdvRec `json:"adversary"`
 }
@@ -90,6 +94,19 @@ type Build struct {
 	Backend     string  `json:"backend"`
 	Peers       int     `json:"peers"`
 	PeersPerSec float64 `json:"peers_per_sec"`
+}
+
+// MemRec mirrors benchsnap's per-backend flat-storage capacity
+// section. Bytes/node and build wall time both gate higher-is-worse: a
+// fatter per-node layout or a slower bulk build regresses the
+// capacity headline (10M-peer rings in a few GB, sub-minute builds)
+// even when the sampling hot paths are unaffected.
+type MemRec struct {
+	Backend      string  `json:"backend"`
+	Peers        int     `json:"peers"`
+	BuildWallMS  float64 `json:"build_wall_ms"`
+	PeersPerSec  float64 `json:"peers_per_sec"`
+	BytesPerNode float64 `json:"bytes_per_node"`
 }
 
 // ChurnRt mirrors benchsnap's async-churn rate section.
@@ -246,6 +263,19 @@ func run(args []string) int {
 	}
 	if oldSnap.Churn != nil && newSnap.Churn != nil && oldSnap.Churn.Peers == newSnap.Churn.Peers {
 		check("churn events/sec", oldSnap.Churn.EventsPerSec, newSnap.Churn.EventsPerSec)
+	}
+	oldMem := make(map[string]MemRec, len(oldSnap.Mem))
+	for _, m := range oldSnap.Mem {
+		oldMem[m.Backend] = m
+	}
+	for _, nm := range newSnap.Mem {
+		prev, ok := oldMem[nm.Backend]
+		if !ok || prev.Peers != nm.Peers {
+			continue
+		}
+		checkUp("mem "+nm.Backend+" bytes/node", prev.BytesPerNode, nm.BytesPerNode)
+		checkUp("mem "+nm.Backend+" build ms", prev.BuildWallMS, nm.BuildWallMS)
+		check("mem "+nm.Backend+" peers/sec", prev.PeersPerSec, nm.PeersPerSec)
 	}
 	oldSLO := make(map[string]SLORec, len(oldSnap.SLO))
 	for _, s := range oldSnap.SLO {

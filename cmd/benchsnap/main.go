@@ -59,9 +59,10 @@ type TransportOverhead struct {
 }
 
 // Snapshot is the committed benchmark record. The kernel, build, churn
-// and E27 sections were added with the scenario-scale pass (BENCH_5)
-// and the adversary section with the fault-suite pass (BENCH_9);
-// earlier snapshots simply lack them.
+// and E27 sections were added with the scenario-scale pass (BENCH_5),
+// the adversary section with the fault-suite pass (BENCH_9), and the
+// mem section with the flat-storage pass (BENCH_10); earlier snapshots
+// simply lack them.
 type Snapshot struct {
 	Benchmark  string             `json:"benchmark"`
 	Date       time.Time          `json:"date"`
@@ -77,6 +78,7 @@ type Snapshot struct {
 	Builds     []BuildBench       `json:"builds,omitempty"`
 	Churn      *ChurnBench        `json:"churn,omitempty"`
 	E27        *E27Scale          `json:"e27,omitempty"`
+	Mem        []MemBench         `json:"mem,omitempty"`
 	SLO        []SLOBench         `json:"slo,omitempty"`
 	Adversary  []AdversaryBench   `json:"adversary,omitempty"`
 	Note       string             `json:"note,omitempty"`
@@ -104,6 +106,8 @@ func run(args []string) int {
 		churnEv  = fs.Int("churn-events", 2000, "async churn events to drive")
 		e27N     = fs.Int("e27-n", 1_000_000, "chord network size for the E27 scenario run (0 disables)")
 		e27Ev    = fs.Int("e27-events", 48, "churn events in the E27 scenario run")
+		memCh    = fs.Int("mem-chord-n", 10_000_000, "chord ring size for the flat-storage capacity measurement (0 disables)")
+		memKad   = fs.Int("mem-kademlia-n", 1<<21, "kademlia network size for the flat-storage capacity measurement (0 disables)")
 		sloOn    = fs.Bool("slo", true, "run the E28 SLO scenarios (open-loop load under churn, both backends)")
 		advOn    = fs.Bool("adversary", true, "run the adversarial scenarios (route-bias bias + eclipse capture, both backends)")
 	)
@@ -138,6 +142,13 @@ func run(args []string) int {
 	}
 	if *e27N > 0 {
 		snap.E27, err = measureE27(*e27N, *e27Ev, 200, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsnap:", err)
+			return 1
+		}
+	}
+	if *memCh > 0 || *memKad > 0 {
+		snap.Mem, err = measureMem(*memCh, *memKad, *seed)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchsnap:", err)
 			return 1

@@ -46,8 +46,8 @@ func TestSelectExperiments(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(all) != 29 {
-		t.Errorf("all = %d experiments, want 29", len(all))
+	if len(all) != 30 {
+		t.Errorf("all = %d experiments, want 30", len(all))
 	}
 	two, err := selectExperiments("E1, E2")
 	if err != nil {

@@ -16,9 +16,12 @@ type DHT struct {
 	net    *Network
 	caller ring.Point
 
-	mu     sync.RWMutex
-	owners map[ring.Point]int // sorted-rank owner indices for tallying
-	size   int
+	mu sync.RWMutex
+	// sorted is the membership snapshot owner indices are derived from:
+	// a peer's owner index is its rank here (binary search), so the
+	// adapter carries no per-peer map — at 10^7 peers the old
+	// map[Point]int cost more memory than the overlay itself.
+	sorted []ring.Point
 }
 
 var _ dht.DHT = (*DHT)(nil)
@@ -35,19 +38,16 @@ func (n *Network) AsDHT(caller ring.Point) (*DHT, error) {
 	return d, nil
 }
 
-// RefreshOwners re-derives the owner index mapping from the current
-// membership (global knowledge used only for experiment tallying, never
-// by the protocol or the samplers).
+// RefreshOwners re-snapshots the membership the owner indices are ranked
+// against (global knowledge used only for experiment tallying, never by
+// the protocol or the samplers). The snapshot is the network's immutable
+// copy-on-write membership slice, so this is a pointer fetch, not a
+// rebuild.
 func (d *DHT) RefreshOwners() {
 	members := d.net.Members()
-	owners := make(map[ring.Point]int, len(members))
-	for i, id := range members {
-		owners[id] = i
-	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.owners = owners
-	d.size = len(members)
+	d.sorted = members
 }
 
 // Self returns the caller as a peer.
@@ -75,7 +75,7 @@ func (d *DHT) Next(p dht.Peer) (dht.Peer, error) {
 func (d *DHT) Size() int {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	return d.size
+	return len(d.sorted)
 }
 
 // Owners implements dht.DHT. Chord has one point per peer.
@@ -86,10 +86,11 @@ func (d *DHT) Meter() *simnet.Meter { return d.net.Meter() }
 
 func (d *DHT) peerOf(id ring.Point) dht.Peer {
 	d.mu.RLock()
-	defer d.mu.RUnlock()
-	owner, ok := d.owners[id]
-	if !ok {
-		owner = -1
+	sorted := d.sorted
+	d.mu.RUnlock()
+	owner := -1
+	if rank, ok := ring.Rank(sorted, id); ok {
+		owner = rank
 	}
 	return dht.Peer{Point: id, Owner: owner}
 }

@@ -23,7 +23,9 @@ type Config struct {
 	// successor lists, making lookups Theta(n/SuccListLen) hops. This
 	// models a minimal ring-only DHT and demonstrates Theorem 7's t_h
 	// dependence — the sampler inherits whatever lookup cost the DHT
-	// has. Set MaxLookupHops accordingly.
+	// has. Set MaxLookupHops accordingly. Finger-disabled networks also
+	// skip the finger arrays entirely, cutting the per-node footprint
+	// by idBits slot references.
 	DisableFingers bool
 }
 
@@ -37,20 +39,43 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Network is a collection of Chord nodes sharing one simulated transport.
+// Network is a collection of Chord nodes sharing one simulated
+// transport. All per-node state lives in a flat slot arena (see
+// arena.go); nodes are addressed internally by dense uint32 slot and
+// externally by ring.Point identifier.
 type Network struct {
 	cfg Config
 	tr  simnet.Transport
+	// succStride is the row width of the packed successor-list array
+	// (cfg.SuccListLen after defaulting).
+	succStride int
+	// multi records that the transport accepted a bulk registration:
+	// one handler serves every node this network hosts and joins and
+	// crashes cost no per-node transport bookkeeping. Without it the
+	// network falls back to one registered closure per node.
+	multi bool
 
-	mu    sync.RWMutex
-	nodes map[ring.Point]*Node
+	mu sync.RWMutex
+	st arena
 	// members is the sorted live membership, maintained incrementally:
 	// join/crash installs a fresh copy with the id spliced in or out
 	// (copy-on-write) and bumps epoch. The slice itself is immutable, so
 	// Members hands it out with no per-call copy and holders keep a
 	// consistent snapshot across later churn.
 	members []ring.Point
-	epoch   uint64
+	// memberSlots is the aligned slot snapshot: memberSlots[i] is the
+	// arena slot of members[i]. Maintained copy-on-write in lockstep
+	// with members, it is the ID-to-index half of the bridge that
+	// replaces the old map[ring.Point]*Node.
+	memberSlots []uint32
+	epoch       uint64
+
+	// stores holds per-slot key/value items (primaries + replicas),
+	// keyed by slot. Most nodes store nothing, so a side map beats a
+	// per-slot field. Guarded by storeMu, which nests inside any other
+	// lock (it is taken last and held across no calls).
+	storeMu sync.RWMutex
+	stores  map[uint32]map[ring.Point][]byte
 }
 
 // Chord error conditions.
@@ -63,10 +88,54 @@ var (
 
 // NewNetwork creates an empty Chord network over the given transport.
 func NewNetwork(cfg Config, tr simnet.Transport) *Network {
-	return &Network{
-		cfg:   cfg.withDefaults(),
-		tr:    tr,
-		nodes: make(map[ring.Point]*Node),
+	cfg = cfg.withDefaults()
+	n := &Network{
+		cfg:        cfg,
+		tr:         tr,
+		succStride: cfg.SuccListLen,
+		stores:     make(map[uint32]map[ring.Point][]byte),
+	}
+	n.st.overflow = make(map[ring.Point]uint32)
+	if mr, ok := tr.(simnet.MultiRegistrar); ok {
+		if err := mr.RegisterMulti(n.ownsID, n.dispatchAny); err == nil {
+			n.multi = true
+		}
+	}
+	return n
+}
+
+// ownsID reports whether this network currently hosts a live node with
+// the given transport id; the transport's bulk-registration path
+// consults it in place of a per-node handler table.
+func (n *Network) ownsID(id simnet.NodeID) bool {
+	_, ok := n.liveSlot(ring.Point(id))
+	return ok
+}
+
+// dispatchAny routes a bulk-registered RPC to its destination slot.
+// Crashed nodes remain resolvable through the overflow map until
+// scavenged, so an in-flight RPC that won the transport's liveness
+// check still reaches the node's frozen state, exactly as a registered
+// handler used to keep answering until deregistration took effect.
+func (n *Network) dispatchAny(to, from simnet.NodeID, msg simnet.Message) (simnet.Message, error) {
+	s, ok := n.slotOf(ring.Point(to))
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", simnet.ErrUnknownNode, to)
+	}
+	return n.handleRPC(s, from, msg)
+}
+
+// idHandler returns the per-node registration closure for transports
+// without bulk registration. It captures the identifier, never the
+// slot: the slot is resolved per call, so slot recycling cannot
+// misroute a stale registration.
+func (n *Network) idHandler(id ring.Point) simnet.Handler {
+	return func(from simnet.NodeID, msg simnet.Message) (simnet.Message, error) {
+		s, ok := n.slotOf(id)
+		if !ok {
+			return nil, fmt.Errorf("%w: %d", simnet.ErrUnknownNode, simnet.NodeID(id))
+		}
+		return n.handleRPC(s, from, msg)
 	}
 }
 
@@ -76,15 +145,18 @@ func (n *Network) Transport() simnet.Transport { return n.tr }
 // Meter returns the transport's cost meter.
 func (n *Network) Meter() *simnet.Meter { return n.tr.Meter() }
 
-// Node returns the node with the given id.
+// Node returns the node with the given id. The returned handle points
+// into the arena's preconstructed handle table, so the call allocates
+// nothing.
 func (n *Network) Node(id ring.Point) (*Node, error) {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
-	nd, ok := n.nodes[id]
-	if !ok {
-		return nil, fmt.Errorf("%w: %v", ErrNodeNotFound, id)
+	if rank, ok := ring.Rank(n.members, id); ok {
+		if s := n.memberSlots[rank]; n.st.alive[s] {
+			return &n.st.handles[s], nil
+		}
 	}
-	return nd, nil
+	return nil, fmt.Errorf("%w: %v", ErrNodeNotFound, id)
 }
 
 // Members returns the ids of all live nodes in sorted order. The
@@ -109,9 +181,9 @@ func (n *Network) Epoch() uint64 {
 	return n.epoch
 }
 
-// NumAlive returns the number of live nodes. The nodes map holds
-// exactly the live nodes (Crash removes before marking dead), so this
-// is the snapshot length.
+// NumAlive returns the number of live nodes. The membership snapshot
+// holds exactly the live nodes (Crash removes before marking dead), so
+// this is the snapshot length.
 func (n *Network) NumAlive() int {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
@@ -131,10 +203,7 @@ func (n *Network) Create(id ring.Point) (*Node, error) {
 // Chord join protocol: resolve the new node's successor with a lookup,
 // adopt its successor list, and let stabilization integrate the rest.
 func (n *Network) Join(id, via ring.Point) (*Node, error) {
-	n.mu.RLock()
-	_, exists := n.nodes[id]
-	n.mu.RUnlock()
-	if exists {
+	if _, ok := n.liveSlot(id); ok {
 		return nil, fmt.Errorf("%w: %v", ErrNodeExists, id)
 	}
 	succ, err := n.Lookup(via, id)
@@ -150,10 +219,7 @@ func (n *Network) Join(id, via ring.Point) (*Node, error) {
 // initiating at a local node. It is the join path wire-transport
 // daemons use.
 func (n *Network) JoinVia(id, bootstrap ring.Point) (*Node, error) {
-	n.mu.RLock()
-	_, exists := n.nodes[id]
-	n.mu.RUnlock()
-	if exists {
+	if _, ok := n.liveSlot(id); ok {
 		return nil, fmt.Errorf("%w: %v", ErrNodeExists, id)
 	}
 	succ, err := n.LookupVia(id, bootstrap, id)
@@ -185,43 +251,78 @@ func (n *Network) finishJoin(id, succ ring.Point) (*Node, error) {
 	return nd, nil
 }
 
-// Crash removes a node abruptly: its handler is deregistered and every
-// RPC to it fails until other nodes route around it via successor lists
-// and stabilization.
+// Crash removes a node abruptly: it leaves the live membership and
+// every new RPC to it fails until other nodes route around it via
+// successor lists and stabilization. Its slot parks in the overflow map
+// (state frozen, still answering RPCs already in flight) until the
+// scavenger recycles it.
 func (n *Network) Crash(id ring.Point) error {
 	n.mu.Lock()
-	nd, ok := n.nodes[id]
+	rank, ok := ring.Rank(n.members, id)
+	var s uint32
 	if ok {
-		delete(n.nodes, id)
+		s = n.memberSlots[rank]
+		if !n.st.alive[s] {
+			ok = false // partitioned build: the member is hosted elsewhere
+		}
+	}
+	if ok {
 		n.members = ring.RemoveSorted(n.members, id)
+		n.memberSlots = spliceOut(n.memberSlots, rank)
+		n.st.alive[s] = false
+		n.st.overflow[id] = s
+		n.st.reclaimable++
 		n.epoch++
 	}
 	n.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("%w: %v", ErrNodeNotFound, id)
 	}
-	nd.mu.Lock()
-	nd.alive = false
-	nd.mu.Unlock()
-	n.tr.Deregister(simnet.NodeID(id))
+	if !n.multi {
+		n.tr.Deregister(simnet.NodeID(id))
+	}
 	return nil
 }
 
-// addNode constructs, registers and records a node.
+// addNode allocates (or recycles) a slot for id, registers it on the
+// transport when per-node registration is in use, and splices it into
+// the live membership.
 func (n *Network) addNode(id ring.Point) (*Node, error) {
-	nd := &Node{id: id, net: n, succs: []ring.Point{id}, alive: true}
-	if err := n.tr.Register(simnet.NodeID(id), nd.handle); err != nil {
-		return nil, fmt.Errorf("chord: registering node %v: %w", id, err)
+	if !n.multi {
+		// Register before taking the network lock, as always: the
+		// transport may consult its own locks, and registration order
+		// is observable to concurrent callers.
+		if err := n.tr.Register(simnet.NodeID(id), n.idHandler(id)); err != nil {
+			return nil, fmt.Errorf("chord: registering node %v: %w", id, err)
+		}
 	}
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	if _, exists := n.nodes[id]; exists {
-		n.tr.Deregister(simnet.NodeID(id))
+	rank, found := ring.Rank(n.members, id)
+	if found {
+		n.mu.Unlock()
+		if !n.multi {
+			n.tr.Deregister(simnet.NodeID(id))
+		}
 		return nil, fmt.Errorf("%w: %v", ErrNodeExists, id)
 	}
-	n.nodes[id] = nd
-	n.members = ring.InsertSorted(n.members, id)
+	s, ok := n.st.overflow[id]
+	if ok {
+		// The id had a zombie or external slot: reclaim it for the
+		// rejoining node with fresh baseline state.
+		delete(n.st.overflow, id)
+		if n.st.reclaimable > 0 {
+			n.st.reclaimable--
+		}
+		n.resetSlotLocked(s, id)
+	} else {
+		s = n.newSlotLocked(id)
+	}
+	n.st.alive[s] = true
+	n.members = spliceIn(n.members, rank, id)
+	n.memberSlots = spliceIn(n.memberSlots, rank, s)
 	n.epoch++
+	nd := &n.st.handles[s]
+	n.mu.Unlock()
 	return nd, nil
 }
 
@@ -371,10 +472,12 @@ func (n *Network) FixFinger(id ring.Point) error {
 	if err != nil {
 		return err
 	}
-	nd.mu.Lock()
-	k := nd.next
-	nd.next = (nd.next + 1) % idBits
-	nd.mu.Unlock()
+	a := &n.st
+	st := a.stripe(nd.slot)
+	st.Lock()
+	k := int(a.nextFix[nd.slot])
+	a.nextFix[nd.slot] = uint8((k + 1) % idBits)
+	st.Unlock()
 	target, err := n.Lookup(id, nd.fingerStart(k))
 	if err != nil {
 		return nil // ring damaged; retry on a later round
@@ -419,11 +522,10 @@ func (n *Network) RunMaintenance(rounds, fingersPerRound int) {
 }
 
 // anyOtherNode returns a live node other than id, if one exists. It
-// picks the smallest id rather than an arbitrary map hit so that repair
+// picks the smallest id rather than an arbitrary choice so that repair
 // behaviour — and therefore whole simulations — is a deterministic
 // function of network state; with the sorted snapshot that is the first
-// entry not equal to id, an O(1) read instead of the full map scan it
-// used to cost.
+// entry not equal to id, an O(1) read.
 func (n *Network) anyOtherNode(id ring.Point) (ring.Point, bool) {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
@@ -444,23 +546,23 @@ func (n *Network) anyOtherNode(id ring.Point) (ring.Point, bool) {
 // computed directly. It is the starting state for experiments that study
 // the sampler rather than ring convergence.
 //
-// Construction is bulk and parallel: nodes are registered sequentially
-// (the transport and node map are shared) with the membership snapshot
-// installed once, then per-node routing state — a pure function of
-// (sorted ring, index) — is populated over contiguous worker shards.
-// The result is bit-identical to the sequential build at any
-// GOMAXPROCS, which the determinism tests assert; a 10^6-peer ring
-// constructs in seconds instead of the minutes the incremental
-// per-node path would take.
+// Construction is bulk and parallel: the arena is sized once, slots are
+// assigned in ring order (slot i hosts the i-th point), and per-slot
+// routing state — pure index arithmetic on (sorted ring, i) — is
+// populated over contiguous worker shards with no interning, no locks
+// and no per-node allocation. The result is bit-identical to the
+// sequential build at any GOMAXPROCS, which the determinism tests
+// assert; a 10^7-peer ring constructs in well under a minute on one
+// core and occupies a few GB.
 func BuildStatic(cfg Config, tr simnet.Transport, points []ring.Point) (*Network, error) {
 	return BuildStaticPartition(cfg, tr, points, nil)
 }
 
 // BuildStaticPartition constructs the local shard of a stabilized ring
 // that spans multiple processes: the full membership defines every
-// node's routing state, but only the nodes selected by owned are
-// instantiated and registered on this process's transport. The other
-// points must be hosted by peer processes reachable through the
+// node's routing state, but only the nodes selected by owned are marked
+// live (and registered, on per-node transports) on this process. The
+// other points must be hosted by peer processes reachable through the
 // transport (the wire transport routes by node id). A nil owned
 // predicate owns everything, which is exactly BuildStatic.
 //
@@ -475,46 +577,64 @@ func BuildStaticPartition(cfg Config, tr simnet.Transport, points []ring.Point, 
 	}
 	n := NewNetwork(cfg, tr)
 	sorted := r.Points()
-	ownedIdx := make([]int, 0, len(sorted))
-	nodes := make([]*Node, len(sorted))
-	n.nodes = make(map[ring.Point]*Node, len(sorted))
+	size := len(sorted)
+	// Single-threaded sizing and slot assignment: no locks needed until
+	// the network is published.
+	n.growLocked(size)
+	a := &n.st
+	a.used = size
+	n.memberSlots = make([]uint32, size)
+	ownedIdx := make([]int, 0, size)
 	for i, id := range sorted {
+		s := uint32(i)
+		n.memberSlots[i] = s
+		a.ids[s] = uint64(id)
+		a.preds[s] = noSlot
+		a.succLen[s] = 1
+		a.succs[i*n.succStride] = s
+		a.handles[s] = Node{net: n, slot: s}
 		if owned != nil && !owned(id) {
 			continue
 		}
-		nd := &Node{id: id, net: n, succs: []ring.Point{id}, alive: true}
-		if err := tr.Register(simnet.NodeID(id), nd.handle); err != nil {
-			return nil, fmt.Errorf("chord: registering node %v: %w", id, err)
+		a.alive[s] = true
+		if !n.multi {
+			if err := tr.Register(simnet.NodeID(id), n.idHandler(id)); err != nil {
+				return nil, fmt.Errorf("chord: registering node %v: %w", id, err)
+			}
 		}
-		n.nodes[id] = nd
-		nodes[i] = nd
 		ownedIdx = append(ownedIdx, i)
 	}
 	n.members = sorted
 	n.epoch++
 	parallel.Shards(len(ownedIdx), parallel.Workers(len(ownedIdx)), func(lo, hi int) {
 		for j := lo; j < hi; j++ {
-			i := ownedIdx[j]
-			n.fillStaticNode(nodes[i], r, i)
+			n.fillStaticSlot(r, ownedIdx[j])
 		}
 	})
 	return n, nil
 }
 
-// fillStaticNode computes one node's stabilized routing state from the
-// ring. It runs during BuildStatic's sharded phase: the node is owned
-// exclusively by one worker and published by the shard barrier, so no
-// locks are taken.
-func (n *Network) fillStaticNode(nd *Node, r *ring.Ring, i int) {
+// fillStaticSlot computes the stabilized routing state of the node at
+// ring index i (slot i, by construction). It runs during BuildStatic's
+// sharded phase: the slot is owned exclusively by one worker and
+// published by the shard barrier, so no locks are taken — and because
+// slot and ring index coincide, every successor, predecessor and finger
+// reference is plain index arithmetic with no ID translation at all.
+func (n *Network) fillStaticSlot(r *ring.Ring, i int) {
+	a := &n.st
+	s := uint32(i)
 	size := r.Len()
-	list := make([]ring.Point, 0, min(n.cfg.SuccListLen, max(size-1, 1)))
-	list = append(list, r.At(r.NextIndex(i)))
+	base := i * n.succStride
+	a.succs[base] = uint32(r.NextIndex(i))
+	cnt := 1
 	for k := 2; k <= n.cfg.SuccListLen && k < size; k++ {
-		list = append(list, r.At((i+k)%size))
+		a.succs[base+cnt] = uint32((i + k) % size)
+		cnt++
 	}
-	nd.succs = list
-	nd.pred = r.At(r.PrevIndex(i))
-	nd.hasPred = size > 1
+	a.succLen[s] = uint16(cnt)
+	if size > 1 {
+		a.preds[s] = uint32(r.PrevIndex(i))
+	}
 	if n.cfg.DisableFingers {
 		return
 	}
@@ -526,17 +646,18 @@ func (n *Network) fillStaticNode(nd *Node, r *ring.Ring, i int) {
 	// itself (no peer at clockwise distance >= 2^k) — once that happens
 	// it holds for every larger k.
 	off := 1
+	fb := i * idBits
 	for k := 0; k < idBits; k++ {
 		if off != 0 {
 			off = succOffset(r, i, uint64(1)<<uint(k), off)
 		}
 		if off == 0 {
-			nd.fingers[k] = nd.id
+			a.fingers[fb+k] = s
 		} else {
-			nd.fingers[k] = r.At((i + off) % size)
+			a.fingers[fb+k] = uint32((i + off) % size)
 		}
-		nd.fingOK[k] = true
 	}
+	a.fingOK[s] = ^uint64(0)
 }
 
 // succOffset returns the clockwise offset from node i of the successor

@@ -47,23 +47,28 @@ type Item struct {
 	Value []byte
 }
 
-// handleStorage dispatches the storage RPCs; it is called from handle.
-func (nd *Node) handleStorage(msg simnet.Message) (simnet.Message, bool) {
+// handleStorage dispatches the storage RPCs for the node in slot s; it
+// is called from handleRPC. Stored items live in the network-level side
+// map keyed by slot: most nodes store nothing, so the flat arena
+// carries no per-slot store field at all.
+func (n *Network) handleStorage(s uint32, msg simnet.Message) (simnet.Message, bool) {
 	switch m := msg.(type) {
 	case putReq:
-		nd.mu.Lock()
-		if nd.store == nil {
-			nd.store = make(map[ring.Point][]byte)
-		}
 		val := make([]byte, len(m.Value))
 		copy(val, m.Value)
-		nd.store[m.Key] = val
-		nd.mu.Unlock()
+		n.storeMu.Lock()
+		st := n.stores[s]
+		if st == nil {
+			st = make(map[ring.Point][]byte)
+			n.stores[s] = st
+		}
+		st[m.Key] = val
+		n.storeMu.Unlock()
 		return ackResp{}, true
 	case getReq:
-		nd.mu.RLock()
-		val, ok := nd.store[m.Key]
-		nd.mu.RUnlock()
+		n.storeMu.RLock()
+		val, ok := n.stores[s][m.Key]
+		n.storeMu.RUnlock()
 		if !ok {
 			return getResp{}, true
 		}
@@ -72,20 +77,27 @@ func (nd *Node) handleStorage(msg simnet.Message) (simnet.Message, bool) {
 		return getResp{Value: out, Found: true}, true
 	case rangeReq:
 		iv := ring.NewInterval(m.From, m.To)
-		nd.mu.RLock()
+		n.storeMu.RLock()
 		var items []Item
-		for k, v := range nd.store {
+		for k, v := range n.stores[s] {
 			if iv.Contains(k) {
 				val := make([]byte, len(v))
 				copy(val, v)
 				items = append(items, Item{Key: k, Value: val})
 			}
 		}
-		nd.mu.RUnlock()
+		n.storeMu.RUnlock()
 		return rangeResp{Items: items}, true
 	default:
 		return nil, false
 	}
+}
+
+// dropStore discards slot s's stored items (slot recycled or reset).
+func (n *Network) dropStore(s uint32) {
+	n.storeMu.Lock()
+	delete(n.stores, s)
+	n.storeMu.Unlock()
 }
 
 // Put stores value under key: the initiator resolves the owner with a
@@ -181,14 +193,16 @@ func (n *Network) PullKeys(id ring.Point) (int, error) {
 		return 0, fmt.Errorf("chord: pulling keys for %v: %w", id, err)
 	}
 	items := raw.(rangeResp).Items
-	nd.mu.Lock()
-	if nd.store == nil {
-		nd.store = make(map[ring.Point][]byte, len(items))
+	n.storeMu.Lock()
+	st := n.stores[nd.slot]
+	if st == nil {
+		st = make(map[ring.Point][]byte, len(items))
+		n.stores[nd.slot] = st
 	}
 	for _, item := range items {
-		nd.store[item.Key] = item.Value
+		st[item.Key] = item.Value
 	}
-	nd.mu.Unlock()
+	n.storeMu.Unlock()
 	return len(items), nil
 }
 
@@ -199,9 +213,9 @@ func (n *Network) StoredKeys(id ring.Point) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	nd.mu.RLock()
-	defer nd.mu.RUnlock()
-	return len(nd.store), nil
+	n.storeMu.RLock()
+	defer n.storeMu.RUnlock()
+	return len(n.stores[nd.slot]), nil
 }
 
 // Leave removes node id gracefully: it hands its stored items to its
@@ -221,12 +235,12 @@ func (n *Network) Leave(id ring.Point) error {
 		// Hand over stored items (initiator-driven, one put per item; a
 		// production system would batch, which the simulator's cost
 		// model would count identically per item).
-		nd.mu.RLock()
-		items := make([]Item, 0, len(nd.store))
-		for k, v := range nd.store {
+		n.storeMu.RLock()
+		items := make([]Item, 0, len(n.stores[nd.slot]))
+		for k, v := range n.stores[nd.slot] {
 			items = append(items, Item{Key: k, Value: v})
 		}
-		nd.mu.RUnlock()
+		n.storeMu.RUnlock()
 		for _, item := range items {
 			if _, err := n.call(id, succ, putReq{Key: item.Key, Value: item.Value}); err != nil {
 				return fmt.Errorf("chord: leave %v: handing key %v to %v: %w", id, item.Key, succ, err)
@@ -238,12 +252,7 @@ func (n *Network) Leave(id ring.Point) error {
 		// directly — the real protocol ships a dedicated leave message.)
 		if pred, has := nd.Predecessor(); has && pred != id {
 			if succNode, err := n.Node(succ); err == nil {
-				succNode.mu.Lock()
-				if !succNode.hasPred || succNode.pred == id {
-					succNode.pred = pred
-					succNode.hasPred = true
-				}
-				succNode.mu.Unlock()
+				n.adoptPredAfterLeave(succNode.slot, id, pred)
 			}
 			if predNode, err := n.Node(pred); err == nil {
 				tail := []ring.Point(nil)
@@ -255,4 +264,17 @@ func (n *Network) Leave(id ring.Point) error {
 		}
 	}
 	return n.Crash(id) // departure itself: deregister and mark dead
+}
+
+// adoptPredAfterLeave makes the leaver's successor (slot s) adopt the
+// leaver's predecessor, unless it already learned a closer one.
+func (n *Network) adoptPredAfterLeave(s uint32, leaver, pred ring.Point) {
+	ps := n.intern(pred) // before the stripe: intern takes network.mu
+	a := &n.st
+	st := a.stripe(s)
+	st.Lock()
+	defer st.Unlock()
+	if p := a.preds[s]; p == noSlot || a.id(p) == leaver {
+		a.preds[s] = ps
+	}
 }

@@ -257,6 +257,7 @@ func All() []Experiment {
 		expE27(),
 		expE28(),
 		expE29(),
+		expE30(),
 	}
 	sort.Slice(exps, func(i, j int) bool { return idOrder(exps[i].ID) < idOrder(exps[j].ID) })
 	return exps

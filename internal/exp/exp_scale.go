@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 	"math/rand/v2"
+	"runtime"
 	"slices"
 	"time"
 
@@ -12,6 +13,7 @@ import (
 	"github.com/dht-sampling/randompeer/internal/kademlia"
 	"github.com/dht-sampling/randompeer/internal/ring"
 	"github.com/dht-sampling/randompeer/internal/sim"
+	"github.com/dht-sampling/randompeer/internal/simnet"
 )
 
 // ScaleResult is one E27 scenario outcome: the overlay built at n,
@@ -168,6 +170,164 @@ func (r *ScaleResult) OwnerMatchPct() float64 {
 		return 0
 	}
 	return 100 * float64(r.OwnerMatches) / float64(r.OwnerProbes)
+}
+
+// StorageScaleResult is one E30 measurement: the overlay built at n on
+// the flat index-based storage, with the steady-state heap cost and
+// arena occupancy recorded around the build. BytesPerNode is the
+// GC-settled heap growth attributable to the overlay (membership
+// snapshot included, the pre-generated ring excluded), the number the
+// 10M-peer capacity projection multiplies.
+type StorageScaleResult struct {
+	Backend      string
+	Peers        int
+	BuildWall    time.Duration
+	HeapDelta    uint64 // GC-settled heap growth across the build, bytes
+	HeapAfter    uint64 // total live heap after the build, bytes
+	SysAfter     uint64 // bytes obtained from the OS (runtime.MemStats.Sys)
+	Slots        int    // arena slots (one per node ever seen)
+	FreeSlots    int
+	ProbesOK     int // successor probes that matched the sorted ring
+	Probes       int
+	BytesPerNode float64
+}
+
+// RunStorageScale builds one backend at n over the Direct transport and
+// measures what the flat storage actually costs: GC-settled heap bytes
+// per node, build wall time on however many cores the machine has, and
+// the slot-arena occupancy. A handful of successor probes check the
+// built overlay against the sorted ring, so a layout bug cannot hide
+// behind a fast build. Both the E30 experiment table and cmd/benchsnap's
+// committed `mem` section are produced by this one function.
+func RunStorageScale(backend string, n, probes int, seed uint64) (*StorageScaleResult, error) {
+	rng := rand.New(rand.NewPCG(seed, seed+1))
+	r, err := ring.Generate(rng, n)
+	if err != nil {
+		return nil, err
+	}
+	points := r.Points()
+	res := &StorageScaleResult{Backend: backend, Peers: n, Probes: probes}
+	// Settle the heap so the delta measures the overlay, not garbage
+	// left over from ring generation.
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	var succAt func(p ring.Point) (ring.Point, error)
+	var stats func() (slots, free int)
+	switch backend {
+	case "chord":
+		net, err := chord.BuildStatic(chord.Config{}, simnet.NewDirect(), points)
+		if err != nil {
+			return nil, err
+		}
+		res.BuildWall = time.Since(start)
+		succAt = func(p ring.Point) (ring.Point, error) {
+			nd, err := net.Node(p)
+			if err != nil {
+				return 0, err
+			}
+			return nd.Successor(), nil
+		}
+		stats = func() (int, int) {
+			s := net.StorageStats()
+			return s.Slots, s.Free
+		}
+	case "kademlia":
+		net, err := kademlia.BuildStatic(kademlia.Config{}, simnet.NewDirect(), points)
+		if err != nil {
+			return nil, err
+		}
+		res.BuildWall = time.Since(start)
+		succAt = func(p ring.Point) (ring.Point, error) {
+			nd, err := net.Node(p)
+			if err != nil {
+				return 0, err
+			}
+			return nd.Successor(), nil
+		}
+		stats = func() (int, int) {
+			s := net.StorageStats()
+			return s.Slots, s.Free
+		}
+	default:
+		return nil, fmt.Errorf("exp: unknown storage backend %q", backend)
+	}
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	if after.HeapAlloc > before.HeapAlloc {
+		res.HeapDelta = after.HeapAlloc - before.HeapAlloc
+	}
+	res.HeapAfter = after.HeapAlloc
+	res.SysAfter = after.Sys
+	res.BytesPerNode = float64(res.HeapDelta) / float64(n)
+	res.Slots, res.FreeSlots = stats()
+	prng := rand.New(rand.NewPCG(seed+7, seed+8))
+	for i := 0; i < probes; i++ {
+		j := prng.IntN(n)
+		succ, err := succAt(points[j])
+		if err != nil {
+			continue
+		}
+		if succ == points[(j+1)%n] {
+			res.ProbesOK++
+		}
+	}
+	return res, nil
+}
+
+// expE30 is the flat-storage scale experiment, E27's capacity
+// counterpart: where E27 asks how much scenario (churn + sampling) the
+// machinery sustains at large n, E30 asks how large n itself can get —
+// it builds each backend above E27's sizes on the index-based slot
+// arenas and records the measured bytes per node and build wall time
+// that the 10M-peer projection in DESIGN.md extrapolates from.
+func expE30() Experiment {
+	return Experiment{
+		ID:    "E30",
+		Title: "Flat storage scale: bytes/node and build wall time above E27's sizes",
+		Claim: "index-based arenas hold a chord peer in a few hundred bytes, putting 10M-peer rings in a few GB with sub-minute builds",
+		Run: func(cfg RunConfig) (*Table, error) {
+			t := &Table{
+				ID:      "E30",
+				Title:   "Flat storage scale: heap bytes/node and bulk build time (GC-settled)",
+				Claim:   "per-node storage is flat and small: capacity scales linearly in n with no per-node heap objects",
+				Columns: []string{"backend", "n", "build_s", "peers/s", "bytes/node", "heap_MB", "slots", "probesOK"},
+			}
+			chordN, kadN, probes := 1<<22, 1<<19, 200
+			if cfg.Quick {
+				chordN, kadN, probes = 1<<15, 1<<13, 60
+			}
+			for _, sc := range []struct {
+				name string
+				n    int
+			}{{"chord", chordN}, {"kademlia", kadN}} {
+				seed := cfg.Seed ^ 0x30 ^ uint64(sc.n)
+				res, err := RunStorageScale(sc.name, sc.n, probes, seed)
+				if err != nil {
+					return nil, err
+				}
+				if err := t.AddRow(
+					res.Backend, fmtI(res.Peers),
+					fmtF(res.BuildWall.Seconds()),
+					fmtF(float64(res.Peers)/res.BuildWall.Seconds()),
+					fmtF(res.BytesPerNode),
+					fmtF(float64(res.HeapDelta)/(1<<20)),
+					fmtI(res.Slots), fmtI(res.ProbesOK),
+				); err != nil {
+					return nil, err
+				}
+				if res.ProbesOK != res.Probes {
+					t.AddNote("%s n=%d: only %d/%d successor probes matched the sorted ring", res.Backend, res.Peers, res.ProbesOK, res.Probes)
+				}
+			}
+			t.AddNote("bytes/node is the GC-settled heap growth across the build (membership snapshot included, the pre-generated ring excluded)")
+			t.AddNote("kademlia carries its k-buckets in a shared region pool: ~log2(n) regions of 1+k+4 words per node, so its per-node cost grows with log n while chord's stays constant")
+			t.AddNote("wall times are measured on this machine (%d cores); the committed BENCH trajectory records the same numbers via cmd/benchsnap's mem section", runtime.GOMAXPROCS(0))
+			return t, nil
+		},
+	}
 }
 
 // expE27 is the scenario-scale experiment: each backend is built at the

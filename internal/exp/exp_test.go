@@ -10,8 +10,8 @@ import (
 func TestAllRegistered(t *testing.T) {
 	t.Parallel()
 	exps := All()
-	if len(exps) != 29 {
-		t.Fatalf("registered %d experiments, want 29", len(exps))
+	if len(exps) != 30 {
+		t.Fatalf("registered %d experiments, want 30", len(exps))
 	}
 	seen := make(map[string]bool, len(exps))
 	for _, e := range exps {

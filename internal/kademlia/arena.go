@@ -1,0 +1,499 @@
+package kademlia
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/dht-sampling/randompeer/internal/ring"
+)
+
+// Flat index-based node storage, the Kademlia counterpart of the arena
+// in internal/chord (see the long comment there for the full design).
+//
+// Every node the network knows about — live members, crashed members
+// whose state in-flight RPCs may still read, and external contacts
+// learned over the wire — occupies one dense uint32 slot in a
+// struct-of-arrays arena. Ring pointers are single packed uint32 slot
+// references; the k-buckets live in a shared region pool: one region
+// per non-empty bucket holding a length header, up to k entry slots
+// and a small replacement cache, all as uint32 slot references in
+// large contiguous chunks. No per-node heap objects, no
+// map[Point]*Node, no per-bucket []Point slices — a 2^21-node overlay
+// is a few hundred large allocations instead of hundreds of millions
+// of small ones.
+//
+// The ID↔slot bridge is the copy-on-write sorted membership snapshot
+// (Network.members) plus an aligned slot snapshot (Network.memberSlots)
+// resolved by binary search; non-member slots (zombies and external
+// contacts) resolve through a small overflow map.
+//
+// Locking mirrors chord: striped RWMutexes guard per-slot routing
+// state (ring pointers and the slot's bucket regions), network.mu
+// guards membership, the bridge, slot allocation and the alive flags,
+// and lock order is network.mu before stripe. Slot identifiers are
+// read and written atomically so translating a slot reference found in
+// another node's buckets needs no cross-stripe locking. The region
+// pool has its own leaf mutex (regionMu) ordered after the stripes:
+// allocation only ever appends a chunk (copy-on-write of the chunk
+// index, loaded atomically by readers), so region data never moves.
+type arena struct {
+	stripes [numStripes]sync.RWMutex
+
+	// used is the number of allocated slots. Every per-slot array has
+	// len == cap spanning the arena capacity, so growth (which swaps
+	// the backing arrays under all stripes) is the only operation that
+	// ever changes a slice header.
+	used int
+
+	ids   []uint64 // slot -> identifier; atomic access
+	alive []bool   // slot hosts a live local member (network.mu)
+
+	succs []uint32 // ring successor slot (self when alone)
+	preds []uint32 // ring predecessor slot (self when alone)
+	// bucketRefs holds each slot's k-bucket region references, stride
+	// idBits. noRegion (zero, so freshly grown arrays are valid) marks
+	// a bucket with no region yet.
+	bucketRefs []uint32
+
+	handles []Node // preconstructed public handles, one per slot
+
+	free     []uint32 // recycled slots ready for reuse (LIFO)
+	freeBits []uint64 // bitset marking slots currently on free
+	overflow map[ring.Point]uint32
+	// reclaimable counts dead (zombie or external) slots not yet on
+	// the free list; it triggers the mark-and-sweep scavenger.
+	reclaimable int
+
+	// Region pool. Regions live in fixed-size chunks so they never
+	// move: chunks is the copy-on-write chunk index (append-only,
+	// atomic load to read), regionMu is a leaf lock guarding
+	// allocation state, nextRegion the bump pointer (1-based so the
+	// zero ref means "no region"), regionFree the recycled refs.
+	chunks     atomic.Pointer[[][]uint32]
+	regionMu   sync.Mutex
+	nextRegion uint32
+	regionFree []uint32
+}
+
+const (
+	numStripes = 256
+	stripeMask = numStripes - 1
+	noSlot     = ^uint32(0)
+	// noRegion marks an empty bucket. It is zero so the zero-value
+	// bucketRefs rows produced by arena growth are already correct.
+	noRegion = 0
+	// regionChunk is the number of regions per pool chunk.
+	regionChunk = 1024
+	// regionBatch is how many regions a build worker reserves per trip
+	// to the allocator.
+	regionBatch = 256
+)
+
+// stripe returns the lock guarding slot s's routing state.
+func (a *arena) stripe(s uint32) *sync.RWMutex { return &a.stripes[s&stripeMask] }
+
+// id returns slot s's identifier. Callers must hold a stripe or the
+// network mutex (either mode) to pin the backing array; the element
+// itself is read atomically, so s may belong to any stripe.
+func (a *arena) id(s uint32) ring.Point {
+	return ring.Point(atomic.LoadUint64(&a.ids[s]))
+}
+
+// lockAllStripes acquires every stripe in index order.
+func (a *arena) lockAllStripes() {
+	for i := range a.stripes {
+		a.stripes[i].Lock()
+	}
+}
+
+// unlockAllStripes releases every stripe.
+func (a *arena) unlockAllStripes() {
+	for i := range a.stripes {
+		a.stripes[i].Unlock()
+	}
+}
+
+// growLocked reallocates every per-slot array to the new capacity,
+// copying the used prefix. Callers must hold network.mu plus every
+// stripe, except during single-threaded construction.
+func (n *Network) growLocked(capacity int) {
+	a := &n.st
+	if capacity <= cap(a.ids) {
+		return
+	}
+	a.ids = growCopy(a.ids, capacity)
+	a.alive = growCopy(a.alive, capacity)
+	a.succs = growCopy(a.succs, capacity)
+	a.preds = growCopy(a.preds, capacity)
+	a.bucketRefs = growCopy(a.bucketRefs, capacity*idBits)
+	a.freeBits = growCopy(a.freeBits, (capacity+63)/64)
+	handles := make([]Node, capacity)
+	copy(handles, a.handles)
+	a.handles = handles
+}
+
+// growCopy returns a full-length slice of the new capacity holding a
+// copy of src.
+func growCopy[T any](src []T, capacity int) []T {
+	dst := make([]T, capacity)
+	copy(dst, src)
+	return dst
+}
+
+// lookupLocked resolves an id to its slot: members bridge first, then
+// the overflow map. Caller holds network.mu (either mode).
+func (n *Network) lookupLocked(id ring.Point) (uint32, bool) {
+	if rank, ok := ring.Rank(n.members, id); ok {
+		return n.memberSlots[rank], true
+	}
+	s, ok := n.st.overflow[id]
+	return s, ok
+}
+
+// intern resolves id to a slot, allocating an external slot when the
+// id has never been seen. On the steady-state path (id is a member)
+// this is one binary search under a read lock and allocates nothing.
+// Callers must not hold any stripe (lock order: mu before stripe).
+func (n *Network) intern(id ring.Point) uint32 {
+	n.mu.RLock()
+	s, ok := n.lookupLocked(id)
+	n.mu.RUnlock()
+	if ok {
+		return s
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if s, ok := n.lookupLocked(id); ok {
+		return s
+	}
+	s = n.newSlotLocked(id)
+	n.st.overflow[id] = s
+	n.st.reclaimable++ // external slots are reclaimable once unreferenced
+	return s
+}
+
+// slotOf resolves an id without allocating; the second result is false
+// for ids the network has never seen (or whose slot was scavenged).
+func (n *Network) slotOf(id ring.Point) (uint32, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.lookupLocked(id)
+}
+
+// liveSlot resolves an id to the slot of a live locally-hosted member.
+func (n *Network) liveSlot(id ring.Point) (uint32, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	rank, ok := ring.Rank(n.members, id)
+	if !ok {
+		return 0, false
+	}
+	s := n.memberSlots[rank]
+	return s, n.st.alive[s]
+}
+
+// newSlotLocked allocates a slot for id and resets its routing state
+// to the fresh-node baseline. Caller holds network.mu; the new slot is
+// not yet live and not yet in any bridge structure.
+func (n *Network) newSlotLocked(id ring.Point) uint32 {
+	a := &n.st
+	if len(a.free) == 0 && a.reclaimable >= scavengeThreshold(a.used) {
+		n.scavengeLocked()
+	}
+	var s uint32
+	if len(a.free) > 0 {
+		s = a.free[len(a.free)-1]
+		a.free = a.free[:len(a.free)-1]
+		a.freeBits[s/64] &^= 1 << (s % 64)
+	} else {
+		if a.used == cap(a.ids) {
+			next := a.used * 2
+			if next < 16 {
+				next = 16
+			}
+			a.lockAllStripes()
+			n.growLocked(next)
+			a.unlockAllStripes()
+		}
+		s = uint32(a.used)
+		a.used++
+	}
+	n.resetSlotLocked(s, id)
+	return s
+}
+
+// resetSlotLocked rewrites slot s to the fresh-node baseline for id:
+// ring pointers to self, empty buckets (existing regions return to the
+// pool). Caller holds network.mu; the slot must not be referenced by
+// any live node.
+func (n *Network) resetSlotLocked(s uint32, id ring.Point) {
+	a := &n.st
+	st := a.stripe(s)
+	st.Lock()
+	atomic.StoreUint64(&a.ids[s], uint64(id))
+	a.succs[s] = s
+	a.preds[s] = s
+	n.freeRegionRow(s)
+	a.handles[s] = Node{net: n, slot: s}
+	st.Unlock()
+}
+
+// scavengeThreshold is the dead-slot count that triggers a sweep.
+func scavengeThreshold(used int) int {
+	if t := used / 8; t > 64 {
+		return t
+	}
+	return 64
+}
+
+// scavengeLocked frees every dead slot no live member references: it
+// marks the slots reachable from the membership bridge and every live
+// node's ring pointers and bucket regions (entries and replacement
+// caches), then moves unmarked dead slots to the free list (LIFO, so
+// reuse order is deterministic), returns their regions to the pool and
+// drops their overflow entries. Caller holds network.mu.
+func (n *Network) scavengeLocked() int {
+	a := &n.st
+	a.lockAllStripes()
+	defer a.unlockAllStripes()
+	marks := make([]uint64, (a.used+63)/64)
+	mark := func(s uint32) { marks[s/64] |= 1 << (s % 64) }
+	for _, s := range n.memberSlots {
+		mark(s)
+	}
+	for _, s := range n.memberSlots {
+		if !a.alive[s] {
+			continue // remote members of a partitioned build hold no local state
+		}
+		mark(a.succs[s])
+		mark(a.preds[s])
+		row := a.bucketRefs[int(s)*idBits : int(s)*idBits+idBits]
+		for _, ref := range row {
+			if ref == noRegion {
+				continue
+			}
+			reg := n.region(ref)
+			for _, c := range regEntries(reg) {
+				mark(c)
+			}
+			for _, c := range regCache(reg, n.cfg.BucketSize) {
+				mark(c)
+			}
+		}
+	}
+	freed := 0
+	for s := uint32(0); int(s) < a.used; s++ {
+		if a.alive[s] || marks[s/64]&(1<<(s%64)) != 0 || a.freeBits[s/64]&(1<<(s%64)) != 0 {
+			continue
+		}
+		a.free = append(a.free, s)
+		a.freeBits[s/64] |= 1 << (s % 64)
+		n.freeRegionRow(s)
+		freed++
+	}
+	if freed > 0 {
+		for id, s := range a.overflow {
+			if a.freeBits[s/64]&(1<<(s%64)) != 0 {
+				delete(a.overflow, id)
+			}
+		}
+	}
+	a.reclaimable -= freed
+	if a.reclaimable < 0 {
+		a.reclaimable = 0
+	}
+	return freed
+}
+
+// Scavenge forces one slot-recycling sweep and reports how many dead
+// slots were freed for reuse. The network runs sweeps automatically
+// once enough reclaimable slots accumulate; tests and operators use
+// this to observe recycling deterministically.
+func (n *Network) Scavenge() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.scavengeLocked()
+}
+
+// StorageStats reports the flat storage layout's occupancy.
+type StorageStats struct {
+	// Slots is the arena size: every node ever seen occupies one slot
+	// until scavenged.
+	Slots int
+	// Live is the number of slots hosting live locally-hosted members.
+	Live int
+	// Free is the number of recycled slots awaiting reuse.
+	Free int
+	// Reclaimable is the number of dead slots not yet recycled (they
+	// free once no live node's routing state references them).
+	Reclaimable int
+	// Regions is the number of bucket regions ever allocated from the
+	// pool; FreeRegions of them are recycled and awaiting reuse.
+	Regions     int
+	FreeRegions int
+}
+
+// StorageStats returns the current slot-arena occupancy.
+func (n *Network) StorageStats() StorageStats {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	live := 0
+	for _, s := range n.memberSlots {
+		if n.st.alive[s] {
+			live++
+		}
+	}
+	n.st.regionMu.Lock()
+	regions := int(n.st.nextRegion)
+	freeRegions := len(n.st.regionFree)
+	n.st.regionMu.Unlock()
+	return StorageStats{
+		Slots:       n.st.used,
+		Live:        live,
+		Free:        len(n.st.free),
+		Reclaimable: n.st.reclaimable,
+		Regions:     regions,
+		FreeRegions: freeRegions,
+	}
+}
+
+// region returns the backing words of a region reference (1-based;
+// callers must not pass noRegion). The chunk index is loaded
+// atomically, so this is safe under any stripe while other goroutines
+// allocate: chunks only ever gain entries and existing chunk data
+// never moves.
+func (n *Network) region(ref uint32) []uint32 {
+	chunks := *n.st.chunks.Load()
+	i := int(ref - 1)
+	c := chunks[i/regionChunk]
+	off := (i % regionChunk) * n.regStride
+	return c[off : off+n.regStride]
+}
+
+// allocRegion hands out one zeroed region. regionMu is a leaf lock, so
+// this is callable while holding a stripe (the caller installing the
+// ref into its bucket row).
+func (n *Network) allocRegion() uint32 {
+	a := &n.st
+	a.regionMu.Lock()
+	var ref uint32
+	if ln := len(a.regionFree); ln > 0 {
+		ref = a.regionFree[ln-1]
+		a.regionFree = a.regionFree[:ln-1]
+	} else {
+		n.growRegionsLocked(1)
+		a.nextRegion++
+		ref = a.nextRegion
+	}
+	a.regionMu.Unlock()
+	n.region(ref)[0] = 0 // safe: the region is owned by the caller alone
+	return ref
+}
+
+// allocRegionBlock reserves cnt consecutive fresh region refs and
+// returns the first; the bulk build path uses it to batch allocator
+// trips.
+func (n *Network) allocRegionBlock(cnt int) uint32 {
+	a := &n.st
+	a.regionMu.Lock()
+	n.growRegionsLocked(cnt)
+	first := a.nextRegion + 1
+	a.nextRegion += uint32(cnt)
+	a.regionMu.Unlock()
+	return first
+}
+
+// growRegionsLocked appends chunks until cnt more regions fit past the
+// bump pointer. Caller holds regionMu. The chunk index is replaced
+// copy-on-write so concurrent region() readers never see a partial
+// append.
+func (n *Network) growRegionsLocked(cnt int) {
+	a := &n.st
+	old := *a.chunks.Load()
+	need := (int(a.nextRegion) + cnt + regionChunk - 1) / regionChunk
+	if need <= len(old) {
+		return
+	}
+	next := make([][]uint32, need)
+	copy(next, old)
+	for i := len(old); i < need; i++ {
+		next[i] = make([]uint32, regionChunk*n.regStride)
+	}
+	a.chunks.Store(&next)
+}
+
+// releaseRegions returns refs to the pool.
+func (n *Network) releaseRegions(refs []uint32) {
+	if len(refs) == 0 {
+		return
+	}
+	a := &n.st
+	a.regionMu.Lock()
+	a.regionFree = append(a.regionFree, refs...)
+	a.regionMu.Unlock()
+}
+
+// freeRegionRow returns every region of slot s to the pool and clears
+// the row. The caller must hold stripe(s) (or own the slot outright).
+func (n *Network) freeRegionRow(s uint32) {
+	a := &n.st
+	row := a.bucketRefs[int(s)*idBits : int(s)*idBits+idBits]
+	var back [idBits]uint32
+	freed := back[:0]
+	for b, ref := range row {
+		if ref != noRegion {
+			freed = append(freed, ref)
+			row[b] = noRegion
+		}
+	}
+	n.releaseRegions(freed)
+}
+
+// regionBatcher hands one build worker regions in blocks of
+// regionBatch, cutting allocator-mutex trips by that factor; leftover
+// refs return to the pool when the worker finishes its shard.
+type regionBatcher struct {
+	n         *Network
+	next, end uint32
+}
+
+// alloc returns one zeroed region ref from the worker's batch.
+func (rb *regionBatcher) alloc() uint32 {
+	if rb.next == rb.end {
+		rb.next = rb.n.allocRegionBlock(regionBatch)
+		rb.end = rb.next + regionBatch
+	}
+	ref := rb.next
+	rb.next++
+	rb.n.region(ref)[0] = 0
+	return ref
+}
+
+// release returns the unused remainder of the batch to the pool.
+func (rb *regionBatcher) release() {
+	refs := make([]uint32, 0, rb.end-rb.next)
+	for r := rb.next; r < rb.end; r++ {
+		refs = append(refs, r)
+	}
+	rb.n.releaseRegions(refs)
+	rb.next, rb.end = 0, 0
+}
+
+// spliceIn returns a copy of s with v inserted at index i
+// (copy-on-write, the aligned-snapshot counterpart of
+// ring.InsertSorted).
+func spliceIn[T any](s []T, i int, v T) []T {
+	out := make([]T, len(s)+1)
+	copy(out, s[:i])
+	out[i] = v
+	copy(out[i+1:], s[i:])
+	return out
+}
+
+// spliceOut returns a copy of s with index i removed (copy-on-write).
+func spliceOut[T any](s []T, i int) []T {
+	out := make([]T, len(s)-1)
+	copy(out, s[:i])
+	copy(out[i:], s[i+1:])
+	return out
+}

@@ -1,150 +1,219 @@
 package kademlia
 
 import (
-	"sync"
-
 	"github.com/dht-sampling/randompeer/internal/ring"
 )
 
-// bucket is one k-bucket: up to k contacts ordered least-recently-seen
-// first (index 0 is the eviction candidate, the tail is the freshest),
-// plus a small replacement cache of contacts observed while the bucket
-// was full. Kademlia's eviction rule — ping the least-recently-seen
-// entry and keep it if it answers — requires an RPC, so it runs in the
-// maintenance path (Network.RefreshNode), never while handling an
-// incoming message.
-type bucket struct {
-	entries []ring.Point
-	cache   []ring.Point
-}
+// k-buckets over the flat region pool. One region per non-empty bucket
+// holds a packed header word (entry count in the low half, replacement
+// cache count in the high half), up to k entry slots ordered least-
+// recently-seen first (index 0 is the eviction candidate, the tail is
+// the freshest), and up to replacementCacheLen cached slots observed
+// while the bucket was full. Kademlia's eviction rule — ping the
+// least-recently-seen entry and keep it if it answers — requires an
+// RPC, so it runs in the maintenance path (Network.RefreshNode), never
+// while handling an incoming message.
+//
+// The reg* functions below are pure operations on one region's words;
+// contacts are arena slot references, translated to identifiers by the
+// callers (Network.closestIntoSlot and friends) via atomic id loads.
 
 // replacementCacheLen bounds each bucket's replacement cache.
 const replacementCacheLen = 4
 
-// touch records a live contact: an existing entry moves to the tail
+// regLens unpacks a region's entry and cache counts.
+func regLens(reg []uint32) (ents, cached int) {
+	return int(reg[0] & 0xffff), int(reg[0] >> 16)
+}
+
+// regSetLens packs a region's entry and cache counts.
+func regSetLens(reg []uint32, ents, cached int) {
+	reg[0] = uint32(ents) | uint32(cached)<<16
+}
+
+// regEntries returns the live entry view (LRU first).
+func regEntries(reg []uint32) []uint32 {
+	e, _ := regLens(reg)
+	return reg[1 : 1+e]
+}
+
+// regCache returns the replacement-cache view (oldest first). The
+// cache words sit after the k entry slots, so the view needs the
+// bucket capacity.
+func regCache(reg []uint32, k int) []uint32 {
+	_, c := regLens(reg)
+	return reg[1+k : 1+k+c]
+}
+
+// regTouch records a live contact: an existing entry moves to the tail
 // (most recently seen), a new one is appended if the bucket has room
 // under capacity k, and otherwise it is remembered in the replacement
 // cache for the next maintenance round.
-func (b *bucket) touch(id ring.Point, k int) {
-	for i, e := range b.entries {
-		if e == id {
-			copy(b.entries[i:], b.entries[i+1:])
-			b.entries[len(b.entries)-1] = id
+func regTouch(reg []uint32, k int, c uint32) {
+	ents, cached := regLens(reg)
+	entries := reg[1 : 1+ents]
+	for i, e := range entries {
+		if e == c {
+			copy(entries[i:], entries[i+1:])
+			entries[ents-1] = c
 			return
 		}
 	}
-	if len(b.entries) < k {
-		b.entries = append(b.entries, id)
+	if ents < k {
+		reg[1+ents] = c
+		regSetLens(reg, ents+1, cached)
 		return
 	}
-	for _, c := range b.cache {
-		if c == id {
+	cache := reg[1+k : 1+k+cached]
+	for _, e := range cache {
+		if e == c {
 			return
 		}
 	}
-	if len(b.cache) >= replacementCacheLen {
+	if cached >= replacementCacheLen {
 		// Drop the oldest cached contact to make room.
-		copy(b.cache, b.cache[1:])
-		b.cache = b.cache[:len(b.cache)-1]
+		copy(cache, cache[1:])
+		cached--
 	}
-	b.cache = append(b.cache, id)
+	reg[1+k+cached] = c
+	regSetLens(reg, ents, cached+1)
 }
 
-// remove drops a contact (observed dead) from the entries and cache.
-func (b *bucket) remove(id ring.Point) {
-	for i, e := range b.entries {
-		if e == id {
-			b.entries = append(b.entries[:i], b.entries[i+1:]...)
+// regRemove drops a contact (observed dead) from the entries and cache.
+func regRemove(reg []uint32, k int, c uint32) {
+	ents, cached := regLens(reg)
+	entries := reg[1 : 1+ents]
+	for i, e := range entries {
+		if e == c {
+			copy(entries[i:], entries[i+1:])
+			ents--
 			break
 		}
 	}
-	for i, c := range b.cache {
-		if c == id {
-			b.cache = append(b.cache[:i], b.cache[i+1:]...)
+	cache := reg[1+k : 1+k+cached]
+	for i, e := range cache {
+		if e == c {
+			copy(cache[i:], cache[i+1:])
+			cached--
 			break
 		}
 	}
+	regSetLens(reg, ents, cached)
 }
 
-// promote moves up to free replacement-cache entries into the bucket
-// (freshest cache entries first), used by maintenance after dead
-// entries have been removed.
-func (b *bucket) promote(k int) {
-	for len(b.entries) < k && len(b.cache) > 0 {
-		id := b.cache[len(b.cache)-1]
-		b.cache = b.cache[:len(b.cache)-1]
-		b.entries = append(b.entries, id)
+// regPromote moves up to free replacement-cache entries into the
+// bucket (freshest cache entries first), used by maintenance after
+// dead entries have been removed.
+func regPromote(reg []uint32, k int) {
+	ents, cached := regLens(reg)
+	for ents < k && cached > 0 {
+		reg[1+ents] = reg[1+k+cached-1]
+		ents++
+		cached--
 	}
+	regSetLens(reg, ents, cached)
 }
 
-// table is a node's routing table: one bucket per XOR-distance octave
-// from the owner, guarded by a mutex because lookups read it while
-// incoming RPCs update it.
-type table struct {
-	self ring.Point
-	k    int
-
-	mu      sync.Mutex
-	buckets [idBits]bucket
+// bucketRef returns slot s's region for bucket b, allocating one on
+// first use. Caller holds stripe(s) for writing; region allocation
+// takes only the leaf regionMu, so no lock-order issue arises.
+func (n *Network) bucketRefFor(s uint32, b int) []uint32 {
+	ref := n.st.bucketRefs[int(s)*idBits+b]
+	if ref == noRegion {
+		ref = n.allocRegion()
+		n.st.bucketRefs[int(s)*idBits+b] = ref
+	}
+	return n.region(ref)
 }
 
-func newTable(self ring.Point, k int) *table {
-	return &table{self: self, k: k}
-}
-
-// bucketFor returns the bucket index of id relative to the owner, or
-// -1 for the owner itself.
-func (t *table) bucketFor(id ring.Point) int {
-	d := xorDist(t.self, id)
+// touchContact records a live contact in slot s's table (Kademlia's
+// passive maintenance). The contact is interned first — lock order:
+// network.mu before stripe.
+func (n *Network) touchContact(s uint32, id ring.Point) {
+	cs := n.intern(id)
+	a := &n.st
+	st := a.stripe(s)
+	st.Lock()
+	defer st.Unlock()
+	d := xorDist(a.id(s), id)
 	if d == 0 {
-		return -1
-	}
-	return bucketIndex(d)
-}
-
-// touch records a live contact in its bucket.
-func (t *table) touch(id ring.Point) {
-	i := t.bucketFor(id)
-	if i < 0 {
 		return
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.buckets[i].touch(id, t.k)
+	regTouch(n.bucketRefFor(s, bucketIndex(d)), n.cfg.BucketSize, cs)
 }
 
-// remove drops a dead contact.
-func (t *table) remove(id ring.Point) {
-	i := t.bucketFor(id)
-	if i < 0 {
+// removeContact drops a dead contact from slot s's table. Contacts the
+// network has no slot for cannot be in any bucket (buckets hold slot
+// references), so the miss is a no-op.
+func (n *Network) removeContact(s uint32, id ring.Point) {
+	cs, ok := n.slotOf(id)
+	if !ok {
 		return
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.buckets[i].remove(id)
+	a := &n.st
+	st := a.stripe(s)
+	st.Lock()
+	defer st.Unlock()
+	d := xorDist(a.id(s), id)
+	if d == 0 {
+		return
+	}
+	if ref := a.bucketRefs[int(s)*idBits+bucketIndex(d)]; ref != noRegion {
+		regRemove(n.region(ref), n.cfg.BucketSize, cs)
+	}
 }
 
-// closestInto returns up to count known contacts sorted by XOR
-// distance to target, optionally including the owner itself,
-// appending into the caller's buffer (reused
-// across calls by the pooled FIND_NODE replies and lookup scratch). It
-// keeps a bounded best-list instead of sorting the whole table:
-// FIND_NODE handlers call it on every hop of every lookup, so it is
-// the subsystem's hottest function.
-func (t *table) closestInto(best []ring.Point, target ring.Point, count int, includeSelf bool) []ring.Point {
+// markAliveContact confirms bucket b's entry id answered a ping: it
+// moves to the tail, deferring its eviction.
+func (n *Network) markAliveContact(s uint32, b int, id ring.Point) {
+	cs := n.intern(id) // before the stripe: intern takes network.mu
+	a := &n.st
+	st := a.stripe(s)
+	st.Lock()
+	defer st.Unlock()
+	regTouch(n.bucketRefFor(s, b), n.cfg.BucketSize, cs)
+}
+
+// promoteBucket fills bucket b of slot s from its replacement cache.
+func (n *Network) promoteBucket(s uint32, b int) {
+	a := &n.st
+	st := a.stripe(s)
+	st.Lock()
+	defer st.Unlock()
+	if ref := a.bucketRefs[int(s)*idBits+b]; ref != noRegion {
+		regPromote(n.region(ref), n.cfg.BucketSize)
+	}
+}
+
+// closestIntoSlot returns up to count contacts known to slot s sorted
+// by XOR distance to target, optionally including the owner itself,
+// appending into the caller's buffer (reused across calls by the
+// pooled FIND_NODE replies and lookup scratch). It keeps a bounded
+// best-list instead of sorting the whole table: FIND_NODE handlers
+// call it on every hop of every lookup, so it is the subsystem's
+// hottest function. Entry slots translate to identifiers with atomic
+// loads under one stripe read-lock; nothing allocates.
+func (n *Network) closestIntoSlot(s uint32, best []ring.Point, target ring.Point, count int, includeSelf bool) []ring.Point {
 	best = best[:0]
 	if count <= 0 {
 		return best
 	}
-	t.mu.Lock()
-	for b := range t.buckets {
-		for _, id := range t.buckets[b].entries {
-			best = insertClosest(best, target, count, id)
+	a := &n.st
+	st := a.stripe(s)
+	st.RLock()
+	self := a.id(s)
+	row := a.bucketRefs[int(s)*idBits : int(s)*idBits+idBits]
+	for _, ref := range row {
+		if ref == noRegion {
+			continue
+		}
+		for _, c := range regEntries(n.region(ref)) {
+			best = insertClosest(best, target, count, a.id(c))
 		}
 	}
-	t.mu.Unlock()
+	st.RUnlock()
 	if includeSelf {
-		best = insertClosest(best, target, count, t.self)
+		best = insertClosest(best, target, count, self)
 	}
 	return best
 }
@@ -178,60 +247,57 @@ func insertClosest(best []ring.Point, target ring.Point, count int, id ring.Poin
 	return best
 }
 
-// fillBucket installs a fresh bucket's entries wholesale (bulk
-// construction: the entries are pre-ordered least-recently-seen first,
-// i.e. farthest contact at index 0). The table is owned exclusively by
-// its build-shard worker at this point, but the mutex is cheap and
-// keeps the invariant that buckets never change without it.
-func (t *table) fillBucket(i int, entries []ring.Point) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	b := &t.buckets[i]
-	b.entries = append(b.entries[:0], entries...)
-}
-
-// entriesOf returns a copy of bucket i's live entries.
-func (t *table) entriesOf(i int) []ring.Point {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	out := make([]ring.Point, len(t.buckets[i].entries))
-	copy(out, t.buckets[i].entries)
+// entriesOfSlot returns a copy of bucket b's live entries for slot s,
+// translated to identifiers (LRU first).
+func (n *Network) entriesOfSlot(s uint32, b int) []ring.Point {
+	a := &n.st
+	st := a.stripe(s)
+	st.RLock()
+	defer st.RUnlock()
+	ref := a.bucketRefs[int(s)*idBits+b]
+	if ref == noRegion {
+		return nil
+	}
+	ents := regEntries(n.region(ref))
+	out := make([]ring.Point, len(ents))
+	for i, c := range ents {
+		out[i] = a.id(c)
+	}
 	return out
 }
 
-// markAlive confirms bucket i's entry id answered a ping: it moves to
-// the tail, deferring its eviction.
-func (t *table) markAlive(i int, id ring.Point) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.buckets[i].touch(id, t.k)
-}
-
-// promote fills bucket i from its replacement cache.
-func (t *table) promote(i int) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.buckets[i].promote(t.k)
-}
-
-// size returns the total number of live entries across all buckets.
-func (t *table) size() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	n := 0
-	for i := range t.buckets {
-		n += len(t.buckets[i].entries)
+// tableSizeOf returns slot s's total live entry count.
+func (n *Network) tableSizeOf(s uint32) int {
+	a := &n.st
+	st := a.stripe(s)
+	st.RLock()
+	defer st.RUnlock()
+	total := 0
+	row := a.bucketRefs[int(s)*idBits : int(s)*idBits+idBits]
+	for _, ref := range row {
+		if ref != noRegion {
+			e, _ := regLens(n.region(ref))
+			total += e
+		}
 	}
-	return n
+	return total
 }
 
-// contacts returns every live entry across all buckets.
-func (t *table) contacts() []ring.Point {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+// contactsOf returns every live entry across slot s's buckets.
+func (n *Network) contactsOf(s uint32) []ring.Point {
+	a := &n.st
+	st := a.stripe(s)
+	st.RLock()
+	defer st.RUnlock()
 	out := make([]ring.Point, 0, idBits)
-	for i := range t.buckets {
-		out = append(out, t.buckets[i].entries...)
+	row := a.bucketRefs[int(s)*idBits : int(s)*idBits+idBits]
+	for _, ref := range row {
+		if ref == noRegion {
+			continue
+		}
+		for _, c := range regEntries(n.region(ref)) {
+			out = append(out, a.id(c))
+		}
 	}
 	return out
 }

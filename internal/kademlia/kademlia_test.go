@@ -41,42 +41,42 @@ func TestXorMetric(t *testing.T) {
 
 func TestBucketLRU(t *testing.T) {
 	t.Parallel()
-	var b bucket
 	const k = 3
-	b.touch(1, k)
-	b.touch(2, k)
-	b.touch(3, k)
+	reg := make([]uint32, 1+k+replacementCacheLen)
+	regTouch(reg, k, 1)
+	regTouch(reg, k, 2)
+	regTouch(reg, k, 3)
 	// Re-seeing an entry moves it to the most-recently-seen tail.
-	b.touch(1, k)
-	if b.entries[0] != 2 || b.entries[2] != 1 {
-		t.Fatalf("LRU order wrong: %v", b.entries)
+	regTouch(reg, k, 1)
+	if ents := regEntries(reg); ents[0] != 2 || ents[2] != 1 {
+		t.Fatalf("LRU order wrong: %v", ents)
 	}
 	// A new contact on a full bucket lands in the replacement cache.
-	b.touch(9, k)
-	if len(b.entries) != k || len(b.cache) != 1 || b.cache[0] != 9 {
-		t.Fatalf("full bucket must cache the newcomer: entries=%v cache=%v", b.entries, b.cache)
+	regTouch(reg, k, 9)
+	if cache := regCache(reg, k); len(regEntries(reg)) != k || len(cache) != 1 || cache[0] != 9 {
+		t.Fatalf("full bucket must cache the newcomer: entries=%v cache=%v", regEntries(reg), cache)
 	}
 	// Evicting the LRU entry and promoting pulls the cached contact in.
-	b.remove(2)
-	b.promote(k)
-	if len(b.entries) != k || b.entries[k-1] != 9 {
-		t.Fatalf("promotion failed: entries=%v cache=%v", b.entries, b.cache)
+	regRemove(reg, k, 2)
+	regPromote(reg, k)
+	if ents := regEntries(reg); len(ents) != k || ents[k-1] != 9 {
+		t.Fatalf("promotion failed: entries=%v cache=%v", ents, regCache(reg, k))
 	}
-	if len(b.cache) != 0 {
-		t.Fatalf("cache should drain on promote: %v", b.cache)
+	if cache := regCache(reg, k); len(cache) != 0 {
+		t.Fatalf("cache should drain on promote: %v", cache)
 	}
 }
 
 func TestBucketCacheBounded(t *testing.T) {
 	t.Parallel()
-	var b bucket
 	const k = 1
-	b.touch(1, k)
+	reg := make([]uint32, 1+k+replacementCacheLen)
+	regTouch(reg, k, 1)
 	for i := 2; i <= 10; i++ {
-		b.touch(ring.Point(i), k)
+		regTouch(reg, k, uint32(i))
 	}
-	if len(b.cache) > replacementCacheLen {
-		t.Fatalf("cache grew to %d (cap %d)", len(b.cache), replacementCacheLen)
+	if cache := regCache(reg, k); len(cache) > replacementCacheLen {
+		t.Fatalf("cache grew to %d (cap %d)", len(cache), replacementCacheLen)
 	}
 }
 

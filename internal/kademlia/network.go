@@ -42,20 +42,35 @@ func (c Config) withDefaults() Config {
 }
 
 // Network is a collection of Kademlia nodes sharing one simulated
-// transport.
+// transport. All per-node state lives in a flat slot arena (see
+// arena.go); nodes are addressed internally by dense uint32 slot and
+// externally by ring.Point identifier.
 type Network struct {
 	cfg Config
 	tr  simnet.Transport
+	// regStride is the word width of one bucket region: a header word,
+	// BucketSize entry slots and the replacement cache.
+	regStride int
+	// multi records that the transport accepted a bulk registration:
+	// one handler serves every node this network hosts and joins and
+	// crashes cost no per-node transport bookkeeping. Without it the
+	// network falls back to one registered closure per node.
+	multi bool
 
-	mu    sync.RWMutex
-	nodes map[ring.Point]*Node
+	mu sync.RWMutex
+	st arena
 	// members is the sorted live membership, maintained incrementally:
 	// join/crash installs a fresh copy with the id spliced in or out
 	// (copy-on-write) and bumps epoch. The slice itself is immutable, so
 	// Members hands it out with no per-call copy and holders keep a
 	// consistent snapshot across later churn.
 	members []ring.Point
-	epoch   uint64
+	// memberSlots is the aligned slot snapshot: memberSlots[i] is the
+	// arena slot of members[i]. Maintained copy-on-write in lockstep
+	// with members, it is the ID-to-index half of the bridge that
+	// replaces the old map[ring.Point]*Node.
+	memberSlots []uint32
+	epoch       uint64
 }
 
 // Kademlia error conditions.
@@ -68,10 +83,55 @@ var (
 
 // NewNetwork creates an empty Kademlia network over the given transport.
 func NewNetwork(cfg Config, tr simnet.Transport) *Network {
-	return &Network{
-		cfg:   cfg.withDefaults(),
-		tr:    tr,
-		nodes: make(map[ring.Point]*Node),
+	cfg = cfg.withDefaults()
+	n := &Network{
+		cfg:       cfg,
+		tr:        tr,
+		regStride: 1 + cfg.BucketSize + replacementCacheLen,
+	}
+	n.st.overflow = make(map[ring.Point]uint32)
+	empty := make([][]uint32, 0)
+	n.st.chunks.Store(&empty)
+	if mr, ok := tr.(simnet.MultiRegistrar); ok {
+		if err := mr.RegisterMulti(n.ownsID, n.dispatchAny); err == nil {
+			n.multi = true
+		}
+	}
+	return n
+}
+
+// ownsID reports whether this network currently hosts a live node with
+// the given transport id; the transport's bulk-registration path
+// consults it in place of a per-node handler table.
+func (n *Network) ownsID(id simnet.NodeID) bool {
+	_, ok := n.liveSlot(ring.Point(id))
+	return ok
+}
+
+// dispatchAny routes a bulk-registered RPC to its destination slot.
+// Crashed nodes remain resolvable through the overflow map until
+// scavenged, so an in-flight RPC that won the transport's liveness
+// check still reaches the node's frozen state, exactly as a registered
+// handler used to keep answering until deregistration took effect.
+func (n *Network) dispatchAny(to, from simnet.NodeID, msg simnet.Message) (simnet.Message, error) {
+	s, ok := n.slotOf(ring.Point(to))
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", simnet.ErrUnknownNode, to)
+	}
+	return n.handleRPC(s, from, msg)
+}
+
+// idHandler returns the per-node registration closure for transports
+// without bulk registration. It captures the identifier, never the
+// slot: the slot is resolved per call, so slot recycling cannot
+// misroute a stale registration.
+func (n *Network) idHandler(id ring.Point) simnet.Handler {
+	return func(from simnet.NodeID, msg simnet.Message) (simnet.Message, error) {
+		s, ok := n.slotOf(id)
+		if !ok {
+			return nil, fmt.Errorf("%w: %d", simnet.ErrUnknownNode, simnet.NodeID(id))
+		}
+		return n.handleRPC(s, from, msg)
 	}
 }
 
@@ -84,15 +144,18 @@ func (n *Network) Transport() simnet.Transport { return n.tr }
 // Meter returns the transport's cost meter.
 func (n *Network) Meter() *simnet.Meter { return n.tr.Meter() }
 
-// Node returns the node with the given id.
+// Node returns the node with the given id. The returned handle points
+// into the arena's preconstructed handle table, so the call allocates
+// nothing.
 func (n *Network) Node(id ring.Point) (*Node, error) {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
-	nd, ok := n.nodes[id]
-	if !ok {
-		return nil, fmt.Errorf("%w: %v", ErrNodeNotFound, id)
+	if rank, ok := ring.Rank(n.members, id); ok {
+		if s := n.memberSlots[rank]; n.st.alive[s] {
+			return &n.st.handles[s], nil
+		}
 	}
-	return nd, nil
+	return nil, fmt.Errorf("%w: %v", ErrNodeNotFound, id)
 }
 
 // Members returns the ids of all live nodes in sorted order. The
@@ -117,30 +180,54 @@ func (n *Network) Epoch() uint64 {
 	return n.epoch
 }
 
-// NumAlive returns the number of live nodes. The nodes map holds
-// exactly the live nodes (Crash removes before marking dead), so this
-// is the snapshot length.
+// NumAlive returns the number of live nodes. The membership snapshot
+// holds exactly the live nodes (Crash removes before marking dead), so
+// this is the snapshot length.
 func (n *Network) NumAlive() int {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
 	return len(n.members)
 }
 
-// addNode constructs, registers and records a node.
+// addNode allocates (or recycles) a slot for id, registers it on the
+// transport when per-node registration is in use, and splices it into
+// the live membership.
 func (n *Network) addNode(id ring.Point) (*Node, error) {
-	nd := &Node{id: id, net: n, table: newTable(id, n.cfg.BucketSize), succ: id, pred: id, alive: true}
-	if err := n.tr.Register(simnet.NodeID(id), nd.handle); err != nil {
-		return nil, fmt.Errorf("kademlia: registering node %v: %w", id, err)
+	if !n.multi {
+		// Register before taking the network lock, as always: the
+		// transport may consult its own locks, and registration order
+		// is observable to concurrent callers.
+		if err := n.tr.Register(simnet.NodeID(id), n.idHandler(id)); err != nil {
+			return nil, fmt.Errorf("kademlia: registering node %v: %w", id, err)
+		}
 	}
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	if _, exists := n.nodes[id]; exists {
-		n.tr.Deregister(simnet.NodeID(id))
+	rank, found := ring.Rank(n.members, id)
+	if found {
+		n.mu.Unlock()
+		if !n.multi {
+			n.tr.Deregister(simnet.NodeID(id))
+		}
 		return nil, fmt.Errorf("%w: %v", ErrNodeExists, id)
 	}
-	n.nodes[id] = nd
-	n.members = ring.InsertSorted(n.members, id)
+	s, ok := n.st.overflow[id]
+	if ok {
+		// The id had a zombie or external slot: reclaim it for the
+		// rejoining node with fresh baseline state.
+		delete(n.st.overflow, id)
+		if n.st.reclaimable > 0 {
+			n.st.reclaimable--
+		}
+		n.resetSlotLocked(s, id)
+	} else {
+		s = n.newSlotLocked(id)
+	}
+	n.st.alive[s] = true
+	n.members = spliceIn(n.members, rank, id)
+	n.memberSlots = spliceIn(n.memberSlots, rank, s)
 	n.epoch++
+	nd := &n.st.handles[s]
+	n.mu.Unlock()
 	return nd, nil
 }
 
@@ -173,10 +260,7 @@ func (n *Network) Join(id, via ring.Point) (*Node, error) {
 // RPC, which the wire transport routes across processes. It is the
 // join path wire-transport daemons use.
 func (n *Network) JoinVia(id, via ring.Point) (*Node, error) {
-	n.mu.RLock()
-	_, exists := n.nodes[id]
-	n.mu.RUnlock()
-	if exists {
+	if _, ok := n.liveSlot(id); ok {
 		return nil, fmt.Errorf("%w: %v", ErrNodeExists, id)
 	}
 	nd, err := n.addNode(id)
@@ -191,7 +275,7 @@ func (n *Network) JoinVia(id, via ring.Point) (*Node, error) {
 		_ = n.Crash(id)
 		return nil, fmt.Errorf("kademlia: join of %v: %s: %w", id, step, err)
 	}
-	nd.table.touch(via)
+	n.touchContact(nd.slot, via)
 	if _, err := n.FindClosest(id, id); err != nil {
 		return fail("self-lookup", err)
 	}
@@ -225,24 +309,35 @@ func (n *Network) JoinVia(id, via ring.Point) (*Node, error) {
 	return nd, nil
 }
 
-// Crash removes a node abruptly: its handler is deregistered and every
-// RPC to it fails until maintenance routes around it.
+// Crash removes a node abruptly: it leaves the live membership and
+// every new RPC to it fails until maintenance routes around it. Its
+// slot parks in the overflow map (state frozen, still answering RPCs
+// already in flight) until the scavenger recycles it.
 func (n *Network) Crash(id ring.Point) error {
 	n.mu.Lock()
-	nd, ok := n.nodes[id]
+	rank, ok := ring.Rank(n.members, id)
+	var s uint32
 	if ok {
-		delete(n.nodes, id)
+		s = n.memberSlots[rank]
+		if !n.st.alive[s] {
+			ok = false // partitioned build: the member is hosted elsewhere
+		}
+	}
+	if ok {
 		n.members = ring.RemoveSorted(n.members, id)
+		n.memberSlots = spliceOut(n.memberSlots, rank)
+		n.st.alive[s] = false
+		n.st.overflow[id] = s
+		n.st.reclaimable++
 		n.epoch++
 	}
 	n.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("%w: %v", ErrNodeNotFound, id)
 	}
-	nd.mu.Lock()
-	nd.alive = false
-	nd.mu.Unlock()
-	n.tr.Deregister(simnet.NodeID(id))
+	if !n.multi {
+		n.tr.Deregister(simnet.NodeID(id))
+	}
 	return nil
 }
 
@@ -304,6 +399,7 @@ func (n *Network) FindClosest(from, target ring.Point) (LookupResult, error) {
 	if err != nil {
 		return LookupResult{}, err
 	}
+	self := initiator.slot
 	k, alpha := n.cfg.BucketSize, n.cfg.Alpha
 	ls := lookupScratchPool.Get().(*lookupScratch)
 	defer func() {
@@ -312,7 +408,7 @@ func (n *Network) FindClosest(from, target ring.Point) (LookupResult, error) {
 	}()
 	state := ls.state
 	state[from] = stateQueried
-	ls.seed = initiator.table.closestInto(ls.seed, target, k, false)
+	ls.seed = n.closestIntoSlot(self, ls.seed, target, k, false)
 	for _, c := range ls.seed {
 		state[c] = stateCandidate
 	}
@@ -355,11 +451,11 @@ func (n *Network) FindClosest(from, target ring.Point) (LookupResult, error) {
 			res.RPCs++
 			if err != nil {
 				state[id] = stateFailed
-				initiator.table.remove(id)
+				n.removeContact(self, id)
 				continue
 			}
 			state[id] = stateQueried
-			initiator.table.touch(id)
+			n.touchContact(self, id)
 			resp := raw.(*findNodeResp)
 			for _, c := range resp.Closest {
 				if _, known := state[c]; !known {
@@ -539,7 +635,7 @@ func (n *Network) RefreshNode(id ring.Point, refreshBucket int) error {
 		return err
 	}
 	for i := 0; i < idBits; i++ {
-		entries := nd.table.entriesOf(i)
+		entries := n.entriesOfSlot(nd.slot, i)
 		if len(entries) == 0 {
 			continue
 		}
@@ -548,12 +644,12 @@ func (n *Network) RefreshNode(id ring.Point, refreshBucket int) error {
 		// replacement-cache contacts are promoted into freed slots.
 		for _, e := range entries {
 			if _, err := n.call(id, e, pingReq{}); err != nil {
-				nd.table.remove(e)
+				n.removeContact(nd.slot, e)
 			} else {
-				nd.table.markAlive(i, e)
+				n.markAliveContact(nd.slot, i, e)
 			}
 		}
-		nd.table.promote(i)
+		n.promoteBucket(nd.slot, i)
 	}
 	if refreshBucket >= 0 && refreshBucket < idBits {
 		// A target with bit "refreshBucket" flipped lands in that
@@ -587,9 +683,7 @@ func (n *Network) repairRing(nd *Node) error {
 					// ourselves (Chord's stabilize rule); without this
 					// tightening step the ring wedges permanently with
 					// the middle node invisible to its predecessor.
-					nd.mu.Lock()
-					nd.succ = p
-					nd.mu.Unlock()
+					n.setSucc(nd.slot, p)
 					_, _ = n.call(id, p, spliceReq{Pred: id, HasPred: true})
 					return nil
 				}
@@ -601,7 +695,7 @@ func (n *Network) repairRing(nd *Node) error {
 			}
 			return nil
 		}
-		nd.table.remove(succ)
+		n.removeContact(nd.slot, succ)
 	}
 	// Successor dead (or self while others exist): pick the best live
 	// candidate and tighten it by walking predecessor pointers.
@@ -626,9 +720,7 @@ func (n *Network) repairRing(nd *Node) error {
 		}
 		best = p
 	}
-	nd.mu.Lock()
-	nd.succ = best
-	nd.mu.Unlock()
+	n.setSucc(nd.slot, best)
 	_, _ = n.call(id, best, spliceReq{Pred: id, HasPred: true})
 	return nil
 }
@@ -637,7 +729,7 @@ func (n *Network) repairRing(nd *Node) error {
 // closest after id, gathered from the node's table plus a lookup.
 func (n *Network) bestLiveSuccessorCandidate(nd *Node) (ring.Point, bool) {
 	id := nd.ID()
-	cands := nd.table.contacts()
+	cands := n.contactsOf(nd.slot)
 	if res, err := n.FindClosest(id, ring.Point(uint64(id)+1)); err == nil {
 		cands = append(cands, res.Closest...)
 	}
@@ -651,7 +743,7 @@ func (n *Network) bestLiveSuccessorCandidate(nd *Node) (ring.Point, bool) {
 			continue
 		}
 		if _, err := n.call(id, c, pingReq{}); err != nil {
-			nd.table.remove(c)
+			n.removeContact(nd.slot, c)
 			continue
 		}
 		best, found = c, true
@@ -715,7 +807,7 @@ func (n *Network) VerifyTables() error {
 			return err
 		}
 		for i := 0; i < idBits; i++ {
-			entries := nd.table.entriesOf(i)
+			entries := n.entriesOfSlot(nd.slot, i)
 			if len(entries) > n.cfg.BucketSize {
 				return fmt.Errorf("kademlia: node %v bucket %d has %d entries (k=%d)", id, i, len(entries), n.cfg.BucketSize)
 			}
@@ -743,14 +835,15 @@ func (n *Network) VerifyTables() error {
 // exact. It is the starting state for experiments that study the
 // sampler rather than overlay convergence.
 //
-// Construction is bulk and parallel: nodes are registered sequentially
-// (the transport and node map are shared) with the membership snapshot
-// installed once, then per-node tables and ring pointers — pure
-// functions of the sorted membership — are populated over contiguous
-// worker shards, bit-identically to the sequential build at any
-// GOMAXPROCS. The per-node fill itself is O(log^2 n + k log n) via
-// sorted-range trie descent instead of the O(n log n) full scan-and-
-// sort the incremental path would pay per node.
+// Construction is bulk and parallel: slots are assigned sequentially
+// (slot i is ring rank i) with the membership snapshot installed once,
+// then per-node buckets — pure functions of the sorted membership —
+// are populated over contiguous worker shards, bit-identically to the
+// sequential build at any GOMAXPROCS. The per-node fill itself is
+// O(log^2 n + k log n) via sorted-range trie descent instead of the
+// O(n log n) full scan-and-sort the incremental path would pay per
+// node, and because slot and ring index coincide the bucket entries
+// are written as plain indices with no ID translation at all.
 func BuildStatic(cfg Config, tr simnet.Transport, points []ring.Point) (*Network, error) {
 	return BuildStaticPartition(cfg, tr, points, nil)
 }
@@ -758,10 +851,10 @@ func BuildStatic(cfg Config, tr simnet.Transport, points []ring.Point) (*Network
 // BuildStaticPartition constructs the local shard of a fully populated
 // network that spans multiple processes: the full membership defines
 // every node's buckets and ring pointers, but only the nodes selected
-// by owned are instantiated and registered on this process's
-// transport. The other points must be hosted by peer processes
-// reachable through the transport (the wire transport routes by node
-// id). A nil owned predicate owns everything, which is exactly
+// by owned are instantiated (and registered, on per-node transports)
+// on this process's transport. The other points must be hosted by peer
+// processes reachable through the transport (the wire transport routes
+// by node id). A nil owned predicate owns everything, which is exactly
 // BuildStatic.
 //
 // Per-node state is a pure function of the sorted membership, so every
@@ -774,51 +867,66 @@ func BuildStaticPartition(cfg Config, tr simnet.Transport, points []ring.Point, 
 	}
 	n := NewNetwork(cfg, tr)
 	sorted := r.Points()
-	ownedIdx := make([]int, 0, len(sorted))
-	nodes := make([]*Node, len(sorted))
-	n.nodes = make(map[ring.Point]*Node, len(sorted))
+	size := len(sorted)
+	// Single-threaded sizing and slot assignment: no locks needed until
+	// the network is published.
+	n.growLocked(size)
+	a := &n.st
+	a.used = size
+	n.memberSlots = make([]uint32, size)
+	ownedIdx := make([]int, 0, size)
+	single := size == 1
 	for i, id := range sorted {
+		s := uint32(i)
+		n.memberSlots[i] = s
+		a.ids[s] = uint64(id)
+		if single {
+			a.succs[s], a.preds[s] = s, s
+		} else {
+			a.succs[s] = uint32(r.NextIndex(i))
+			a.preds[s] = uint32(r.PrevIndex(i))
+		}
+		a.handles[s] = Node{net: n, slot: s}
 		if owned != nil && !owned(id) {
 			continue
 		}
-		nd := &Node{id: id, net: n, table: newTable(id, n.cfg.BucketSize), succ: id, pred: id, alive: true}
-		if err := tr.Register(simnet.NodeID(id), nd.handle); err != nil {
-			return nil, fmt.Errorf("kademlia: registering node %v: %w", id, err)
+		a.alive[s] = true
+		if !n.multi {
+			if err := tr.Register(simnet.NodeID(id), n.idHandler(id)); err != nil {
+				return nil, fmt.Errorf("kademlia: registering node %v: %w", id, err)
+			}
 		}
-		n.nodes[id] = nd
-		nodes[i] = nd
 		ownedIdx = append(ownedIdx, i)
 	}
 	n.members = sorted
 	n.epoch++
-	single := r.Len() == 1
 	parallel.Shards(len(ownedIdx), parallel.Workers(len(ownedIdx)), func(lo, hi int) {
-		scratch := make([]ring.Point, 0, n.cfg.BucketSize)
+		scratch := make([]uint32, 0, n.cfg.BucketSize)
+		rb := regionBatcher{n: n}
 		for j := lo; j < hi; j++ {
-			i := ownedIdx[j]
-			nd := nodes[i]
-			fillStaticTable(nd, sorted, n.cfg.BucketSize, scratch)
-			if single {
-				nd.setRing(nd.id, nd.id)
-			} else {
-				nd.setRing(r.At(r.NextIndex(i)), r.At(r.PrevIndex(i)))
-			}
+			scratch = n.fillStaticSlot(sorted, ownedIdx[j], scratch, &rb)
 		}
+		rb.release()
 	})
 	return n, nil
 }
 
-// fillStaticTable populates a node's buckets with the k XOR-closest
-// members of each distance octave, farthest first so the closest
-// contacts sit at the most-recently-seen end — the same state the old
-// full scan-and-sort fill produced, computed from the sorted
-// membership instead: bucket b's candidates form one contiguous value
-// range (the aligned block reached by flipping bit b of the node's id
-// and clearing the bits below), and the k XOR-closest within the range
-// are selected by descending the implicit binary trie, visiting only
-// subranges that can still contribute.
-func fillStaticTable(nd *Node, sorted []ring.Point, k int, scratch []ring.Point) {
-	id := uint64(nd.id)
+// fillStaticSlot populates slot i's buckets (slot = ring rank, by
+// construction) with the k XOR-closest members of each distance
+// octave, farthest first so the closest contacts sit at the most-
+// recently-seen end — the same state the old full scan-and-sort fill
+// produced, computed from the sorted membership instead: bucket b's
+// candidates form one contiguous value range (the aligned block
+// reached by flipping bit b of the node's id and clearing the bits
+// below), and the k XOR-closest within the range are selected by
+// descending the implicit binary trie, visiting only subranges that
+// can still contribute. It runs during BuildStatic's sharded phase:
+// the slot is owned exclusively by one worker and published by the
+// shard barrier, so no locks are taken.
+func (n *Network) fillStaticSlot(sorted []ring.Point, i int, scratch []uint32, rb *regionBatcher) []uint32 {
+	id := uint64(sorted[i])
+	k := n.cfg.BucketSize
+	row := n.st.bucketRefs[i*idBits : i*idBits+idBits]
 	for b := 0; b < idBits; b++ {
 		base := (id ^ (uint64(1) << uint(b))) &^ (uint64(1)<<uint(b) - 1)
 		lo, _ := slices.BinarySearch(sorted, ring.Point(base))
@@ -838,30 +946,40 @@ func fillStaticTable(nd *Node, sorted []ring.Point, k int, scratch []ring.Point)
 		// incremental path.
 		for x := 1; x < len(scratch); x++ {
 			v := scratch[x]
-			dv := uint64(v) ^ id
+			dv := uint64(sorted[v]) ^ id
 			j := x - 1
-			for j >= 0 && uint64(scratch[j])^id < dv {
+			for j >= 0 && uint64(sorted[scratch[j]])^id < dv {
 				scratch[j+1] = scratch[j]
 				j--
 			}
 			scratch[j+1] = v
 		}
-		nd.table.fillBucket(b, scratch)
+		ref := rb.alloc()
+		reg := n.region(ref)
+		copy(reg[1:], scratch)
+		regSetLens(reg, len(scratch), 0)
+		row[b] = ref
 	}
+	return scratch
 }
 
-// collectXorClosest appends the up-to-rem XOR-closest members to id
-// within sorted[lo:hi), an aligned block of size 2^level starting at
-// base. Output order is unspecified; callers sort. The descent takes
-// the half sharing id's next bit first (strictly closer than the other
-// half), so only ranges that can still contribute are visited.
-func collectXorClosest(dst []ring.Point, sorted []ring.Point, lo, hi int, base uint64, level int, id uint64, rem int) []ring.Point {
+// collectXorClosest appends the sorted-membership indices of the
+// up-to-rem XOR-closest members to id within sorted[lo:hi), an aligned
+// block of size 2^level starting at base. Output order is unspecified;
+// callers sort. The descent takes the half sharing id's next bit first
+// (strictly closer than the other half), so only ranges that can still
+// contribute are visited. Indices double as arena slots during the
+// static build, so the bucket entries need no ID translation.
+func collectXorClosest(dst []uint32, sorted []ring.Point, lo, hi int, base uint64, level int, id uint64, rem int) []uint32 {
 	for {
 		if rem <= 0 || lo >= hi {
 			return dst
 		}
 		if hi-lo <= rem || level == 0 {
-			return append(dst, sorted[lo:hi]...)
+			for j := lo; j < hi; j++ {
+				dst = append(dst, uint32(j))
+			}
+			return dst
 		}
 		half := uint64(1) << uint(level-1)
 		m, _ := slices.BinarySearch(sorted[lo:hi], ring.Point(base+half))

@@ -2,100 +2,147 @@ package kademlia
 
 import (
 	"fmt"
-	"sync"
 
 	"github.com/dht-sampling/randompeer/internal/ring"
 	"github.com/dht-sampling/randompeer/internal/simnet"
 )
 
-// Node is one Kademlia peer: a routing table of k-buckets for XOR
-// routing, plus ring successor/predecessor pointers that carry the
-// paper's next(p) primitive and decide key ownership. All exported
-// accessors and the RPC handler are safe for concurrent use; no lock
-// is ever held across an RPC.
+// Node is one Kademlia peer's public handle: a (network, slot) pair
+// into the network's flat slot arena. A handle holds no state of its
+// own — the ring pointers and k-buckets live in the arena's packed
+// arrays and bucket regions — so handles are 16 bytes, preconstructed
+// once per slot, and handed out by pointer with no allocation. All
+// exported accessors and the RPC handlers are safe for concurrent use;
+// no lock is ever held across an RPC.
 type Node struct {
-	id    ring.Point
-	net   *Network
-	table *table
-
-	mu    sync.RWMutex
-	succ  ring.Point
-	pred  ring.Point
-	alive bool
+	net  *Network
+	slot uint32
 }
 
 // ID returns the node's identifier.
-func (nd *Node) ID() ring.Point { return nd.id }
+func (nd *Node) ID() ring.Point { return nd.net.idOf(nd.slot) }
 
 // Successor returns the node's ring successor pointer.
-func (nd *Node) Successor() ring.Point {
-	nd.mu.RLock()
-	defer nd.mu.RUnlock()
-	return nd.succ
-}
+func (nd *Node) Successor() ring.Point { return nd.net.succOf(nd.slot) }
 
 // Predecessor returns the node's ring predecessor pointer.
-func (nd *Node) Predecessor() ring.Point {
-	nd.mu.RLock()
-	defer nd.mu.RUnlock()
-	return nd.pred
-}
+func (nd *Node) Predecessor() ring.Point { return nd.net.predOf(nd.slot) }
 
 // Alive reports whether the node is participating in the network.
 func (nd *Node) Alive() bool {
-	nd.mu.RLock()
-	defer nd.mu.RUnlock()
-	return nd.alive
+	n := nd.net
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.st.alive[nd.slot]
 }
 
 // Contacts returns every routing-table entry (all buckets), the edges
 // a random-walk sampler would traverse.
-func (nd *Node) Contacts() []ring.Point { return nd.table.contacts() }
+func (nd *Node) Contacts() []ring.Point { return nd.net.contactsOf(nd.slot) }
 
 // TableSize returns the number of routing-table entries.
-func (nd *Node) TableSize() int { return nd.table.size() }
+func (nd *Node) TableSize() int { return nd.net.tableSizeOf(nd.slot) }
 
 // BucketEntries returns a copy of bucket i's entries (LRU first).
-func (nd *Node) BucketEntries(i int) []ring.Point { return nd.table.entriesOf(i) }
+func (nd *Node) BucketEntries(i int) []ring.Point { return nd.net.entriesOfSlot(nd.slot, i) }
 
 // setRing installs the node's ring pointers.
-func (nd *Node) setRing(succ, pred ring.Point) {
-	nd.mu.Lock()
-	defer nd.mu.Unlock()
-	nd.succ = succ
-	nd.pred = pred
+func (nd *Node) setRing(succ, pred ring.Point) { nd.net.setRing(nd.slot, succ, pred) }
+
+// idOf returns slot s's identifier.
+func (n *Network) idOf(s uint32) ring.Point {
+	a := &n.st
+	st := a.stripe(s)
+	st.RLock()
+	id := a.id(s)
+	st.RUnlock()
+	return id
 }
 
-// handle dispatches one RPC. It is registered with the transport.
-// Every inbound message is evidence the sender is alive, so the sender
-// is recorded in the routing table first (Kademlia's passive table
+// succOf returns slot s's ring successor identifier.
+func (n *Network) succOf(s uint32) ring.Point {
+	a := &n.st
+	st := a.stripe(s)
+	st.RLock()
+	succ := a.id(a.succs[s])
+	st.RUnlock()
+	return succ
+}
+
+// predOf returns slot s's ring predecessor identifier.
+func (n *Network) predOf(s uint32) ring.Point {
+	a := &n.st
+	st := a.stripe(s)
+	st.RLock()
+	pred := a.id(a.preds[s])
+	st.RUnlock()
+	return pred
+}
+
+// setRing installs slot s's ring pointers. The targets are interned
+// outside the stripe (lock order: network.mu before stripe).
+func (n *Network) setRing(s uint32, succ, pred ring.Point) {
+	ss := n.intern(succ)
+	ps := n.intern(pred)
+	a := &n.st
+	st := a.stripe(s)
+	st.Lock()
+	a.succs[s] = ss
+	a.preds[s] = ps
+	st.Unlock()
+}
+
+// setSucc installs slot s's ring successor pointer.
+func (n *Network) setSucc(s uint32, succ ring.Point) {
+	ss := n.intern(succ) // before the stripe: intern takes network.mu
+	a := &n.st
+	st := a.stripe(s)
+	st.Lock()
+	a.succs[s] = ss
+	st.Unlock()
+}
+
+// handleRPC dispatches one RPC addressed to the node in slot s. Every
+// inbound message is evidence the sender is alive, so the sender is
+// recorded in the routing table first (Kademlia's passive table
 // maintenance).
-func (nd *Node) handle(from simnet.NodeID, msg simnet.Message) (simnet.Message, error) {
-	if p := ring.Point(from); p != nd.id {
-		nd.table.touch(p)
+func (n *Network) handleRPC(s uint32, from simnet.NodeID, msg simnet.Message) (simnet.Message, error) {
+	if p := ring.Point(from); p != n.idOf(s) {
+		n.touchContact(s, p)
 	}
 	switch m := msg.(type) {
 	case findNodeReq:
 		resp := newFindNodeResp()
-		resp.Closest = nd.table.closestInto(resp.Closest, m.Target, m.K, true)
+		resp.Closest = n.closestIntoSlot(s, resp.Closest, m.Target, m.K, true)
 		return resp, nil
 	case getSuccessorReq:
-		return newPointResp(nd.Successor()), nil
+		return newPointResp(n.succOf(s)), nil
 	case getPredecessorReq:
-		return newPointResp(nd.Predecessor()), nil
+		return newPointResp(n.predOf(s)), nil
 	case spliceReq:
-		nd.mu.Lock()
+		// Intern both targets before taking the stripe (lock order:
+		// network.mu before stripe).
+		var ss, ps uint32
 		if m.HasSucc {
-			nd.succ = m.Succ
+			ss = n.intern(m.Succ)
 		}
 		if m.HasPred {
-			nd.pred = m.Pred
+			ps = n.intern(m.Pred)
 		}
-		nd.mu.Unlock()
+		a := &n.st
+		st := a.stripe(s)
+		st.Lock()
+		if m.HasSucc {
+			a.succs[s] = ss
+		}
+		if m.HasPred {
+			a.preds[s] = ps
+		}
+		st.Unlock()
 		return ackResp{}, nil
 	case pingReq:
 		return ackResp{}, nil
 	default:
-		return nil, fmt.Errorf("kademlia: node %v: unknown message %T from %d", nd.id, msg, from)
+		return nil, fmt.Errorf("kademlia: node %v: unknown message %T from %d", n.idOf(s), msg, from)
 	}
 }

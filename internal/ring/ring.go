@@ -104,6 +104,14 @@ func InsertSorted(members []Point, id Point) []Point {
 	return out
 }
 
+// Rank returns the index id occupies (or would occupy) in the sorted
+// slice, and whether it is present. It is the sorted-membership half
+// of the overlays' ID↔index bridge: a present id's rank selects its
+// storage index from the aligned index snapshot, with no per-id map.
+func Rank(sorted []Point, id Point) (int, bool) {
+	return slices.BinarySearch(sorted, id)
+}
+
 // RemoveSorted returns a new sorted slice equal to members with id
 // removed (copy-on-write; members is never modified). If id is absent
 // the original slice is returned unchanged.

@@ -1,0 +1,10 @@
+// Package scale holds the cross-overlay storage invariants of the
+// flat index-based arenas (internal/chord, internal/kademlia): the
+// GC-settled heap budget per node that keeps 10M-peer rings in a few
+// GB, slot recycling across crash/join cycles (a churning network must
+// not grow its arena without bound), and the copy-on-write membership
+// snapshot contract — handed-out Members() slices are immutable and
+// epoch-consistent under concurrent churn. The package is test-only;
+// the tests run in the ordinary suite and, except for the heap
+// budgets, under the race detector in CI's counted matrix.
+package scale

@@ -29,6 +29,7 @@ import (
 type Transport struct {
 	mu       sync.RWMutex
 	handlers map[simnet.NodeID]simnet.Handler
+	multis   []multiReg
 	closed   bool
 	meter    simnet.Meter
 	faults   *simnet.Faults
@@ -56,10 +57,18 @@ type Transport struct {
 	byz atomic.Pointer[simnet.Interceptor]
 }
 
+// multiReg is one bulk registration: an ownership predicate plus the
+// handler serving every owned node (see simnet.MultiRegistrar).
+type multiReg struct {
+	owns func(simnet.NodeID) bool
+	h    simnet.MultiHandler
+}
+
 var (
-	_ simnet.Transport     = (*Transport)(nil)
-	_ obs.Traceable        = (*Transport)(nil)
-	_ simnet.Interceptable = (*Transport)(nil)
+	_ simnet.Transport      = (*Transport)(nil)
+	_ obs.Traceable         = (*Transport)(nil)
+	_ simnet.Interceptable  = (*Transport)(nil)
+	_ simnet.MultiRegistrar = (*Transport)(nil)
 )
 
 // TransportOption configures a Transport.
@@ -233,6 +242,24 @@ func (t *Transport) Register(id simnet.NodeID, h simnet.Handler) error {
 	return nil
 }
 
+// RegisterMulti implements simnet.MultiRegistrar: h serves every node
+// owns reports as hosted here, with no per-node table entry. Because
+// ownership is consulted only when the message is delivered — after
+// the latency has elapsed — a node crashed while the message is in
+// flight fails the call exactly like a deregistered one.
+func (t *Transport) RegisterMulti(owns func(simnet.NodeID) bool, h simnet.MultiHandler) error {
+	if owns == nil || h == nil {
+		return fmt.Errorf("sim: nil multi registration")
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return simnet.ErrClosed
+	}
+	t.multis = append(t.multis, multiReg{owns: owns, h: h})
+	return nil
+}
+
 // Deregister implements simnet.Transport.
 func (t *Transport) Deregister(id simnet.NodeID) {
 	t.mu.Lock()
@@ -305,6 +332,15 @@ func (t *Transport) call(from, to simnet.NodeID, msg simnet.Message) (simnet.Mes
 	t.mu.RLock()
 	closed := t.closed
 	h, ok := t.handlers[to]
+	var mh simnet.MultiHandler
+	if !ok && !closed {
+		for i := range t.multis {
+			if t.multis[i].owns(to) {
+				mh, ok = t.multis[i].h, true
+				break
+			}
+		}
+	}
 	t.mu.RUnlock()
 	if closed {
 		return t.fail(from, to, lat, simnet.ErrClosed)
@@ -314,7 +350,13 @@ func (t *Transport) call(from, to simnet.NodeID, msg simnet.Message) (simnet.Mes
 		t.meter.RecordLatency(lat)
 		return nil, fmt.Errorf("%w: %d", simnet.ErrUnknownNode, to)
 	}
-	resp, err := h(from, msg)
+	var resp simnet.Message
+	var err error
+	if mh != nil {
+		resp, err = mh(to, from, msg)
+	} else {
+		resp, err = h(from, msg)
+	}
 	if bz := t.byz.Load(); bz != nil {
 		resp, err = (*bz)(from, to, msg, resp, err)
 	}

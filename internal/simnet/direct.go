@@ -16,6 +16,7 @@ import (
 type Direct struct {
 	mu       sync.RWMutex
 	handlers map[NodeID]Handler
+	multis   []multiReg
 	closed   bool
 	meter    Meter
 	faults   *Faults
@@ -23,10 +24,18 @@ type Direct struct {
 	byz      atomic.Pointer[Interceptor]
 }
 
+// multiReg is one bulk registration: an ownership predicate plus the
+// handler serving every owned node.
+type multiReg struct {
+	owns func(NodeID) bool
+	h    MultiHandler
+}
+
 var (
-	_ Transport     = (*Direct)(nil)
-	_ obs.Traceable = (*Direct)(nil)
-	_ Interceptable = (*Direct)(nil)
+	_ Transport      = (*Direct)(nil)
+	_ obs.Traceable  = (*Direct)(nil)
+	_ Interceptable  = (*Direct)(nil)
+	_ MultiRegistrar = (*Direct)(nil)
 )
 
 // DirectOption configures a Direct transport.
@@ -60,6 +69,22 @@ func (d *Direct) Register(id NodeID, h Handler) error {
 		return fmt.Errorf("%w: %d", ErrDuplicateID, id)
 	}
 	d.handlers[id] = h
+	return nil
+}
+
+// RegisterMulti implements MultiRegistrar: h serves every node owns
+// reports as hosted here, with no per-node table entry. Per-node
+// registrations take precedence for ids present in both.
+func (d *Direct) RegisterMulti(owns func(NodeID) bool, h MultiHandler) error {
+	if owns == nil || h == nil {
+		return fmt.Errorf("simnet: nil multi registration")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	d.multis = append(d.multis, multiReg{owns: owns, h: h})
 	return nil
 }
 
@@ -116,6 +141,15 @@ func (d *Direct) call(from, to NodeID, msg Message) (Message, error) {
 		return nil, ErrClosed
 	}
 	h, ok := d.handlers[to]
+	var mh MultiHandler
+	if !ok {
+		for i := range d.multis {
+			if d.multis[i].owns(to) {
+				mh, ok = d.multis[i].h, true
+				break
+			}
+		}
+	}
 	d.mu.RUnlock()
 	if !ok {
 		d.meter.ChargeFailure()
@@ -125,7 +159,13 @@ func (d *Direct) call(from, to NodeID, msg Message) (Message, error) {
 		d.meter.ChargeFailure()
 		return nil, fmt.Errorf("call %d->%d: %w", from, to, err)
 	}
-	resp, err := h(from, msg)
+	var resp Message
+	var err error
+	if mh != nil {
+		resp, err = mh(to, from, msg)
+	} else {
+		resp, err = h(from, msg)
+	}
 	if bz := d.byz.Load(); bz != nil {
 		resp, err = (*bz)(from, to, msg, resp, err)
 	}

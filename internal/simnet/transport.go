@@ -34,6 +34,29 @@ type Transport interface {
 	Close() error
 }
 
+// MultiHandler processes one RPC on behalf of any node its registrant
+// owns: unlike Handler it receives the destination id, so one handler
+// (and one registration) can serve an entire overlay. Implementations
+// resolve "to" against their own membership; the transport never sees
+// a per-node handler table for multi-registered nodes.
+type MultiHandler func(to, from NodeID, msg Message) (Message, error)
+
+// MultiRegistrar is implemented by transports that can bind a single
+// handler to a dynamic set of nodes at once. owns reports whether the
+// registrant currently hosts a live node with the given id; the
+// transport consults it where it would consult its per-node handler
+// table, so calls to ids the registrant does not own fail with
+// ErrUnknownNode exactly as calls to unregistered nodes do. Per-node
+// Register/Deregister keeps working alongside (and is checked first);
+// overlays fall back to it on transports without this interface.
+//
+// Bulk registration exists for scale: a 10^7-node overlay would
+// otherwise pay a 10^7-entry handler map plus one method-value closure
+// per node just to route messages back into a single Network.
+type MultiRegistrar interface {
+	RegisterMulti(owns func(NodeID) bool, h MultiHandler) error
+}
+
 // Transport error conditions.
 var (
 	ErrUnknownNode = errors.New("simnet: unknown node")
